@@ -1,0 +1,63 @@
+"""Microbenchmarks of the paper's algorithmic kernels.
+
+These run many rounds (unlike the figure benchmarks) and track the hot
+paths: the Tsallis OMD solve, block-schedule construction, one Algorithm-1
+block transition, and one Algorithm-2 primal-dual step.
+"""
+
+import numpy as np
+
+from repro.core.blocks import build_schedule
+from repro.core.carbon_trading import OnlineCarbonTrading
+from repro.core.model_selection import OnlineModelSelection
+from repro.core.tsallis import tsallis_inf_probabilities
+from repro.policies.trading import TradeDecision, TradingContext
+
+
+def test_tsallis_solver_small(benchmark):
+    losses = np.random.default_rng(0).uniform(0, 100, size=6)
+    p = benchmark(tsallis_inf_probabilities, losses, 0.5)
+    assert abs(p.sum() - 1.0) < 1e-6
+
+
+def test_tsallis_solver_many_arms(benchmark):
+    losses = np.random.default_rng(1).uniform(0, 100, size=256)
+    p = benchmark(tsallis_inf_probabilities, losses, 0.1)
+    assert abs(p.sum() - 1.0) < 1e-6
+
+
+def test_block_schedule_construction(benchmark):
+    schedule = benchmark(build_schedule, 10000, 3.0, 6)
+    assert int(schedule.lengths.sum()) == 10000
+
+
+def test_algorithm1_full_horizon(benchmark):
+    """A full 160-slot select/observe loop for one edge."""
+
+    def run():
+        policy = OnlineModelSelection(6, 160, 2.5, np.random.default_rng(2))
+        for t in range(160):
+            model = policy.select(t)
+            policy.observe(t, model, 0.5)
+        return policy
+
+    policy = benchmark(run)
+    assert policy.selection_counts.sum() == 160
+
+
+def test_algorithm2_step(benchmark):
+    policy = OnlineCarbonTrading()
+    context = TradingContext(
+        t=1, horizon=160, cap=500.0,
+        buy_price=8.0, sell_price=7.2, prev_buy_price=8.2, prev_sell_price=7.4,
+        prev_emissions=25.0, cumulative_emissions=25.0, holdings=500.0,
+        mean_slot_emissions=25.0, trade_bound=100.0,
+    )
+
+    def step():
+        decision = policy.decide(context)
+        policy.observe(context, decision, 25.0)
+        return decision
+
+    decision = benchmark(step)
+    assert decision.buy >= 0.0

@@ -1,0 +1,18 @@
+"""Benchmark + shape check for the price-forecasting extension experiment."""
+
+from repro.experiments import ext_forecast
+
+SEEDS = [0, 1]
+
+
+def test_ext_forecast(run_once):
+    result = run_once(ext_forecast.run, fast=True, seeds=SEEDS)
+    regimes = {name: j for j, name in enumerate(result.regimes)}
+    mr = regimes["mean-reverting"]
+    # On a predictable market the forecaster's early buying collapses the
+    # violation at a small unit-price premium.
+    assert result.fit_forecast[mr] < 0.5 * result.fit_plain[mr]
+    assert result.unit_cost_forecast[mr] < 1.10 * result.unit_cost_plain[mr]
+    # On every regime the forecaster never violates much more than vanilla.
+    for j in range(len(result.regimes)):
+        assert result.fit_forecast[j] < result.fit_plain[j] + 5.0

@@ -1,0 +1,21 @@
+"""Benchmark + shape check for the per-edge heterogeneity extension.
+
+Asserts the headline crossover: with a specialist zoo and biased edges, the
+per-edge bandit's sub-linear exploration cost eventually undercuts the
+linear heterogeneity penalty of hosting one global model everywhere.
+"""
+
+from repro.experiments import ext_heterogeneity
+
+
+def test_ext_heterogeneity_crossover(run_once):
+    result = run_once(
+        ext_heterogeneity.run, fast=True, seeds=[0, 1], horizons=(160, 2560)
+    )
+    assert result.distinct_best_models >= 2
+    # At the short horizon exploration dominates; at the long one ours wins.
+    assert result.ours[0] > result.global_fixed[0]
+    assert result.crossover_reached()
+    # Oracle remains the lower bound throughout.
+    for j in range(2):
+        assert result.oracle_fixed[j] <= min(result.ours[j], result.global_fixed[j])

@@ -1,0 +1,15 @@
+"""Benchmark + shape check for Fig. 3 (cumulative total cost over time)."""
+
+from repro.experiments import fig03_cumulative_cost
+
+SEEDS = [0, 1]
+COMBOS = (("Ran", "Ran"), ("Greedy", "LY"), ("UCB", "LY"))
+
+
+def test_fig03(run_once):
+    result = run_once(fig03_cumulative_cost.run, fast=True, seeds=SEEDS, combos=COMBOS)
+    finals = result.final_costs()
+    # Paper shape: ours grows slowest among online methods, closest to Offline.
+    online = {k: v for k, v in finals.items() if k != "Offline"}
+    assert finals["Ours"] == min(online.values())
+    assert finals["Offline"] <= finals["Ours"]

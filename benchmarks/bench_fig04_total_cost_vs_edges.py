@@ -1,0 +1,27 @@
+"""Benchmark + shape check for Fig. 4 (total cost vs number of edges)."""
+
+from repro.experiments import fig04_total_cost_vs_edges
+
+SEEDS = [0, 1]
+EDGES = (5, 10)
+COMBOS = (("Ran", "Ran"), ("Greedy", "LY"), ("TINF", "LY"), ("UCB", "LY"))
+
+
+def test_fig04(run_once):
+    result = run_once(
+        fig04_total_cost_vs_edges.run,
+        fast=True,
+        seeds=SEEDS,
+        edge_counts=EDGES,
+        combos=COMBOS,
+    )
+    # Paper shape: ours lowest at every scale; reductions positive throughout.
+    for i in range(len(EDGES)):
+        online = {
+            label: costs[i]
+            for label, costs in result.costs.items()
+            if label != "Offline"
+        }
+        assert online["Ours"] == min(online.values())
+    reductions = result.reductions_vs()
+    assert all(r > 0 for r in reductions.values())

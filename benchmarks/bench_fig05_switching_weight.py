@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Fig. 5 (total cost vs switching weight)."""
+
+from repro.experiments import fig05_switching_weight
+
+SEEDS = [0, 1]
+SWEEP = (1.0, 8.0)
+
+
+def test_fig05(run_once):
+    result = run_once(fig05_switching_weight.run, fast=True, seeds=SEEDS, sweep=SWEEP)
+    # Paper shape: ours stays (near) flat while switching-oblivious baselines
+    # blow up; ours lowest among online methods at the top weight.
+    assert result.relative_growth("Ours") < result.relative_growth("Ran-LY")
+    assert result.relative_growth("Ours") < result.relative_growth("TINF-LY")
+    top = {k: v[-1] for k, v in result.costs.items() if k not in ("Offline", "Greedy-LY")}
+    assert top["Ours"] == min(top.values())

@@ -1,0 +1,18 @@
+"""Benchmark + shape check for Fig. 6 (total cost vs carbon emission rate)."""
+
+from repro.experiments import fig06_emission_rate
+
+SEEDS = [0, 1]
+RATES = (0.25, 1.0)
+
+
+def test_fig06(run_once):
+    result = run_once(fig06_emission_rate.run, fast=True, seeds=SEEDS, rates=RATES)
+    # Paper shape: cost rises with the emission rate for cap-respecting
+    # methods, and ours stays below every Lyapunov combo.
+    assert result.costs["Ours"][-1] > result.costs["Ours"][0]
+    assert result.costs["Offline"][-1] > result.costs["Offline"][0]
+    for i in range(len(RATES)):
+        assert result.costs["Ours"][i] < result.costs["Greedy-LY"][i]
+        assert result.costs["Ours"][i] < result.costs["TINF-LY"][i]
+        assert result.costs["Ours"][i] < result.costs["UCB-LY"][i]

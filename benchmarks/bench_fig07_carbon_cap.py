@@ -1,0 +1,17 @@
+"""Benchmark + shape check for Fig. 7 (total cost vs initial carbon cap)."""
+
+from repro.experiments import fig07_carbon_cap
+
+SEEDS = [0, 1]
+CAPS = (0.0, 500.0, 1000.0)
+
+
+def test_fig07(run_once):
+    result = run_once(fig07_carbon_cap.run, fast=True, seeds=SEEDS, caps=CAPS)
+    # Paper shape: cap-aware methods (ours, Offline, UCB-LY) get cheaper as
+    # the cap grows; UCB-Ran and UCB-TH ignore the cap entirely.
+    assert result.slope("Ours") < 0
+    assert result.slope("Offline") < 0
+    assert result.slope("UCB-LY") < 0
+    assert abs(result.slope("UCB-Ran")) < 1e-6
+    assert abs(result.slope("UCB-TH")) < 1e-6

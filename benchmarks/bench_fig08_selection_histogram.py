@@ -1,0 +1,19 @@
+"""Benchmark + shape check for Fig. 8 (selections vs expected loss)."""
+
+import numpy as np
+
+from repro.experiments import fig08_selection_histogram
+
+SEEDS = [0, 1, 2]
+
+
+def test_fig08(run_once):
+    result = run_once(fig08_selection_histogram.run, fast=True, seeds=SEEDS)
+    # Paper shape: selection frequency rises as expected loss falls.
+    assert result.loss_count_correlation() < -0.4
+    best = int(np.argmin(result.expected_losses))
+    assert result.ours_counts[best] == result.ours_counts.max()
+    # Offline picks a low-loss model; Greedy the lowest-energy (small) one.
+    assert result.expected_losses[result.offline_choice] <= np.median(
+        result.expected_losses
+    )

@@ -1,0 +1,20 @@
+"""Benchmark + shape check for Fig. 9 (trading volume vs workload)."""
+
+import numpy as np
+
+from repro.experiments import fig09_trading_vs_workload
+
+SEEDS = [0, 1]
+
+
+def test_fig09(run_once):
+    result = run_once(fig09_trading_vs_workload.run, fast=True, seeds=SEEDS)
+    # Paper shape: ours' net purchases track the workload; UCB-Ran/TH do not;
+    # ours pays the least per net allowance acquired.
+    assert result.workload_correlation("Ours") > 0.5
+    assert result.workload_correlation("UCB-Ran") < 0.3
+    assert result.workload_correlation("UCB-TH") < 0.3
+    ours_unit = result.unit_costs["Ours"]
+    for label, unit in result.unit_costs.items():
+        if label != "Ours" and not np.isnan(unit):
+            assert ours_unit <= unit + 1e-9

@@ -1,0 +1,17 @@
+"""Benchmark + shape check for Fig. 10 (regret for P0 vs horizon)."""
+
+from repro.experiments import fig10_regret
+
+SEEDS = [0, 1]
+HORIZONS = (40, 80, 160)
+COMBOS = (("Ran", "LY"), ("UCB", "LY"))
+
+
+def test_fig10(run_once):
+    result = run_once(
+        fig10_regret.run, fast=True, seeds=SEEDS, horizons=HORIZONS, combos=COMBOS
+    )
+    # Paper shape: ours has the lowest regret and grows sub-linearly.
+    final = {label: values[-1] for label, values in result.regrets.items()}
+    assert final["Ours"] == min(final.values())
+    assert result.is_sublinear("Ours")

@@ -1,0 +1,22 @@
+"""Benchmark + shape check for Fig. 11 (fit vs horizon)."""
+
+from repro.experiments import fig11_fit
+
+SEEDS = [0, 1]
+# The sub-linear bend in the fit only shows past the default horizon, so
+# this sweep reaches T=640 (cf. the paper's Fig. 11 x-axis).
+HORIZONS = (40, 160, 640)
+COMBOS = (("UCB", "Ran"), ("UCB", "TH"), ("UCB", "LY"))
+
+
+def test_fig11(run_once):
+    result = run_once(
+        fig11_fit.run, fast=True, seeds=SEEDS, horizons=HORIZONS, combos=COMBOS
+    )
+    # Paper shape: ours' neutrality violation is the smallest and sub-linear;
+    # cap-oblivious traders (UCB-Ran/TH) violate linearly.
+    final = {label: values[-1] for label, values in result.fits.items()}
+    assert final["Ours"] == min(final.values())
+    assert result.is_sublinear("Ours")
+    assert final["UCB-Ran"] > 10 * final["Ours"]
+    assert final["UCB-TH"] > 10 * final["Ours"]

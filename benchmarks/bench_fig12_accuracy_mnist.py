@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Fig. 12 (per-slot accuracy, MNIST-like)."""
+
+from repro.experiments import fig12_accuracy_mnist
+
+SEEDS = [0, 1]
+
+
+def test_fig12(run_once):
+    result = run_once(fig12_accuracy_mnist.run, fast=True, seeds=SEEDS)
+    windows = result.windowed()
+    # Paper shape: Offline on top, Greedy-Ran worst, ours improves over time.
+    assert windows["Offline"][-1] >= max(
+        values[-1] for label, values in windows.items() if label != "Offline"
+    ) - 0.02
+    assert windows["Greedy-Ran"][-1] == min(values[-1] for values in windows.values())
+    assert windows["Ours"][-1] > windows["Ours"][0]

@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Fig. 13 (per-slot accuracy, CIFAR-10-like)."""
+
+from repro.experiments import fig13_accuracy_cifar
+
+SEEDS = [0, 1]
+
+
+def test_fig13(run_once):
+    result = run_once(fig13_accuracy_cifar.run, fast=True, seeds=SEEDS)
+    windows = result.windowed()
+    # Same ordering as Fig. 12 on the second dataset.
+    assert windows["Greedy-Ran"][-1] == min(values[-1] for values in windows.values())
+    assert windows["Ours"][-1] > windows["Ours"][0]
+    assert windows["Offline"][-1] >= windows["Ours"][-1] - 0.02

@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Fig. 14 (algorithm execution time)."""
+
+from repro.experiments import fig14_runtime
+
+EDGES = (5, 10, 20)
+
+
+def test_fig14(run_once):
+    result = run_once(fig14_runtime.run, fast=True, edge_counts=EDGES, horizon=60)
+    # Paper shape: Algorithm 1 cost grows with the number of edges (one
+    # instance per edge); Algorithm 2 is edge-count independent; both are
+    # orders of magnitude below the 900 s slot length.
+    assert result.alg1_scales_with_edges()
+    assert max(result.alg1_seconds_per_slot) < 90.0
+    assert max(result.alg2_seconds_per_slot) < 1.0
+    assert max(result.alg2_seconds_per_slot) < max(result.alg1_seconds_per_slot)

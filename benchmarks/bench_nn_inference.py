@@ -1,0 +1,47 @@
+"""Inference throughput of the numpy model zoo.
+
+Grounds the latency model: the zoo's real forward-pass costs should be
+ordered roughly like the paper's per-model computation costs ``v_{i,n}``
+(bigger models slower).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_cnn, build_lenet5, build_mlp, build_mobilenet_tiny
+
+BATCH = 64
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(0).random((BATCH, 1, 8, 8))
+
+
+@pytest.fixture(scope="module")
+def batch3():
+    return np.random.default_rng(0).random((BATCH, 3, 8, 8))
+
+
+def test_mlp_forward(benchmark, batch):
+    net = build_mlp(np.random.default_rng(1), hidden=128)
+    out = benchmark(net.predict_proba, batch)
+    assert out.shape == (BATCH, 10)
+
+
+def test_cnn_forward(benchmark, batch):
+    net = build_cnn(np.random.default_rng(2), channels=(32, 64))
+    out = benchmark(net.predict_proba, batch)
+    assert out.shape == (BATCH, 10)
+
+
+def test_lenet5_forward(benchmark, batch):
+    net = build_lenet5(np.random.default_rng(3))
+    out = benchmark(net.predict_proba, batch)
+    assert out.shape == (BATCH, 10)
+
+
+def test_mobilenet_forward(benchmark, batch3):
+    net = build_mobilenet_tiny(np.random.default_rng(4), width=16)
+    out = benchmark(net.predict_proba, batch3)
+    assert out.shape == (BATCH, 10)

@@ -1,0 +1,28 @@
+"""End-to-end simulator throughput and scenario-build latency."""
+
+from repro.experiments.runner import run_combo
+from repro.sim import ScenarioConfig, build_scenario
+
+
+def test_scenario_build(benchmark):
+    config = ScenarioConfig(dataset="synthetic", num_edges=10, horizon=160)
+    scenario = benchmark(build_scenario, config)
+    assert scenario.num_edges == 10
+
+
+def test_full_simulation_ours(benchmark):
+    config = ScenarioConfig(dataset="synthetic", num_edges=10, horizon=160)
+    scenario = build_scenario(config)
+    result = benchmark.pedantic(
+        run_combo, args=(scenario, "Ours", "Ours", 0), rounds=3, iterations=1
+    )
+    assert result.horizon == 160
+
+
+def test_full_simulation_random(benchmark):
+    config = ScenarioConfig(dataset="synthetic", num_edges=10, horizon=160)
+    scenario = build_scenario(config)
+    result = benchmark.pedantic(
+        run_combo, args=(scenario, "Ran", "Ran", 0), rounds=3, iterations=1
+    )
+    assert result.horizon == 160

@@ -1,0 +1,20 @@
+"""Benchmark helpers.
+
+Figure benchmarks execute a full (fast-mode) experiment once per benchmark
+round — they measure end-to-end experiment latency and, as a side effect,
+verify the figure's headline shape assertions on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an expensive callable exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,77 @@
+"""Carbon market study: how trading policy choice affects cost and neutrality.
+
+Fixes the model-selection policy to the paper's Algorithm 1 and swaps the
+trading side between the paper's Algorithm 2, the three baselines (Random,
+Threshold, Lyapunov), and the exact offline trading LP, under three carbon
+caps.  Shows the paper's Fig. 7/9/11 story in one table: only cap-aware
+policies respond to the cap, and Algorithm 2 achieves near-neutrality at the
+lowest effective allowance price.
+
+Run:  python examples/carbon_market_study.py
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import make_selection_policies, make_trading_policy, run_offline
+from repro.sim import ScenarioConfig, Simulator, build_scenario
+from repro.utils.rng import RngFactory
+
+TRADERS = ("Ours", "Ran", "TH", "LY")
+CAPS = (0.0, 500.0, 2000.0)
+SEEDS = (0, 1, 2)
+
+
+def run_trader(scenario, trader_name: str, seed: int):
+    rng = RngFactory(seed).child(trader_name)
+    selection = make_selection_policies("Ours", scenario, rng)
+    trading = make_trading_policy(trader_name, scenario, rng)
+    return Simulator(
+        scenario, selection, trading, run_seed=seed, label=trader_name
+    ).run()
+
+
+def main() -> None:
+    rows = []
+    for cap in CAPS:
+        config = ScenarioConfig(dataset="synthetic", carbon_cap_kg=cap)
+        scenario = build_scenario(config)
+        for trader in TRADERS:
+            results = [run_trader(scenario, trader, seed) for seed in SEEDS]
+            trading_cost = float(np.mean([r.trading_cost.sum() for r in results]))
+            fit = float(np.mean([r.final_fit() for r in results]))
+            emissions = float(np.mean([r.emissions.sum() for r in results]))
+            units = [r.unit_purchase_cost() for r in results]
+            finite = [u for u in units if not np.isnan(u)]
+            unit = float(np.mean(finite)) if finite else float("nan")
+            rows.append(
+                [f"R={cap:g}", trader, trading_cost, fit, 100 * fit / emissions, unit]
+            )
+        offline = [run_offline(scenario, seed) for seed in SEEDS]
+        rows.append(
+            [
+                f"R={cap:g}",
+                "Offline-LP",
+                float(np.mean([r.trading_cost.sum() for r in offline])),
+                float(np.mean([r.final_fit() for r in offline])),
+                0.0,
+                float(np.mean([r.unit_purchase_cost() for r in offline])),
+            ]
+        )
+    print(
+        format_table(
+            ["cap", "trader", "trading cost (cent)", "fit (kg)", "fit %", "unit cost (cent/kg)"],
+            rows,
+            title="Trading policy comparison under Algorithm-1 model selection",
+            precision=1,
+        )
+    )
+    print(
+        "\nReading guide: 'fit' is uncovered emissions at the end of the two days;\n"
+        "Algorithm 2 ('Ours') should be near-neutral at a unit price close to the\n"
+        "offline LP, while Ran/TH leave large violations or pay more per kg."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Reproduction of *Carbon-Neutralizing Edge AI Inference for Data Streams
+via Model Control and Allowance Trading* (ICDCS 2025).
+
+Public API highlights:
+
+* :class:`repro.core.OnlineModelSelection` — the paper's Algorithm 1
+  (switching-aware block Tsallis-INF model selection).
+* :class:`repro.core.OnlineCarbonTrading` — the paper's Algorithm 2
+  (long-term-aware online primal-dual allowance trading).
+* :class:`repro.sim.ScenarioConfig` / :func:`repro.sim.build_scenario` /
+  :class:`repro.sim.Simulator` — the trace-driven cloud-edge evaluation
+  engine.
+* :mod:`repro.experiments` — one module per paper figure.
+"""
+
+from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.sim import (
+    CostWeights,
+    Scenario,
+    ScenarioConfig,
+    SimulationResult,
+    Simulator,
+    build_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OnlineModelSelection",
+    "OnlineCarbonTrading",
+    "CostWeights",
+    "Scenario",
+    "ScenarioConfig",
+    "SimulationResult",
+    "Simulator",
+    "build_scenario",
+    "__version__",
+]

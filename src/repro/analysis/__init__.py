@@ -1,0 +1,27 @@
+"""Analysis utilities: theoretical bounds (Theorems 1-3) and run diagnostics."""
+
+from repro.analysis.bounds import (
+    block_count_bound,
+    suboptimality_gaps,
+    theorem1_bound,
+    theorem2_bounds,
+    theorem3_bound,
+)
+from repro.analysis.diagnostics import (
+    dual_tracking_error,
+    emission_coverage_ratio,
+    exploration_fraction,
+    switch_rate_series,
+)
+
+__all__ = [
+    "block_count_bound",
+    "suboptimality_gaps",
+    "theorem1_bound",
+    "theorem2_bounds",
+    "theorem3_bound",
+    "dual_tracking_error",
+    "emission_coverage_ratio",
+    "exploration_fraction",
+    "switch_rate_series",
+]

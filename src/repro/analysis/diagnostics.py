@@ -1,0 +1,68 @@
+"""Run diagnostics computed from :class:`SimulationResult` records."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.results import SimulationResult
+from repro.utils.mathutils import moving_average
+
+__all__ = [
+    "exploration_fraction",
+    "switch_rate_series",
+    "emission_coverage_ratio",
+    "dual_tracking_error",
+]
+
+
+def exploration_fraction(result: SimulationResult) -> float:
+    """Share of edge-slots not spent on each edge's most-used model.
+
+    0 for a fixed policy; approaches ``1 - 1/N`` for uniform random play.
+    A healthy bandit run starts high and the *overall* fraction lands well
+    between the two.
+    """
+    counts = result.selection_counts()
+    most_used = counts.max(axis=1)
+    return float(1.0 - most_used.sum() / counts.sum())
+
+
+def switch_rate_series(result: SimulationResult, window: int = 10) -> np.ndarray:
+    """Per-slot model-switch rate across edges, smoothed over ``window``.
+
+    For block-based policies this decays as blocks lengthen (Theorem 1);
+    for Random it hovers around ``(N-1)/N``.
+    """
+    per_slot = result.switches.mean(axis=1)
+    return moving_average(per_slot, window)
+
+
+def emission_coverage_ratio(result: SimulationResult) -> np.ndarray:
+    """Running holdings / running emissions — carbon neutrality means >= 1.
+
+    The series summarizes how aggressively a trading policy stays ahead of
+    its emissions: Algorithm 2 dips below 1 transiently and recovers.
+    """
+    emissions = np.cumsum(result.emissions)
+    holdings = result.holdings_series()
+    return holdings / np.maximum(emissions, 1e-12)
+
+
+def dual_tracking_error(lambda_history: list[float], prices: np.ndarray) -> float:
+    """RMS distance between the dual variable and the posted buy price.
+
+    At Algorithm 2's trading equilibrium the multiplier shadows the market
+    price (buying turns on when ``lambda > c``); a small error indicates the
+    dual has locked onto the price level.  Computed over the second half of
+    the horizon (after the transient).
+    """
+    lam = np.asarray(lambda_history, dtype=float)
+    p = np.asarray(prices, dtype=float)
+    if lam.size != p.size:
+        raise ValueError(
+            f"lambda history ({lam.size}) and prices ({p.size}) misaligned"
+        )
+    if lam.size == 0:
+        raise ValueError("empty history")
+    half = lam.size // 2
+    return float(np.sqrt(np.mean((lam[half:] - p[half:]) ** 2)))

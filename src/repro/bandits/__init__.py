@@ -1,0 +1,24 @@
+"""Baseline model-selection policies (paper Section V-A plus extras).
+
+The paper compares against Random, Greedy (lowest energy), Tsallis-INF
+(no switching-cost awareness) and UCB2 (switching-bounded).  We additionally
+ship epsilon-greedy, UCB1 and EXP3 for ablation studies.
+"""
+
+from repro.bandits.random_policy import RandomSelection
+from repro.bandits.greedy import GreedySelection
+from repro.bandits.epsilon_greedy import EpsilonGreedySelection
+from repro.bandits.ucb1 import UCB1Selection
+from repro.bandits.ucb2 import UCB2Selection
+from repro.bandits.exp3 import Exp3Selection
+from repro.bandits.tsallis_inf import TsallisInfSelection
+
+__all__ = [
+    "RandomSelection",
+    "GreedySelection",
+    "EpsilonGreedySelection",
+    "UCB1Selection",
+    "UCB2Selection",
+    "Exp3Selection",
+    "TsallisInfSelection",
+]

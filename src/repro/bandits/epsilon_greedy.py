@@ -1,0 +1,55 @@
+"""Epsilon-greedy bandit baseline (extra, for ablations)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.selection import SelectionPolicy
+from repro.utils.validation import check_in_range
+
+__all__ = ["EpsilonGreedySelection"]
+
+
+class EpsilonGreedySelection(SelectionPolicy):
+    """Explores uniformly with probability ``epsilon``, else exploits.
+
+    With ``decay=True`` the exploration rate anneals as ``epsilon / sqrt(t)``,
+    the standard schedule that makes epsilon-greedy no-regret in stochastic
+    environments.
+    """
+
+    name = "EG"
+
+    def __init__(
+        self,
+        num_models: int,
+        rng: np.random.Generator,
+        epsilon: float = 0.1,
+        decay: bool = True,
+    ) -> None:
+        super().__init__(num_models)
+        check_in_range(epsilon, "epsilon", 0.0, 1.0)
+        self._rng = rng
+        self.epsilon = epsilon
+        self.decay = decay
+        self._sums = np.zeros(num_models)
+        self._counts = np.zeros(num_models, dtype=int)
+
+    def _exploration_rate(self, t: int) -> float:
+        if not self.decay:
+            return self.epsilon
+        return min(1.0, self.epsilon * np.sqrt(1.0 / max(t, 1)) * np.sqrt(self.num_models))
+
+    def select(self, t: int) -> int:
+        untried = np.nonzero(self._counts == 0)[0]
+        if untried.size > 0:
+            return int(untried[0])
+        if self._rng.random() < self._exploration_rate(t):
+            return int(self._rng.integers(0, self.num_models))
+        means = self._sums / self._counts
+        return int(np.argmin(means))
+
+    def observe(self, t: int, model: int, loss: float) -> None:
+        self._check_model(model)
+        self._sums[model] += loss
+        self._counts[model] += 1

@@ -1,0 +1,49 @@
+"""EXP3 adversarial bandit baseline (extra, for ablations)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.selection import SelectionPolicy
+from repro.utils.mathutils import normalize
+from repro.utils.validation import check_positive
+
+__all__ = ["Exp3Selection"]
+
+
+class Exp3Selection(SelectionPolicy):
+    """EXP3 with importance-weighted loss updates.
+
+    Uses the anytime learning rate ``eta_t = sqrt(ln N / (N t))`` and
+    rescales losses by ``loss_range`` into [0, 1].
+    """
+
+    name = "EXP3"
+
+    def __init__(
+        self, num_models: int, rng: np.random.Generator, loss_range: float = 2.5
+    ) -> None:
+        super().__init__(num_models)
+        self._rng = rng
+        self.loss_range = check_positive(loss_range, "loss_range")
+        self._cumulative = np.zeros(num_models)
+        self._t = 0
+        self._last_probabilities = np.full(num_models, 1.0 / num_models)
+
+    def _probabilities(self) -> np.ndarray:
+        eta = np.sqrt(np.log(self.num_models) / (self.num_models * max(self._t, 1)))
+        logits = -eta * (self._cumulative - self._cumulative.min())
+        return normalize(np.exp(logits))
+
+    def select(self, t: int) -> int:
+        self._t += 1
+        self._last_probabilities = self._probabilities()
+        return int(self._rng.choice(self.num_models, p=self._last_probabilities))
+
+    def observe(self, t: int, model: int, loss: float) -> None:
+        self._check_model(model)
+        scaled = loss / self.loss_range
+        p = self._last_probabilities[model]
+        if p <= 0:
+            raise RuntimeError("observed an arm with zero sampling probability")
+        self._cumulative[model] += scaled / p

@@ -1,0 +1,39 @@
+"""Greedy model selection: always the lowest-energy model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.selection import SelectionPolicy
+from repro.utils.validation import check_finite
+
+__all__ = ["GreedySelection"]
+
+
+class GreedySelection(SelectionPolicy):
+    """Always hosts the model with minimum inference energy (paper "Greedy").
+
+    Never explores, so it incurs at most one switch (the initial download)
+    but is blind to inference quality — its accuracy is whatever the most
+    frugal model delivers.
+    """
+
+    name = "Greedy"
+
+    def __init__(self, num_models: int, energies: np.ndarray) -> None:
+        super().__init__(num_models)
+        energy = check_finite(energies, "energies")
+        if energy.size != num_models:
+            raise ValueError("energies length must equal num_models")
+        self._choice = int(np.argmin(energy))
+
+    @property
+    def choice(self) -> int:
+        """The fixed lowest-energy model index."""
+        return self._choice
+
+    def select(self, t: int) -> int:
+        return self._choice
+
+    def observe(self, t: int, model: int, loss: float) -> None:
+        self._check_model(model)

@@ -1,0 +1,29 @@
+"""Random model selection: a fresh uniform draw every slot."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.selection import SelectionPolicy
+
+__all__ = ["RandomSelection"]
+
+
+class RandomSelection(SelectionPolicy):
+    """Uniformly random model each slot (paper baseline "Random").
+
+    Ignores all feedback; switches models ``(N-1)/N`` of the time in
+    expectation, making it a worst case for switching cost.
+    """
+
+    name = "Ran"
+
+    def __init__(self, num_models: int, rng: np.random.Generator) -> None:
+        super().__init__(num_models)
+        self._rng = rng
+
+    def select(self, t: int) -> int:
+        return int(self._rng.integers(0, self.num_models))
+
+    def observe(self, t: int, model: int, loss: float) -> None:
+        self._check_model(model)

@@ -1,0 +1,28 @@
+"""Slot-level Tsallis-INF baseline (Zimmert & Seldin, 2021).
+
+The paper's "TINF" baseline: the optimal stochastic-and-adversarial bandit
+algorithm, *without* switching-cost awareness — it may resample the model
+every slot.  Implemented as Algorithm 1 with switching cost zero, which
+degenerates every block to a single slot (``d_{i,k} = 0`` so
+``|B_{i,k}| = 1`` and ``eta_k = 2 sqrt(2/k)``), exactly the per-round
+Tsallis-INF update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model_selection import OnlineModelSelection
+
+__all__ = ["TsallisInfSelection"]
+
+
+class TsallisInfSelection(OnlineModelSelection):
+    """Per-slot Tsallis-INF (no blocks, unbounded switching)."""
+
+    name = "TINF"
+
+    def __init__(self, num_models: int, horizon: int, rng: np.random.Generator) -> None:
+        super().__init__(
+            num_models=num_models, horizon=horizon, switch_cost=0.0, rng=rng
+        )

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro.cli simulate --selection Ours --trading Ours --edges 10
+    python -m repro.cli simulate --selection UCB --trading LY --seed 3 \
+        --save-json run.json
+    python -m repro.cli zoo --dataset mnist
+    python -m repro.cli experiment fig10 fig11 --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    SELECTION_NAMES,
+    TRADING_NAMES,
+    run_combo,
+    run_offline,
+)
+from repro.metrics import summarize_run
+from repro.sim import ScenarioConfig, build_scenario
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Carbon-neutralizing edge AI inference (ICDCS 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one policy combination")
+    sim.add_argument("--selection", choices=SELECTION_NAMES, default="Ours")
+    sim.add_argument("--trading", choices=TRADING_NAMES + ("Offline",), default="Ours")
+    sim.add_argument("--dataset", choices=("synthetic", "mnist", "cifar10"),
+                     default="synthetic")
+    sim.add_argument("--edges", type=int, default=10)
+    sim.add_argument("--horizon", type=int, default=160)
+    sim.add_argument("--cap", type=float, default=500.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--switching-weight", type=float, default=1.0)
+    sim.add_argument("--save-json", metavar="PATH", default=None,
+                     help="write the full per-slot result as JSON")
+    sim.add_argument("--save-npz", metavar="PATH", default=None,
+                     help="write the full per-slot result as compressed NPZ")
+
+    zoo = sub.add_parser("zoo", help="train and describe a model zoo")
+    zoo.add_argument("--dataset", choices=("mnist", "cifar10"), default="mnist")
+    zoo.add_argument("--zoo-seed", type=int, default=1234)
+    zoo.add_argument("--n-train", type=int, default=2000)
+    zoo.add_argument("--n-test", type=int, default=4000)
+    zoo.add_argument("--bits", type=int, default=None,
+                     help="also show int-quantized variants at this bit width")
+
+    exp = sub.add_parser("experiment", help="run paper-figure experiments")
+    exp.add_argument("figures", nargs="*", help="e.g. fig10 fig11 (default: all)")
+    exp.add_argument("--full", action="store_true", help="paper-scale settings")
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        dataset=args.dataset,
+        num_edges=args.edges,
+        horizon=args.horizon,
+        carbon_cap_kg=args.cap,
+        switching_weight=args.switching_weight,
+    )
+    scenario = build_scenario(config)
+    if args.trading == "Offline":
+        result = run_offline(scenario, args.seed)
+    else:
+        result = run_combo(scenario, args.selection, args.trading, args.seed)
+    summary = summarize_run(result, config.weights)
+    rows = [[key, value] for key, value in summary.as_dict().items()]
+    print(format_table(["metric", "value"], rows, title=f"Run: {result.label}"))
+    if args.save_json:
+        from repro.sim.io import save_result_json
+
+        print(f"saved JSON -> {save_result_json(result, args.save_json)}")
+    if args.save_npz:
+        from repro.sim.io import save_result_npz
+
+        print(f"saved NPZ  -> {save_result_npz(result, args.save_npz)}")
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.sim.zoo import quantized_trained_profiles, trained_profiles
+
+    kwargs = dict(zoo_seed=args.zoo_seed, n_train=args.n_train, n_test=args.n_test)
+    profiles = trained_profiles(args.dataset, **kwargs)
+    rows = [
+        [p.name, p.size_bytes / 1e3, p.expected_loss, p.loss_std, p.accuracy]
+        for p in profiles
+    ]
+    print(
+        format_table(
+            ["model", "size KB", "E[loss]", "loss std", "accuracy"],
+            rows,
+            title=f"{args.dataset} zoo (seed {args.zoo_seed})",
+        )
+    )
+    if args.bits is not None:
+        quantized = quantized_trained_profiles(
+            args.dataset, bits=args.bits, **kwargs
+        )
+        rows = [
+            [p.name, p.size_bytes / 1e3, p.expected_loss, p.loss_std, p.accuracy]
+            for p in quantized
+        ]
+        print()
+        print(
+            format_table(
+                ["model", "size KB", "E[loss]", "loss std", "accuracy"],
+                rows,
+                title=f"int{args.bits} variants",
+            )
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import main as run_all_main
+
+    argv = list(args.figures)
+    if args.full:
+        argv.append("--full")
+    run_all_main(argv)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "zoo":
+        return _cmd_zoo(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.tsallis` — the 1/2-Tsallis-entropy online-mirror-descent
+  step (Algorithm 1, line 3) solved by a safeguarded Newton method.
+* :mod:`repro.core.blocks` — block schedules and learning rates of Theorem 1.
+* :mod:`repro.core.estimators` — importance-weighted loss estimation.
+* :mod:`repro.core.model_selection` — Algorithm 1, the switching-aware
+  bandit-learning model-selection policy.
+* :mod:`repro.core.carbon_trading` — Algorithm 2, the long-term-aware online
+  primal-dual carbon trading policy.
+"""
+
+from repro.core.tsallis import tsallis_inf_probabilities
+from repro.core.blocks import BlockSchedule, block_parameter, build_schedule, learning_rate
+from repro.core.estimators import ImportanceWeightedEstimator
+from repro.core.model_selection import OnlineModelSelection
+from repro.core.carbon_trading import OnlineCarbonTrading
+
+__all__ = [
+    "tsallis_inf_probabilities",
+    "BlockSchedule",
+    "block_parameter",
+    "build_schedule",
+    "learning_rate",
+    "ImportanceWeightedEstimator",
+    "OnlineModelSelection",
+    "OnlineCarbonTrading",
+]

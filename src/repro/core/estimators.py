@@ -1,0 +1,69 @@
+"""Importance-weighted loss estimation (Algorithm 1, lines 7-9).
+
+In the bandit setting only the chosen arm's loss is observed.  The estimator
+
+    c_hat_{k,n} = 1{J_k = n} * c_{k,n} / p_{k,n}
+
+is unbiased for the full loss vector under the sampling distribution ``p_k``
+(shown inline in the paper), and its cumulative sums drive the next
+Tsallis-OMD step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_probability_vector
+
+__all__ = ["ImportanceWeightedEstimator"]
+
+
+class ImportanceWeightedEstimator:
+    """Accumulates unbiased cumulative loss estimates ``C_hat`` per arm."""
+
+    def __init__(self, num_arms: int) -> None:
+        if num_arms <= 0:
+            raise ValueError(f"num_arms must be positive, got {num_arms}")
+        self.num_arms = num_arms
+        self._cumulative = np.zeros(num_arms)
+        self._observations = 0
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        """Current ``C_hat`` vector (copy)."""
+        return self._cumulative.copy()
+
+    @property
+    def observations(self) -> int:
+        """Number of block observations folded in so far."""
+        return self._observations
+
+    def update(self, chosen_arm: int, observed_loss: float, probabilities: np.ndarray) -> np.ndarray:
+        """Fold in one block's observation; return that block's ``c_hat``.
+
+        Parameters
+        ----------
+        chosen_arm:
+            The arm ``J_k`` sampled for the block.
+        observed_loss:
+            The realized cumulative block loss ``c_{k, J_k}``.
+        probabilities:
+            The sampling distribution ``p_k`` used to draw ``J_k``.
+        """
+        if not 0 <= chosen_arm < self.num_arms:
+            raise ValueError(f"arm {chosen_arm} outside [0, {self.num_arms})")
+        if not np.isfinite(observed_loss):
+            raise ValueError(f"observed loss must be finite, got {observed_loss!r}")
+        p = check_probability_vector(probabilities, "probabilities")
+        if p.size != self.num_arms:
+            raise ValueError("probability vector length must equal num_arms")
+        if p[chosen_arm] <= 0:
+            raise ValueError(
+                f"chosen arm {chosen_arm} has zero sampling probability; "
+                "importance weighting undefined"
+            )
+        estimate = np.zeros(self.num_arms)
+        estimate[chosen_arm] = observed_loss / p[chosen_arm]
+        self._cumulative += estimate
+        self._observations += 1
+        return estimate

@@ -1,0 +1,84 @@
+"""The 1/2-Tsallis-entropy online-mirror-descent step.
+
+Algorithm 1, line 3 computes
+
+    p = argmin_{p in simplex}  <p, C_hat>  -  sum_n (4 sqrt(p_n) - 2 p_n) / eta.
+
+First-order stationarity gives the closed form
+
+    p_n(x) = 4 / (eta^2 (C_hat_n - x)^2),
+
+where ``x`` (a shifted Lagrange multiplier) must satisfy
+``x <= min_n C_hat_n - 2/eta`` so that every ``p_n <= 1``.  The map
+``x -> sum_n p_n(x)`` is strictly increasing on that interval, equals at most
+``N * small`` at the left end of our bracket and at least 1 at the right end,
+so the normalization ``sum_n p_n(x) = 1`` has a unique root which we find by
+a safeguarded Newton iteration (Newton steps with a bisection fallback —
+the same derivative-based root polishing as Brent's method the paper cites).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_finite, check_positive
+
+__all__ = ["tsallis_inf_probabilities"]
+
+_MAX_ITER = 200
+_TOL = 1e-12
+
+
+def tsallis_inf_probabilities(cumulative_losses: np.ndarray, eta: float) -> np.ndarray:
+    """Solve the Tsallis-entropy OMD step.
+
+    Parameters
+    ----------
+    cumulative_losses:
+        ``C_hat`` — cumulative importance-weighted loss estimates, one per arm.
+    eta:
+        Learning rate ``eta > 0``.
+
+    Returns
+    -------
+    Probability vector over the arms; lower cumulative loss gets higher mass.
+    """
+    losses = check_finite(cumulative_losses, "cumulative_losses")
+    if losses.ndim != 1 or losses.size == 0:
+        raise ValueError(f"cumulative_losses must be a non-empty vector, got {losses.shape}")
+    check_positive(eta, "eta")
+    n = losses.size
+    if n == 1:
+        return np.ones(1)
+
+    lo = float(losses.min()) - 2.0 * np.sqrt(n) / eta  # sum(p) <= 1 here
+    hi = float(losses.min()) - 2.0 / eta  # sum(p) >= 1 here
+
+    def mass_and_derivative(x: float) -> tuple[float, float]:
+        gaps = losses - x  # >= 2/eta > 0 on [lo, hi]
+        p = 4.0 / (eta * gaps) ** 2
+        return float(p.sum()), float((8.0 / eta**2) * np.sum(gaps**-3))
+
+    x = 0.5 * (lo + hi)
+    for _ in range(_MAX_ITER):
+        mass, derivative = mass_and_derivative(x)
+        if mass > 1.0:
+            hi = x
+        else:
+            lo = x
+        if abs(mass - 1.0) <= _TOL:
+            break
+        step = (mass - 1.0) / derivative
+        candidate = x - step
+        # Newton step, safeguarded: fall back to bisection when the step
+        # leaves the current bracket.
+        x = candidate if lo < candidate < hi else 0.5 * (lo + hi)
+        if hi - lo <= _TOL * max(1.0, abs(hi)):
+            break
+
+    gaps = losses - x
+    p = 4.0 / (eta * gaps) ** 2
+    total = p.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ArithmeticError("Tsallis OMD normalization failed")
+    return p / total

@@ -1,0 +1,19 @@
+"""Synthetic datasets and stochastic data-stream machinery.
+
+Replaces the paper's MNIST / CIFAR-10 test streams with seeded synthetic
+classification tasks of matching structure (10 classes, image tensors, IID
+sampling), per the substitution table in DESIGN.md.
+"""
+
+from repro.data.synthetic import Dataset, make_cifar10_like, make_mnist_like, make_dataset
+from repro.data.streams import ArrivalProcess, DataStream, StreamBatch
+
+__all__ = [
+    "Dataset",
+    "make_mnist_like",
+    "make_cifar10_like",
+    "make_dataset",
+    "ArrivalProcess",
+    "DataStream",
+    "StreamBatch",
+]

@@ -1,0 +1,5 @@
+"""Energy consumption and carbon-emission accounting (paper Section II-A)."""
+
+from repro.energy.model import EnergyModel, sample_inference_energies, sample_latencies
+
+__all__ = ["EnergyModel", "sample_inference_energies", "sample_latencies"]

@@ -1,0 +1,202 @@
+"""CSV export of figure results.
+
+Every ``figNN`` result object can be flattened into ``(headers, rows)`` and
+written as CSV, so the figures can be re-plotted with any external tool.
+
+    from repro.experiments import fig10_regret, export
+    result = fig10_regret.run(fast=True)
+    export.write_csv(export.figure_rows(result), "fig10.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+from functools import singledispatch
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.fig03_cumulative_cost import Fig03Result
+from repro.experiments.fig04_total_cost_vs_edges import Fig04Result
+from repro.experiments.fig05_switching_weight import Fig05Result
+from repro.experiments.fig06_emission_rate import Fig06Result
+from repro.experiments.fig07_carbon_cap import Fig07Result
+from repro.experiments.fig08_selection_histogram import Fig08Result
+from repro.experiments.fig09_trading_vs_workload import Fig09Result
+from repro.experiments.fig10_regret import Fig10Result
+from repro.experiments.fig11_fit import Fig11Result
+from repro.experiments.fig12_accuracy_mnist import Fig12Result
+from repro.experiments.fig14_runtime import Fig14Result
+from repro.experiments.ext_delay import ExtDelayResult
+from repro.experiments.ext_forecast import ExtForecastResult
+from repro.experiments.ext_heterogeneity import ExtHeterogeneityResult
+
+__all__ = ["figure_rows", "write_csv"]
+
+Table = tuple[list[str], list[list]]
+
+
+@singledispatch
+def figure_rows(result) -> Table:
+    """Flatten a figure result into ``(headers, rows)`` for CSV export."""
+    raise TypeError(f"no CSV exporter registered for {type(result).__name__}")
+
+
+@figure_rows.register
+def _(result: Fig03Result) -> Table:
+    headers = ["slot"] + list(result.series)
+    rows = []
+    for t in range(result.horizon):
+        rows.append([t] + [float(result.series[label][t]) for label in result.series])
+    return headers, rows
+
+
+def _sweep_table(axis_name: str, axis, costs: dict[str, list[float]]) -> Table:
+    headers = [axis_name] + list(costs)
+    rows = []
+    for j, value in enumerate(axis):
+        rows.append([value] + [float(costs[label][j]) for label in costs])
+    return headers, rows
+
+
+@figure_rows.register
+def _(result: Fig04Result) -> Table:
+    return _sweep_table("num_edges", result.edge_counts, result.costs)
+
+
+@figure_rows.register
+def _(result: Fig05Result) -> Table:
+    return _sweep_table("switching_weight", result.sweep, result.costs)
+
+
+@figure_rows.register
+def _(result: Fig06Result) -> Table:
+    return _sweep_table("emission_rate", result.rates, result.costs)
+
+
+@figure_rows.register
+def _(result: Fig07Result) -> Table:
+    return _sweep_table("carbon_cap", result.caps, result.costs)
+
+
+@figure_rows.register
+def _(result: Fig08Result) -> Table:
+    headers = ["model", "expected_loss", "ours_selections", "offline_choice", "greedy_choice"]
+    rows = []
+    for n, name in enumerate(result.model_names):
+        rows.append(
+            [
+                name,
+                float(result.expected_losses[n]),
+                float(result.ours_counts[n]),
+                int(n == result.offline_choice),
+                int(n == result.greedy_choice),
+            ]
+        )
+    return headers, rows
+
+
+@figure_rows.register
+def _(result: Fig09Result) -> Table:
+    headers = ["slot", "arrivals"] + [f"net_purchase_{k}" for k in result.net_purchases]
+    rows = []
+    for t in range(result.arrivals.size):
+        rows.append(
+            [t, float(result.arrivals[t])]
+            + [float(series[t]) for series in result.net_purchases.values()]
+        )
+    return headers, rows
+
+
+@figure_rows.register
+def _(result: Fig10Result) -> Table:
+    return _sweep_table("horizon", result.horizons, result.regrets)
+
+
+@figure_rows.register
+def _(result: Fig11Result) -> Table:
+    return _sweep_table("horizon", result.horizons, result.fits)
+
+
+@figure_rows.register
+def _(result: Fig12Result) -> Table:
+    headers = ["slot"] + list(result.accuracy)
+    rows = []
+    for t in range(result.horizon):
+        rows.append(
+            [t] + [float(series[t]) for series in result.accuracy.values()]
+        )
+    return headers, rows
+
+
+@figure_rows.register
+def _(result: Fig14Result) -> Table:
+    headers = ["num_edges", "alg1_seconds_per_slot", "alg2_seconds_per_slot"]
+    rows = [
+        [i, a1, a2]
+        for i, a1, a2 in zip(
+            result.edge_counts,
+            result.alg1_seconds_per_slot,
+            result.alg2_seconds_per_slot,
+        )
+    ]
+    return headers, rows
+
+
+@figure_rows.register
+def _(result: ExtForecastResult) -> Table:
+    headers = [
+        "regime",
+        "unit_cost_plain",
+        "unit_cost_forecast",
+        "fit_plain",
+        "fit_forecast",
+    ]
+    rows = [
+        [
+            regime,
+            result.unit_cost_plain[j],
+            result.unit_cost_forecast[j],
+            result.fit_plain[j],
+            result.fit_forecast[j],
+        ]
+        for j, regime in enumerate(result.regimes)
+    ]
+    return headers, rows
+
+
+@figure_rows.register
+def _(result: ExtDelayResult) -> Table:
+    headers = ["label_delay", "total_cost", "accuracy", "switching_cost"]
+    rows = [
+        [d, result.total_cost[j], result.accuracy[j], result.switching_cost[j]]
+        for j, d in enumerate(result.delays)
+    ]
+    return headers, rows
+
+
+@figure_rows.register
+def _(result: ExtHeterogeneityResult) -> Table:
+    headers = ["horizon", "oracle_fixed", "ours", "global_fixed"]
+    rows = [
+        [h, result.oracle_fixed[j], result.ours[j], result.global_fixed[j]]
+        for j, h in enumerate(result.horizons)
+    ]
+    return headers, rows
+
+
+def write_csv(table: Table, path: str | Path) -> Path:
+    """Write an exported table to ``path``; returns the path."""
+    headers, rows = table
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(
+                [f"{v:.10g}" if isinstance(v, (float, np.floating)) else v for v in row]
+            )
+    return path

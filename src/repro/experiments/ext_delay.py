@@ -1,0 +1,115 @@
+"""Extension experiment — sensitivity to delayed label feedback.
+
+The paper's workflow (Fig. 2, Step 2.3) assumes ground-truth labels arrive
+within the slot.  In deployments labels often lag (user clicks, human
+review).  This experiment sweeps the feedback delay and measures how
+Algorithm 1's learning degrades: total cost and accuracy should fall off
+gracefully, with switching cost untouched (the block schedule does not
+depend on feedback timing).
+
+Not a paper figure — run via ``python -m repro.experiments.ext_delay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.experiments.reporting import format_table
+from repro.experiments.settings import default_config, default_seeds
+from repro.sim import Simulator, build_scenario
+from repro.utils.rng import RngFactory
+
+__all__ = ["ExtDelayResult", "run", "format_result", "main"]
+
+DELAYS = (0, 2, 5, 10, 20)
+FAST_DELAYS = (0, 5, 20)
+
+
+@dataclass(frozen=True)
+class ExtDelayResult:
+    """Cost/accuracy/switching per feedback delay."""
+
+    delays: tuple[int, ...]
+    total_cost: list[float]
+    accuracy: list[float]
+    switching_cost: list[float]
+
+    def cost_degradation(self) -> float:
+        """Relative cost increase from zero delay to the largest delay."""
+        return self.total_cost[-1] / self.total_cost[0] - 1.0
+
+
+def run(fast: bool = True, seeds: list[int] | None = None,
+        delays: tuple[int, ...] | None = None) -> ExtDelayResult:
+    """Execute the delay sweep."""
+    seeds = default_seeds(fast) if seeds is None else seeds
+    delays = (FAST_DELAYS if fast else DELAYS) if delays is None else delays
+    config = default_config(fast)
+    scenario = build_scenario(config)
+    weights = config.weights
+
+    costs, accs, switch = [], [], []
+    for delay in delays:
+        per_cost, per_acc, per_switch = [], [], []
+        for seed in seeds:
+            rng = RngFactory(seed)
+            selection = [
+                OnlineModelSelection(
+                    scenario.num_models,
+                    scenario.horizon,
+                    float(scenario.effective_switch_costs()[i]),
+                    rng.get(f"sel-{i}"),
+                )
+                for i in range(scenario.num_edges)
+            ]
+            result = Simulator(
+                scenario,
+                selection,
+                OnlineCarbonTrading(),
+                run_seed=seed,
+                label=f"delay-{delay}",
+                label_delay=delay,
+            ).run()
+            per_cost.append(result.total_cost(weights))
+            per_acc.append(result.mean_accuracy())
+            per_switch.append(float(weights.switching * result.switching_cost.sum()))
+        costs.append(float(np.mean(per_cost)))
+        accs.append(float(np.mean(per_acc)))
+        switch.append(float(np.mean(per_switch)))
+    return ExtDelayResult(
+        delays=tuple(delays), total_cost=costs, accuracy=accs, switching_cost=switch
+    )
+
+
+def format_result(result: ExtDelayResult) -> str:
+    """Cost/accuracy/switching per delay."""
+    rows = [
+        [d, c, a, s]
+        for d, c, a, s in zip(
+            result.delays, result.total_cost, result.accuracy, result.switching_cost
+        )
+    ]
+    table = format_table(
+        ["label delay (slots)", "total cost", "accuracy", "switching cost"],
+        rows,
+        title="Extension — delayed label feedback",
+        precision=3,
+    )
+    return (
+        f"{table}\n\ncost degradation at max delay: "
+        f"{100 * result.cost_degradation():.1f}%"
+    )
+
+
+def main(fast: bool = True) -> ExtDelayResult:
+    """Run and print the extension experiment."""
+    result = run(fast=fast)
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""Extension experiment — price forecasting (paper future work #1).
+
+Compares the paper's Algorithm 2 against the forecast-driven variant
+(:class:`repro.forecast.ForecastCarbonTrading`) across price predictability
+levels: the more mean-reverting (predictable) the allowance market, the more
+the forecaster should save on the effective price paid per allowance, while
+both variants keep the neutrality violation small.
+
+Not a paper figure — run via ``python -m repro.experiments.ext_forecast``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.experiments.reporting import format_table
+from repro.experiments.settings import default_config, default_seeds
+from repro.forecast.trading import ForecastCarbonTrading
+from repro.sim import Simulator, build_scenario
+from repro.traces.carbon_prices import CarbonPriceModel
+from repro.utils.rng import RngFactory, spawn_generator
+
+__all__ = ["ExtForecastResult", "run", "format_result", "main"]
+
+#: (label, mean-reversion kappa, volatility sigma) price regimes.
+REGIMES = (
+    ("random-walk", 0.01, 0.45),
+    ("paper-default", 0.08, 0.35),
+    ("mean-reverting", 0.45, 0.55),
+)
+
+
+@dataclass(frozen=True)
+class ExtForecastResult:
+    """Per-regime unit costs and fits of both trading variants."""
+
+    regimes: tuple[str, ...]
+    unit_cost_plain: list[float]
+    unit_cost_forecast: list[float]
+    fit_plain: list[float]
+    fit_forecast: list[float]
+
+    def saving(self, index: int) -> float:
+        """Relative unit-cost saving of forecasting in regime ``index``."""
+        return 1.0 - self.unit_cost_forecast[index] / self.unit_cost_plain[index]
+
+
+def _run_variant(scenario, policy_factory, seeds) -> tuple[float, float]:
+    units, fits = [], []
+    for seed in seeds:
+        rng = RngFactory(seed)
+        selection = [
+            OnlineModelSelection(
+                scenario.num_models,
+                scenario.horizon,
+                float(scenario.effective_switch_costs()[i]),
+                rng.get(f"sel-{i}"),
+            )
+            for i in range(scenario.num_edges)
+        ]
+        result = Simulator(
+            scenario, selection, policy_factory(), run_seed=seed
+        ).run()
+        unit = result.unit_purchase_cost()
+        if not np.isnan(unit):
+            units.append(unit)
+        fits.append(result.final_fit())
+    return float(np.mean(units)), float(np.mean(fits))
+
+
+def run(fast: bool = True, seeds: list[int] | None = None) -> ExtForecastResult:
+    """Execute the forecasting comparison across price regimes."""
+    seeds = default_seeds(fast) if seeds is None else seeds
+    config = default_config(fast)
+    base = build_scenario(config)
+
+    labels, up, uf, fp, ff = [], [], [], [], []
+    for label, kappa, sigma in REGIMES:
+        prices = CarbonPriceModel(kappa=kappa, sigma=sigma).generate(
+            config.horizon, spawn_generator(config.seed, f"prices-{label}")
+        )
+        scenario = dataclasses.replace(base, prices=prices)
+        unit_plain, fit_plain = _run_variant(scenario, OnlineCarbonTrading, seeds)
+        unit_forecast, fit_forecast = _run_variant(
+            scenario, ForecastCarbonTrading, seeds
+        )
+        labels.append(label)
+        up.append(unit_plain)
+        uf.append(unit_forecast)
+        fp.append(fit_plain)
+        ff.append(fit_forecast)
+    return ExtForecastResult(
+        regimes=tuple(labels),
+        unit_cost_plain=up,
+        unit_cost_forecast=uf,
+        fit_plain=fp,
+        fit_forecast=ff,
+    )
+
+
+def format_result(result: ExtForecastResult) -> str:
+    """Unit purchase cost and fit per regime and variant."""
+    rows = []
+    for j, regime in enumerate(result.regimes):
+        rows.append(
+            [
+                regime,
+                result.unit_cost_plain[j],
+                result.unit_cost_forecast[j],
+                100 * result.saving(j),
+                result.fit_plain[j],
+                result.fit_forecast[j],
+            ]
+        )
+    return format_table(
+        [
+            "price regime",
+            "unit cost (Alg 2)",
+            "unit cost (+forecast)",
+            "saving %",
+            "fit (Alg 2)",
+            "fit (+forecast)",
+        ],
+        rows,
+        title="Extension — price forecasting across market regimes",
+        precision=2,
+    )
+
+
+def main(fast: bool = True) -> ExtForecastResult:
+    """Run and print the extension experiment."""
+    result = run(fast=fast)
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

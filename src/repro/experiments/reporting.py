@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-friendly scalar formatting."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    try:
+        x = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if math.isnan(x):
+        return "nan"
+    if x != 0 and (abs(x) >= 1e6 or abs(x) < 10 ** (-precision)):
+        return f"{x:.{precision}e}"
+    return f"{x:.{precision}f}"
+
+
+def format_table(
+    headers: list[str], rows: list[list], title: str | None = None, precision: int = 3
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    rendered = [[format_value(cell, precision) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in rendered)) if rendered else len(headers[j])
+        for j in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[j]) for j, h in enumerate(headers)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(row[j].rjust(widths[j]) for j in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Run every paper experiment and print its table.
+
+Usage::
+
+    python -m repro.experiments.run_all          # fast mode, all figures
+    python -m repro.experiments.run_all --full   # paper-scale (slow)
+    python -m repro.experiments.run_all fig04 fig10   # a subset
+    python -m repro.experiments.run_all --ext    # also the extension studies
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ext_delay,
+    ext_forecast,
+    ext_heterogeneity,
+    fig03_cumulative_cost,
+    fig04_total_cost_vs_edges,
+    fig05_switching_weight,
+    fig06_emission_rate,
+    fig07_carbon_cap,
+    fig08_selection_histogram,
+    fig09_trading_vs_workload,
+    fig10_regret,
+    fig11_fit,
+    fig12_accuracy_mnist,
+    fig13_accuracy_cifar,
+    fig14_runtime,
+)
+
+__all__ = ["EXPERIMENTS", "EXTENSIONS", "main"]
+
+EXPERIMENTS = {
+    "fig03": fig03_cumulative_cost,
+    "fig04": fig04_total_cost_vs_edges,
+    "fig05": fig05_switching_weight,
+    "fig06": fig06_emission_rate,
+    "fig07": fig07_carbon_cap,
+    "fig08": fig08_selection_histogram,
+    "fig09": fig09_trading_vs_workload,
+    "fig10": fig10_regret,
+    "fig11": fig11_fit,
+    "fig12": fig12_accuracy_mnist,
+    "fig13": fig13_accuracy_cifar,
+    "fig14": fig14_runtime,
+}
+
+#: Beyond-the-paper studies (future work + robustness); run with --ext or by name.
+EXTENSIONS = {
+    "ext_forecast": ext_forecast,
+    "ext_delay": ext_delay,
+    "ext_heterogeneity": ext_heterogeneity,
+}
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Run the selected (default: all) experiments and print tables."""
+    args = sys.argv[1:] if argv is None else argv
+    fast = "--full" not in args
+    registry = {**EXPERIMENTS, **EXTENSIONS}
+    selected = [a for a in args if not a.startswith("--")]
+    if not selected:
+        selected = list(EXPERIMENTS)
+        if "--ext" in args:
+            selected += list(EXTENSIONS)
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}; known: {sorted(registry)}")
+    mode = "fast" if fast else "paper-scale"
+    print(f"Running {len(selected)} experiments ({mode} mode)\n")
+    for name in selected:
+        module = registry[name]
+        start = time.perf_counter()
+        module.main(fast=fast)
+        print(f"[{name} finished in {time.perf_counter() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Policy factories and run orchestration shared by all experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandits import (
+    EpsilonGreedySelection,
+    Exp3Selection,
+    GreedySelection,
+    RandomSelection,
+    TsallisInfSelection,
+    UCB1Selection,
+    UCB2Selection,
+)
+from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.offline import (
+    FixedSelection,
+    NullTrading,
+    PrecomputedTrading,
+    best_fixed_models,
+    solve_offline_trading,
+)
+from repro.policies.selection import SelectionPolicy
+from repro.policies.trading import TradingPolicy
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+from repro.sim.simulator import Simulator
+from repro.trading import LyapunovTrading, RandomTrading, ThresholdTrading
+from repro.traces.carbon_prices import CarbonPriceModel
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "SELECTION_NAMES",
+    "TRADING_NAMES",
+    "make_selection_policies",
+    "make_trading_policy",
+    "run_combo",
+    "run_many",
+    "run_offline",
+]
+
+SELECTION_NAMES = ("Ours", "Ran", "Greedy", "TINF", "UCB", "UCB1", "EG", "EXP3")
+TRADING_NAMES = ("Ours", "Forecast", "Ran", "TH", "LY", "Null")
+
+
+def make_selection_policies(
+    name: str, scenario: Scenario, rng_factory: RngFactory
+) -> list[SelectionPolicy]:
+    """One per-edge selection policy of the named family."""
+    n, t = scenario.num_models, scenario.horizon
+    switch_costs = scenario.effective_switch_costs()
+    policies: list[SelectionPolicy] = []
+    for i in range(scenario.num_edges):
+        rng = rng_factory.get(f"selection-{i}")
+        if name == "Ours":
+            policies.append(OnlineModelSelection(n, t, float(switch_costs[i]), rng))
+        elif name == "Ran":
+            policies.append(RandomSelection(n, rng))
+        elif name == "Greedy":
+            policies.append(GreedySelection(n, scenario.energy.phi_kwh))
+        elif name == "TINF":
+            policies.append(TsallisInfSelection(n, t, rng))
+        elif name == "UCB":
+            policies.append(UCB2Selection(n))
+        elif name == "UCB1":
+            policies.append(UCB1Selection(n))
+        elif name == "EG":
+            policies.append(EpsilonGreedySelection(n, rng))
+        elif name == "EXP3":
+            policies.append(Exp3Selection(n, rng))
+        else:
+            raise ValueError(
+                f"unknown selection policy {name!r}; expected one of {SELECTION_NAMES}"
+            )
+    return policies
+
+
+def make_trading_policy(
+    name: str, scenario: Scenario, rng_factory: RngFactory
+) -> TradingPolicy:
+    """The named trading policy, calibrated to the scenario."""
+    if name == "Ours":
+        gamma1, gamma2 = OnlineCarbonTrading.step_sizes_for_horizon(scenario.horizon)
+        return OnlineCarbonTrading(gamma1=gamma1, gamma2=gamma2)
+    if name == "Forecast":
+        from repro.forecast.trading import ForecastCarbonTrading
+
+        gamma1, gamma2 = OnlineCarbonTrading.step_sizes_for_horizon(scenario.horizon)
+        return ForecastCarbonTrading(gamma1=gamma1, gamma2=gamma2)
+    if name == "Ran":
+        return RandomTrading(rng_factory.get("trading"))
+    if name == "TH":
+        model = CarbonPriceModel()
+        return ThresholdTrading(
+            buy_threshold=model.mean_price,
+            sell_threshold=model.sell_ratio * model.mean_price,
+        )
+    if name == "LY":
+        return LyapunovTrading(v=20.0)
+    if name == "Null":
+        return NullTrading()
+    raise ValueError(f"unknown trading policy {name!r}; expected one of {TRADING_NAMES}")
+
+
+def run_combo(
+    scenario: Scenario,
+    selection: str,
+    trading: str,
+    seed: int,
+    label: str | None = None,
+) -> SimulationResult:
+    """Simulate one (selection, trading) combination on ``scenario``."""
+    rng_factory = RngFactory(seed).child(f"{selection}-{trading}")
+    policies = make_selection_policies(selection, scenario, rng_factory)
+    trader = make_trading_policy(trading, scenario, rng_factory)
+    simulator = Simulator(
+        scenario,
+        policies,
+        trader,
+        run_seed=seed,
+        label=label if label is not None else f"{selection}-{trading}",
+    )
+    return simulator.run()
+
+
+def run_many(
+    scenario: Scenario,
+    selection: str,
+    trading: str,
+    seeds: list[int],
+    label: str | None = None,
+) -> list[SimulationResult]:
+    """Run a combination once per seed (common random numbers per seed)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [run_combo(scenario, selection, trading, s, label=label) for s in seeds]
+
+
+def run_offline(scenario: Scenario, seed: int) -> SimulationResult:
+    """The paper's "Offline" reference.
+
+    Pass 1 fixes the posterior-best model per edge and records emissions
+    with no trading; the offline trading LP is solved exactly on those
+    emissions; pass 2 replays the same run with the optimal trade plan.
+    Both passes share the seed, so arrivals and data draws are identical.
+    """
+    models = best_fixed_models(scenario.expected_losses, scenario.latencies)
+    selection = [FixedSelection(scenario.num_models, int(m)) for m in models]
+    pass1 = Simulator(
+        scenario, selection, NullTrading(), run_seed=seed, label="Offline-pass1"
+    ).run()
+    plan = solve_offline_trading(
+        pass1.emissions,
+        scenario.prices,
+        scenario.config.carbon_cap_kg,
+        scenario.trade_bound,
+    )
+    selection = [FixedSelection(scenario.num_models, int(m)) for m in models]
+    return Simulator(
+        scenario,
+        selection,
+        PrecomputedTrading(plan.buy, plan.sell),
+        run_seed=seed,
+        label="Offline",
+    ).run()

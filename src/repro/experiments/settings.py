@@ -1,0 +1,61 @@
+"""Shared experiment settings (paper Section V-A)."""
+
+from __future__ import annotations
+
+from repro.sim.config import ScenarioConfig
+
+__all__ = ["PAPER_COMBOS", "PLOT_COMBOS", "default_config", "default_seeds"]
+
+#: Every baseline combination the paper evaluates (Section V-A).
+PAPER_COMBOS: tuple[tuple[str, str], ...] = (
+    ("Ran", "Ran"),
+    ("Ran", "TH"),
+    ("Ran", "LY"),
+    ("Greedy", "Ran"),
+    ("Greedy", "TH"),
+    ("Greedy", "LY"),
+    ("TINF", "Ran"),
+    ("TINF", "TH"),
+    ("TINF", "LY"),
+    ("UCB", "Ran"),
+    ("UCB", "TH"),
+    ("UCB", "LY"),
+)
+
+#: The subset the paper keeps in most figures "for visualization clarity".
+PLOT_COMBOS: tuple[tuple[str, str], ...] = (
+    ("Ran", "Ran"),
+    ("Ran", "LY"),
+    ("Greedy", "Ran"),
+    ("Greedy", "LY"),
+    ("TINF", "Ran"),
+    ("TINF", "LY"),
+    ("UCB", "Ran"),
+    ("UCB", "LY"),
+)
+
+
+def default_config(fast: bool = True, **overrides) -> ScenarioConfig:
+    """The paper's default scenario; ``fast`` shrinks it for CI/benchmarks.
+
+    Fast mode swaps the trained zoo for synthetic profiles (identical
+    stochastic structure, no NN training) and keeps the full 160-slot
+    two-day horizon with 10 edges.  Full mode defaults to the CIFAR-10-like
+    zoo: its model-quality spread matches the regime where the paper's
+    cost orderings are demonstrated (the MNIST-like zoo's cheapest model is
+    already ~95% accurate, which flatters Greedy — see EXPERIMENTS.md).
+    """
+    base = dict(
+        dataset="synthetic" if fast else "cifar10",
+        num_edges=10,
+        horizon=160,
+        carbon_cap_kg=500.0,
+        seed=0,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def default_seeds(fast: bool = True) -> list[int]:
+    """Run seeds averaged per data point (paper: 10 runs)."""
+    return list(range(3)) if fast else list(range(10))

@@ -1,0 +1,18 @@
+"""Price-prediction extension (paper Section VII, future work #1).
+
+The paper treats allowance prices as exogenous and its Algorithm 2 uses
+only the previous slot's prices.  This package adds online price
+forecasters (EWMA and recursive-least-squares AR(1)) and a trading policy
+that plugs their one-step-ahead predictions into Algorithm 2's primal step,
+optionally tilting purchases toward slots before predicted price rises.
+"""
+
+from repro.forecast.price_models import AR1Forecaster, EwmaForecaster, PriceForecaster
+from repro.forecast.trading import ForecastCarbonTrading
+
+__all__ = [
+    "PriceForecaster",
+    "EwmaForecaster",
+    "AR1Forecaster",
+    "ForecastCarbonTrading",
+]

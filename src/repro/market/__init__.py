@@ -1,0 +1,6 @@
+"""Cap-and-trade substrate: allowance market and emission ledger."""
+
+from repro.market.market import CarbonMarket, Trade
+from repro.market.ledger import AllowanceLedger, LedgerSnapshot
+
+__all__ = ["CarbonMarket", "Trade", "AllowanceLedger", "LedgerSnapshot"]

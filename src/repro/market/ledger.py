@@ -1,0 +1,101 @@
+"""Allowance ledger: tracks emissions versus allowance holdings over time.
+
+The ledger is the accounting view of the paper's long-term constraint (1c):
+
+    sum_t emissions_t  <=  R + sum_t bought_t - sum_t sold_t.
+
+Its cumulative positive violation is exactly the "fit" of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["LedgerSnapshot", "AllowanceLedger"]
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """Cumulative ledger state after some number of slots."""
+
+    slots: int
+    cumulative_emissions: float
+    cumulative_bought: float
+    cumulative_sold: float
+    initial_cap: float
+
+    @property
+    def holdings(self) -> float:
+        """Allowances currently held: ``R + sum z - sum w``."""
+        return self.initial_cap + self.cumulative_bought - self.cumulative_sold
+
+    @property
+    def violation(self) -> float:
+        """Positive part of (emissions - holdings); zero when neutral."""
+        return max(self.cumulative_emissions - self.holdings, 0.0)
+
+    @property
+    def is_neutral(self) -> bool:
+        """Whether cumulative emissions are fully covered."""
+        return self.violation <= 1e-9
+
+
+class AllowanceLedger:
+    """Records per-slot emissions and trades; answers neutrality queries."""
+
+    def __init__(self, initial_cap: float) -> None:
+        self._cap = check_nonnegative(initial_cap, "initial_cap")
+        self._emissions: list[float] = []
+        self._bought: list[float] = []
+        self._sold: list[float] = []
+
+    @property
+    def initial_cap(self) -> float:
+        """The pre-allocated allowance cap ``R``."""
+        return self._cap
+
+    @property
+    def slots_recorded(self) -> int:
+        """Number of slots recorded so far."""
+        return len(self._emissions)
+
+    def record(self, emissions: float, bought: float, sold: float) -> None:
+        """Record one slot's emissions and trade quantities."""
+        check_nonnegative(emissions, "emissions")
+        check_nonnegative(bought, "bought")
+        check_nonnegative(sold, "sold")
+        self._emissions.append(float(emissions))
+        self._bought.append(float(bought))
+        self._sold.append(float(sold))
+
+    def snapshot(self) -> LedgerSnapshot:
+        """Current cumulative state."""
+        return LedgerSnapshot(
+            slots=self.slots_recorded,
+            cumulative_emissions=float(np.sum(self._emissions)),
+            cumulative_bought=float(np.sum(self._bought)),
+            cumulative_sold=float(np.sum(self._sold)),
+            initial_cap=self._cap,
+        )
+
+    def emissions_series(self) -> np.ndarray:
+        """Per-slot emissions recorded so far."""
+        return np.asarray(self._emissions)
+
+    def net_purchase_series(self) -> np.ndarray:
+        """Per-slot net allowance purchases (bought - sold)."""
+        return np.asarray(self._bought) - np.asarray(self._sold)
+
+    def violation_series(self) -> np.ndarray:
+        """Running positive violation after each recorded slot.
+
+        Entry ``t`` is ``[sum_{s<=t} e_s - (R + sum_{s<=t} z_s - w_s)]^+`` —
+        the paper's fit measured at every prefix of the horizon.
+        """
+        emissions = np.cumsum(self._emissions)
+        holdings = self._cap + np.cumsum(self._bought) - np.cumsum(self._sold)
+        return np.maximum(emissions - holdings, 0.0)

@@ -1,0 +1,91 @@
+"""Carbon allowance market: executes buy/sell orders at trace prices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traces.carbon_prices import PriceSeries
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["Trade", "CarbonMarket"]
+
+
+@dataclass(frozen=True)
+class Trade:
+    """An executed allowance trade at one time slot.
+
+    ``cost = bought * buy_price - sold * sell_price`` — the paper's
+    ``z^t c^t - w^t r^t`` (negative cost means net revenue).
+    """
+
+    slot: int
+    bought: float
+    sold: float
+    buy_price: float
+    sell_price: float
+
+    @property
+    def cost(self) -> float:
+        """Net expense of this trade."""
+        return self.bought * self.buy_price - self.sold * self.sell_price
+
+    @property
+    def net_quantity(self) -> float:
+        """Net allowances acquired (bought minus sold)."""
+        return self.bought - self.sold
+
+
+class CarbonMarket:
+    """Wraps a :class:`PriceSeries` and records executed trades."""
+
+    def __init__(self, prices: PriceSeries) -> None:
+        self._prices = prices
+        self._trades: list[Trade] = []
+
+    @property
+    def prices(self) -> PriceSeries:
+        """The underlying price trace."""
+        return self._prices
+
+    @property
+    def horizon(self) -> int:
+        """Number of slots with known prices."""
+        return self._prices.horizon
+
+    @property
+    def trades(self) -> list[Trade]:
+        """All trades executed so far, in order."""
+        return list(self._trades)
+
+    def buy_price(self, t: int) -> float:
+        """Allowance buying price ``c^t``."""
+        self._check_slot(t)
+        return float(self._prices.buy[t])
+
+    def sell_price(self, t: int) -> float:
+        """Allowance selling price ``r^t``."""
+        self._check_slot(t)
+        return float(self._prices.sell[t])
+
+    def execute(self, t: int, bought: float, sold: float) -> Trade:
+        """Execute a trade of ``bought`` / ``sold`` allowances at slot ``t``."""
+        self._check_slot(t)
+        check_nonnegative(bought, "bought")
+        check_nonnegative(sold, "sold")
+        trade = Trade(
+            slot=t,
+            bought=float(bought),
+            sold=float(sold),
+            buy_price=self.buy_price(t),
+            sell_price=self.sell_price(t),
+        )
+        self._trades.append(trade)
+        return trade
+
+    def total_cost(self) -> float:
+        """Cumulative trading expense ``sum_t (z^t c^t - w^t r^t)``."""
+        return sum(trade.cost for trade in self._trades)
+
+    def _check_slot(self, t: int) -> None:
+        if not 0 <= t < self.horizon:
+            raise IndexError(f"slot {t} outside price horizon [0, {self.horizon})")

@@ -1,0 +1,19 @@
+"""Evaluation metrics: regret, fit, cost summaries."""
+
+from repro.metrics.regret import (
+    regret_series,
+    final_regret,
+    power_law_slope,
+    sublinear_reference,
+)
+from repro.metrics.summary import RunSummary, summarize_run, summarize_many
+
+__all__ = [
+    "regret_series",
+    "final_regret",
+    "power_law_slope",
+    "sublinear_reference",
+    "RunSummary",
+    "summarize_run",
+    "summarize_many",
+]

@@ -1,0 +1,77 @@
+"""Regret and fit metrics (Theorems 1-3).
+
+The regret for the full problem ``P0`` is the gap between an online
+policy's cumulative total cost and the offline optimum's (paper Fig. 10);
+the fit is the cumulative positive violation of the carbon-neutrality
+constraint (paper Fig. 11, available as ``SimulationResult.fit_series``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.config import CostWeights
+from repro.sim.results import SimulationResult
+from repro.utils.validation import check_positive
+
+__all__ = ["regret_series", "final_regret", "sublinear_reference", "power_law_slope"]
+
+
+def power_law_slope(horizons, values) -> float:
+    """Least-squares exponent ``a`` of ``values ~ C * horizons^a``.
+
+    Only strictly positive values enter the log-log fit.  Returns 0.0 when
+    fewer than two positive points remain (the quantity is essentially zero,
+    i.e. trivially sub-linear).  Used to verify Theorem 1-3 rates: sub-linear
+    growth means ``a < 1``.
+    """
+    x = np.asarray(horizons, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("horizons and values must be aligned 1-D sequences")
+    mask = (y > 0) & (x > 0)
+    if mask.sum() < 2:
+        return 0.0
+    log_x, log_y = np.log(x[mask]), np.log(y[mask])
+    return float(np.polyfit(log_x, log_y, 1)[0])
+
+
+def regret_series(
+    result: SimulationResult,
+    reference: SimulationResult,
+    weights: CostWeights,
+) -> np.ndarray:
+    """Per-slot cumulative regret of ``result`` against ``reference``.
+
+    Both runs must cover the same horizon (and should have faced the same
+    scenario under common random numbers).
+    """
+    if result.horizon != reference.horizon:
+        raise ValueError(
+            f"horizon mismatch: {result.horizon} vs {reference.horizon}"
+        )
+    return result.cumulative_cost(weights) - reference.cumulative_cost(weights)
+
+
+def final_regret(
+    result: SimulationResult,
+    reference: SimulationResult,
+    weights: CostWeights,
+) -> float:
+    """Regret at the end of the horizon."""
+    return float(regret_series(result, reference, weights)[-1])
+
+
+def sublinear_reference(
+    horizon: int, exponent: float, anchor_value: float
+) -> np.ndarray:
+    """A ``C * t^exponent`` reference curve for regret/fit plots.
+
+    Scaled so the curve equals ``anchor_value`` at ``t = horizon`` — used to
+    check the measured regret grows no faster than the theoretical rate.
+    """
+    check_positive(horizon, "horizon")
+    if exponent <= 0 or exponent >= 1:
+        raise ValueError(f"exponent must be in (0, 1), got {exponent}")
+    t = np.arange(1, horizon + 1, dtype=float)
+    return anchor_value * (t / horizon) ** exponent

@@ -1,0 +1,85 @@
+"""Scalar summaries of simulation runs, for experiment tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.config import CostWeights
+from repro.sim.results import SimulationResult
+
+__all__ = ["RunSummary", "summarize_run", "summarize_many"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The headline scalars of one run (or an average over runs)."""
+
+    label: str
+    total_cost: float
+    inference_cost: float
+    compute_cost: float
+    switching_cost: float
+    trading_cost: float
+    emissions: float
+    net_purchase: float
+    final_fit: float
+    switches: float
+    mean_accuracy: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        """Field mapping for table rendering."""
+        return {
+            "label": self.label,
+            "total_cost": self.total_cost,
+            "inference_cost": self.inference_cost,
+            "compute_cost": self.compute_cost,
+            "switching_cost": self.switching_cost,
+            "trading_cost": self.trading_cost,
+            "emissions": self.emissions,
+            "net_purchase": self.net_purchase,
+            "final_fit": self.final_fit,
+            "switches": self.switches,
+            "mean_accuracy": self.mean_accuracy,
+        }
+
+
+def summarize_run(result: SimulationResult, weights: CostWeights) -> RunSummary:
+    """Weighted scalar summary of one run."""
+    return RunSummary(
+        label=result.label,
+        total_cost=result.total_cost(weights),
+        inference_cost=float(weights.inference * result.expected_inference_cost.sum()),
+        compute_cost=float(weights.compute * result.compute_cost.sum()),
+        switching_cost=float(weights.switching * result.switching_cost.sum()),
+        trading_cost=float(weights.trading * result.trading_cost.sum()),
+        emissions=float(result.emissions.sum()),
+        net_purchase=float((result.bought - result.sold).sum()),
+        final_fit=result.final_fit(),
+        switches=float(result.total_switches()),
+        mean_accuracy=result.mean_accuracy(),
+    )
+
+
+def summarize_many(
+    results: list[SimulationResult], weights: CostWeights, label: str | None = None
+) -> RunSummary:
+    """Average the summaries of several runs (paper: mean of 10 seeds)."""
+    if not results:
+        raise ValueError("need at least one result to summarize")
+    summaries = [summarize_run(r, weights) for r in results]
+    mean = lambda attr: float(np.mean([getattr(s, attr) for s in summaries]))  # noqa: E731
+    return RunSummary(
+        label=label if label is not None else summaries[0].label,
+        total_cost=mean("total_cost"),
+        inference_cost=mean("inference_cost"),
+        compute_cost=mean("compute_cost"),
+        switching_cost=mean("switching_cost"),
+        trading_cost=mean("trading_cost"),
+        emissions=mean("emissions"),
+        net_purchase=mean("net_purchase"),
+        final_fit=mean("final_fit"),
+        switches=mean("switches"),
+        mean_accuracy=mean("mean_accuracy"),
+    )

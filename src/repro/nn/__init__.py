@@ -1,0 +1,78 @@
+"""A small from-scratch numpy neural-network framework.
+
+This substrate replaces the PyTorch models used in the paper's evaluation.
+It provides real forward/backward passes, SGD/Adam training, and builders for
+the paper's six-model zoo (two CNN widths, LeNet-5, MLP, and a MobileNet-V1
+style depthwise-separable network), all operating on NCHW numpy arrays.
+"""
+
+from repro.nn.initializers import he_normal, xavier_uniform, zeros_init
+from repro.nn.layers import (
+    AvgPoolGlobal,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.quantization import QuantizedSequential, quantize_network, quantize_tensor
+from repro.nn.losses import BrierLoss, SoftmaxCrossEntropy, squared_label_loss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.models import (
+    ModelSpec,
+    build_cnn,
+    build_lenet5,
+    build_mlp,
+    build_mobilenet_tiny,
+    build_model,
+    build_model_zoo,
+    mnist_like_zoo_specs,
+    cifar_like_zoo_specs,
+)
+from repro.nn.training import TrainingResult, Trainer, evaluate_accuracy, evaluate_brier
+
+__all__ = [
+    "he_normal",
+    "xavier_uniform",
+    "zeros_init",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "MaxPool2D",
+    "AvgPoolGlobal",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "QuantizedSequential",
+    "quantize_network",
+    "quantize_tensor",
+    "BrierLoss",
+    "SoftmaxCrossEntropy",
+    "squared_label_loss",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "ModelSpec",
+    "build_cnn",
+    "build_lenet5",
+    "build_mlp",
+    "build_mobilenet_tiny",
+    "build_model",
+    "build_model_zoo",
+    "mnist_like_zoo_specs",
+    "cifar_like_zoo_specs",
+    "Trainer",
+    "TrainingResult",
+    "evaluate_accuracy",
+    "evaluate_brier",
+]

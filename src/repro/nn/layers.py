@@ -1,0 +1,425 @@
+"""Differentiable layers for the numpy NN substrate.
+
+Each layer implements ``forward(x, training)`` and ``backward(grad_out)``.
+Trainable layers expose ``params`` (name -> array) and accumulate matching
+``grads`` during ``backward``.  Shapes follow NCHW for image tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, zeros_init
+from repro.nn.ops import col2im, conv_output_size, im2col
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "MaxPool2D",
+    "AvgPoolGlobal",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+    "BatchNorm1D",
+    "BatchNorm2D",
+]
+
+
+class Layer:
+    """Base class: a differentiable, optionally trainable transformation."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output, caching whatever backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), fill ``self.grads`` and return dL/d(input)."""
+        raise NotImplementedError
+
+    def num_params(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(params={self.num_params()})"
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = x @ W + b`` on (N, D) inputs."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params = {
+            "W": he_normal((in_features, out_features), fan_in=in_features, rng=rng),
+            "b": zeros_init((out_features,)),
+        }
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x if training else None
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        self.grads["W"] = self._x.T @ grad_out
+        self.grads["b"] = grad_out.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+
+class Conv2D(Layer):
+    """2-D convolution (NCHW) implemented with im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel, stride) <= 0 or padding < 0:
+            raise ValueError("invalid Conv2D geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel * kernel
+        self.params = {
+            "W": he_normal((out_channels, in_channels, kernel, kernel), fan_in, rng),
+            "b": zeros_init((out_channels,)),
+        }
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        n, _, h, w = x.shape
+        oh = conv_output_size(h, self.kernel, self.stride, self.padding)
+        ow = conv_output_size(w, self.kernel, self.stride, self.padding)
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.params["b"]
+        if training:
+            self._cols = cols
+            self._x_shape = x.shape
+        else:
+            self._cols = None
+            self._x_shape = None
+        return out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, oc, oh, ow = grad_out.shape
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, oc)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        self.grads["W"] = (grad_mat.T @ self._cols).reshape(self.params["W"].shape)
+        self.grads["b"] = grad_mat.sum(axis=0)
+        grad_cols = grad_mat @ w_mat
+        return col2im(grad_cols, self._x_shape, self.kernel, self.stride, self.padding)
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise 2-D convolution: each input channel convolved independently.
+
+    This is the building block of MobileNet-V1 depthwise-separable
+    convolutions (followed by a 1x1 ``Conv2D`` pointwise step).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> None:
+        super().__init__()
+        if min(channels, kernel, stride) <= 0 or padding < 0:
+            raise ValueError("invalid DepthwiseConv2D geometry")
+        self.channels = channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        fan_in = kernel * kernel
+        self.params = {
+            "W": he_normal((channels, kernel, kernel), fan_in, rng),
+            "b": zeros_init((channels,)),
+        }
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"DepthwiseConv2D expected (N, {self.channels}, H, W), got {x.shape}"
+            )
+        n, c, h, w = x.shape
+        oh = conv_output_size(h, self.kernel, self.stride, self.padding)
+        ow = conv_output_size(w, self.kernel, self.stride, self.padding)
+        # (N*OH*OW, C*K*K) -> (N*OH*OW, C, K*K)
+        cols = im2col(x, self.kernel, self.stride, self.padding)
+        cols3 = cols.reshape(-1, c, self.kernel * self.kernel)
+        w_flat = self.params["W"].reshape(c, -1)
+        out = np.einsum("pck,ck->pc", cols3, w_flat) + self.params["b"]
+        if training:
+            self._cols = cols3
+            self._x_shape = x.shape
+        else:
+            self._cols = None
+            self._x_shape = None
+        return out.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, c, oh, ow = grad_out.shape
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, c)
+        w_flat = self.params["W"].reshape(c, -1)
+        self.grads["W"] = np.einsum("pc,pck->ck", grad_mat, self._cols).reshape(
+            self.params["W"].shape
+        )
+        self.grads["b"] = grad_mat.sum(axis=0)
+        grad_cols = np.einsum("pc,ck->pck", grad_mat, w_flat).reshape(
+            n * oh * ow, c * self.kernel * self.kernel
+        )
+        return col2im(grad_cols, self._x_shape, self.kernel, self.stride, self.padding)
+
+
+class MaxPool2D(Layer):
+    """Max pooling with ``kernel == stride`` (non-overlapping windows)."""
+
+    def __init__(self, size: int = 2) -> None:
+        super().__init__()
+        if size <= 0:
+            raise ValueError(f"pool size must be positive, got {size}")
+        self.size = size
+        self._mask: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        if h % s != 0 or w % s != 0:
+            raise ValueError(f"spatial dims {h}x{w} not divisible by pool size {s}")
+        xr = x.reshape(n, c, h // s, s, w // s, s)
+        out = xr.max(axis=(3, 5))
+        if training:
+            expanded = out[:, :, :, None, :, None]
+            mask = (xr == expanded).astype(float)
+            # Split gradient equally among tied maxima so backward is exact.
+            mask /= np.maximum(mask.sum(axis=(3, 5), keepdims=True), 1.0)
+            self._mask = mask
+            self._x_shape = x.shape
+        else:
+            self._mask = None
+            self._x_shape = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._x_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        grad = grad_out[:, :, :, None, :, None] * self._mask
+        return grad.reshape(self._x_shape)
+
+
+class AvgPoolGlobal(Layer):
+    """Global average pooling: (N, C, H, W) -> (N, C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"AvgPoolGlobal expected NCHW, got shape {x.shape}")
+        self._x_shape = x.shape if training else None
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), self._x_shape
+        ).copy()
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        self._mask = (x > 0.0) if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * self._mask
+
+
+class Flatten(Layer):
+    """Flatten all but the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x_shape = x.shape if training else None
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out.reshape(self._x_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class _BatchNormBase(Layer):
+    """Shared batch-normalization machinery (axes differ per variant)."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.params = {
+            "W": np.ones(num_features),  # scale (gamma)
+            "b": np.zeros(num_features),  # shift (beta)
+        }
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    # Subclasses define how to view (N, C, ...) tensors as (M, C) matrices.
+    def _to_matrix(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _from_matrix(self, m: np.ndarray, like: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        matrix = self._to_matrix(x)
+        if matrix.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {matrix.shape[1]}"
+            )
+        if training:
+            mean = matrix.mean(axis=0)
+            var = matrix.var(axis=0)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        normalized = (matrix - mean) / std
+        out = normalized * self.params["W"] + self.params["b"]
+        self._cache = (normalized, std, x.shape) if training else None
+        return self._from_matrix(out, x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called without a training forward pass")
+        normalized, std, x_shape = self._cache
+        grad = self._to_matrix(grad_out)
+        m = grad.shape[0]
+        self.grads["W"] = np.sum(grad * normalized, axis=0)
+        self.grads["b"] = grad.sum(axis=0)
+        # Standard batch-norm input gradient (through batch mean/variance).
+        gxn = grad * self.params["W"]
+        grad_in = (
+            gxn
+            - gxn.mean(axis=0)
+            - normalized * np.mean(gxn * normalized, axis=0)
+        ) / std
+        return self._from_matrix(grad_in, np.empty(x_shape))
+
+
+class BatchNorm1D(_BatchNormBase):
+    """Batch normalization over (N, C) feature matrices."""
+
+    def _to_matrix(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1D expects (N, C), got shape {x.shape}")
+        return x
+
+    def _from_matrix(self, m: np.ndarray, like: np.ndarray) -> np.ndarray:
+        return m
+
+
+class BatchNorm2D(_BatchNormBase):
+    """Batch normalization over (N, C, H, W) image tensors, per channel."""
+
+    def _to_matrix(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2D expects NCHW, got shape {x.shape}")
+        n, c, h, w = x.shape
+        return x.transpose(0, 2, 3, 1).reshape(n * h * w, c)
+
+    def _from_matrix(self, m: np.ndarray, like: np.ndarray) -> np.ndarray:
+        n, c, h, w = like.shape
+        return m.reshape(n, h, w, c).transpose(0, 3, 1, 2)

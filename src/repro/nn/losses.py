@@ -1,0 +1,80 @@
+"""Loss functions for training and for the paper's inference loss.
+
+The paper measures per-sample inference loss as the squared loss
+``l_n(a, b) = (h_n(a) - b)^2``.  For classifiers we follow the standard
+multi-class reading: ``h_n(a)`` is the softmax probability vector and ``b``
+its one-hot label, giving the Brier score ``||p - e_b||^2 in [0, 2]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.mathutils import softmax
+
+__all__ = ["SoftmaxCrossEntropy", "BrierLoss", "squared_label_loss"]
+
+
+def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ValueError("label out of range")
+    out = np.zeros((labels.size, num_classes), dtype=float)
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+def squared_label_loss(probabilities: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-sample squared (Brier) loss ``||p - one_hot(b)||^2``.
+
+    Parameters
+    ----------
+    probabilities:
+        (N, K) predicted class probabilities.
+    labels:
+        (N,) integer ground-truth labels.
+
+    Returns
+    -------
+    (N,) array of per-sample losses in ``[0, 2]``.
+    """
+    p = np.asarray(probabilities, dtype=float)
+    if p.ndim != 2:
+        raise ValueError(f"probabilities must be (N, K), got shape {p.shape}")
+    y = _one_hot(np.asarray(labels), p.shape[1])
+    return np.sum((p - y) ** 2, axis=1)
+
+
+class SoftmaxCrossEntropy:
+    """Mean softmax cross-entropy over a batch of logits."""
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        """Return ``(loss, dloss/dlogits)``."""
+        p = softmax(logits, axis=1)
+        n = logits.shape[0]
+        y = _one_hot(np.asarray(labels), logits.shape[1])
+        eps = 1e-12
+        loss = float(-np.sum(y * np.log(p + eps)) / n)
+        grad = (p - y) / n
+        return loss, grad
+
+
+class BrierLoss:
+    """Mean squared loss between softmax probabilities and one-hot labels.
+
+    This is the differentiable form of :func:`squared_label_loss`, used to
+    verify by gradient check that the inference-loss definition is coherent.
+    """
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+        """Return ``(loss, dloss/dlogits)``."""
+        p = softmax(logits, axis=1)
+        n = logits.shape[0]
+        y = _one_hot(np.asarray(labels), logits.shape[1])
+        loss = float(np.sum((p - y) ** 2) / n)
+        # dL/dz_i = (2/n) * (g_i - p_i * sum_j g_j) with g = p * (p - y).
+        g = p * (p - y)
+        grad = (2.0 / n) * (g - p * g.sum(axis=1, keepdims=True))
+        return loss, grad

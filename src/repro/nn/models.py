@@ -1,0 +1,239 @@
+"""The paper's model zoo, rebuilt for the synthetic 8x8 datasets.
+
+The paper evaluates six models per dataset — two variants of each of three
+architecture families (Section V-A): for MNIST a small CNN, LeNet-5 and an
+MLP; for CIFAR-10 a small CNN, LeNet-5 and MobileNet-V1.  We reproduce the
+same families at 8x8 input resolution, with two width variants per family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPoolGlobal,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.network import Sequential
+
+__all__ = [
+    "ModelSpec",
+    "build_mlp",
+    "build_cnn",
+    "build_lenet5",
+    "build_mobilenet_tiny",
+    "build_model",
+    "build_model_zoo",
+    "mnist_like_zoo_specs",
+    "cifar_like_zoo_specs",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Declarative description of one zoo member.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"cnn-32"``.
+    family:
+        One of ``{"mlp", "cnn", "lenet5", "mobilenet"}``.
+    in_channels / image_size / num_classes:
+        Input geometry.
+    kwargs:
+        Family-specific width parameters forwarded to the builder.
+    epochs:
+        Training epochs used when materializing the zoo; varying epochs (and
+        widths) is how the zoo acquires a realistic spread of loss levels.
+    """
+
+    name: str
+    family: str
+    in_channels: int = 1
+    image_size: int = 8
+    num_classes: int = 10
+    kwargs: dict = field(default_factory=dict)
+    epochs: int = 4
+
+
+def build_mlp(
+    rng: np.random.Generator,
+    in_channels: int = 1,
+    image_size: int = 8,
+    num_classes: int = 10,
+    hidden: int = 64,
+    name: str = "mlp",
+) -> Sequential:
+    """Two fully-connected layers with ReLU — the paper's MLP."""
+    in_dim = in_channels * image_size * image_size
+    return Sequential(
+        [
+            Flatten(),
+            Dense(in_dim, hidden, rng),
+            ReLU(),
+            Dense(hidden, num_classes, rng),
+        ],
+        name=name,
+    )
+
+
+def build_cnn(
+    rng: np.random.Generator,
+    in_channels: int = 1,
+    image_size: int = 8,
+    num_classes: int = 10,
+    channels: tuple[int, int] = (32, 64),
+    name: str = "cnn",
+) -> Sequential:
+    """The paper's CNN: two 3x3 conv+ReLU blocks, each with 2x2 max pooling."""
+    c1, c2 = channels
+    if image_size % 4 != 0:
+        raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+    final = image_size // 4
+    return Sequential(
+        [
+            Conv2D(in_channels, c1, kernel=3, rng=rng, padding=1),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(c1, c2, kernel=3, rng=rng, padding=1),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(c2 * final * final, num_classes, rng),
+        ],
+        name=name,
+    )
+
+
+def build_lenet5(
+    rng: np.random.Generator,
+    in_channels: int = 1,
+    image_size: int = 8,
+    num_classes: int = 10,
+    width_scale: float = 1.0,
+    name: str = "lenet5",
+) -> Sequential:
+    """LeNet-5 scaled to 8x8 input (5x5 convs, two pools, three dense layers)."""
+    if image_size % 4 != 0:
+        raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+    c1 = max(int(round(6 * width_scale)), 2)
+    c2 = max(int(round(16 * width_scale)), 4)
+    f1 = max(int(round(120 * width_scale)), 16)
+    f2 = max(int(round(84 * width_scale)), 12)
+    final = image_size // 4
+    return Sequential(
+        [
+            Conv2D(in_channels, c1, kernel=5, rng=rng, padding=2),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(c1, c2, kernel=5, rng=rng, padding=2),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(c2 * final * final, f1, rng),
+            ReLU(),
+            Dense(f1, f2, rng),
+            ReLU(),
+            Dense(f2, num_classes, rng),
+        ],
+        name=name,
+    )
+
+
+def build_mobilenet_tiny(
+    rng: np.random.Generator,
+    in_channels: int = 3,
+    image_size: int = 8,
+    num_classes: int = 10,
+    width: int = 16,
+    name: str = "mobilenet",
+) -> Sequential:
+    """MobileNet-V1 style network: depthwise-separable conv blocks."""
+    if image_size % 2 != 0:
+        raise ValueError(f"image_size must be even, got {image_size}")
+    return Sequential(
+        [
+            Conv2D(in_channels, width, kernel=3, rng=rng, padding=1),
+            ReLU(),
+            # Depthwise-separable block 1.
+            DepthwiseConv2D(width, kernel=3, rng=rng, padding=1),
+            ReLU(),
+            Conv2D(width, 2 * width, kernel=1, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            # Depthwise-separable block 2.
+            DepthwiseConv2D(2 * width, kernel=3, rng=rng, padding=1),
+            ReLU(),
+            Conv2D(2 * width, 4 * width, kernel=1, rng=rng),
+            ReLU(),
+            AvgPoolGlobal(),
+            Dense(4 * width, num_classes, rng),
+        ],
+        name=name,
+    )
+
+
+_BUILDERS = {
+    "mlp": build_mlp,
+    "cnn": build_cnn,
+    "lenet5": build_lenet5,
+    "mobilenet": build_mobilenet_tiny,
+}
+
+
+def build_model(spec: ModelSpec, rng: np.random.Generator) -> Sequential:
+    """Instantiate the (untrained) network described by ``spec``."""
+    builder = _BUILDERS.get(spec.family)
+    if builder is None:
+        raise ValueError(
+            f"unknown model family {spec.family!r}; expected one of {sorted(_BUILDERS)}"
+        )
+    return builder(
+        rng,
+        in_channels=spec.in_channels,
+        image_size=spec.image_size,
+        num_classes=spec.num_classes,
+        name=spec.name,
+        **spec.kwargs,
+    )
+
+
+def mnist_like_zoo_specs(image_size: int = 8, num_classes: int = 10) -> list[ModelSpec]:
+    """Six-model zoo for the MNIST-like dataset (paper Section V-A)."""
+    common = {"in_channels": 1, "image_size": image_size, "num_classes": num_classes}
+    return [
+        ModelSpec("cnn-32", "cnn", kwargs={"channels": (16, 32)}, epochs=5, **common),
+        ModelSpec("cnn-64", "cnn", kwargs={"channels": (32, 64)}, epochs=5, **common),
+        ModelSpec("lenet5", "lenet5", kwargs={"width_scale": 1.0}, epochs=4, **common),
+        ModelSpec("lenet5-slim", "lenet5", kwargs={"width_scale": 0.5}, epochs=2, **common),
+        ModelSpec("mlp-128", "mlp", kwargs={"hidden": 128}, epochs=4, **common),
+        ModelSpec("mlp-32", "mlp", kwargs={"hidden": 32}, epochs=1, **common),
+    ]
+
+
+def cifar_like_zoo_specs(image_size: int = 8, num_classes: int = 10) -> list[ModelSpec]:
+    """Six-model zoo for the CIFAR-10-like dataset (paper Section V-A)."""
+    common = {"in_channels": 3, "image_size": image_size, "num_classes": num_classes}
+    return [
+        ModelSpec("cnn-64", "cnn", kwargs={"channels": (32, 64)}, epochs=5, **common),
+        ModelSpec("cnn-128", "cnn", kwargs={"channels": (64, 128)}, epochs=5, **common),
+        ModelSpec("lenet5", "lenet5", kwargs={"width_scale": 1.0}, epochs=4, **common),
+        ModelSpec("lenet5-slim", "lenet5", kwargs={"width_scale": 0.5}, epochs=2, **common),
+        ModelSpec("mobilenet-16", "mobilenet", kwargs={"width": 16}, epochs=4, **common),
+        ModelSpec("mobilenet-8", "mobilenet", kwargs={"width": 8}, epochs=1, **common),
+    ]
+
+
+def build_model_zoo(
+    specs: list[ModelSpec], rng: np.random.Generator
+) -> list[Sequential]:
+    """Instantiate every model in ``specs`` (untrained)."""
+    return [build_model(spec, rng) for spec in specs]

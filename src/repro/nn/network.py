@@ -1,0 +1,80 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.utils.mathutils import softmax
+
+__all__ = ["Sequential"]
+
+_BYTES_PER_PARAM = 4  # float32 storage, as shipped over the network
+
+
+class Sequential:
+    """A feed-forward stack of layers ending in logits.
+
+    The container exposes the operations the simulator needs: probability
+    prediction (softmax over logits), classification, parameter counting and
+    the model size in bytes (the paper's ``W_n``, used for transfer energy).
+    """
+
+    def __init__(self, layers: list[Layer], name: str = "model") -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full stack, returning logits."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        """Backpropagate from dL/dlogits through every layer."""
+        grad = grad_logits
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability predictions (N, K)."""
+        return softmax(self.forward(x, training=False), axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions (N,)."""
+        return np.argmax(self.forward(x, training=False), axis=1)
+
+    def num_params(self) -> int:
+        """Total trainable parameter count."""
+        return sum(layer.num_params() for layer in self.layers)
+
+    def size_bytes(self) -> int:
+        """Serialized model size in bytes — the paper's model size ``W_n``."""
+        return self.num_params() * _BYTES_PER_PARAM
+
+    def get_weights(self) -> list[dict[str, np.ndarray]]:
+        """Copy out all parameters (for checkpointing in tests)."""
+        return [{k: v.copy() for k, v in layer.params.items()} for layer in self.layers]
+
+    def set_weights(self, weights: list[dict[str, np.ndarray]]) -> None:
+        """Load parameters previously returned by :meth:`get_weights`."""
+        if len(weights) != len(self.layers):
+            raise ValueError("weight list length does not match layer count")
+        for layer, stored in zip(self.layers, weights):
+            if set(stored) != set(layer.params):
+                raise ValueError("weight keys do not match layer parameters")
+            for key, value in stored.items():
+                if layer.params[key].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: "
+                        f"{layer.params[key].shape} vs {value.shape}"
+                    )
+                layer.params[key] = value.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential(name={self.name!r}, layers=[{inner}], params={self.num_params()})"

@@ -1,0 +1,69 @@
+"""Low-level tensor ops: padding and im2col/col2im for convolutions.
+
+All image tensors are NCHW.  ``im2col`` unrolls sliding windows into a 2-D
+matrix so that convolution becomes a single matrix multiply; ``col2im``
+scatter-adds the matrix back, which is exactly the adjoint operation needed
+for the convolution backward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im", "pad_nchw"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unroll sliding windows of ``x`` (N,C,H,W) into (N*OH*OW, C*K*K)."""
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, padding)
+    ow = conv_output_size(w, kernel, stride, padding)
+    xp = pad_nchw(x, padding)
+    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=x.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * oh
+        for kx in range(kernel):
+            x_end = kx + stride * ow
+            cols[:, :, ky, kx, :, :] = xp[:, :, ky:y_end:stride, kx:x_end:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kernel * kernel)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to (N,C,H,W)."""
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kernel, stride, padding)
+    ow = conv_output_size(w, kernel, stride, padding)
+    cols6 = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    xp = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * oh
+        for kx in range(kernel):
+            x_end = kx + stride * ow
+            xp[:, :, ky:y_end:stride, kx:x_end:stride] += cols6[:, :, ky, kx, :, :]
+    if padding == 0:
+        return xp
+    return xp[:, :, padding:-padding, padding:-padding]

@@ -1,0 +1,98 @@
+"""First-order optimizers for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class: updates every trainable layer in place after backward."""
+
+    def step(self, layers: list[Layer]) -> None:
+        """Apply one update using the gradients stored on ``layers``."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum and weight decay."""
+
+    def __init__(self, lr: float = 0.1, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, layers: list[Layer]) -> None:
+        for idx, layer in enumerate(layers):
+            for name, param in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    continue
+                if self.weight_decay > 0 and name != "b":
+                    grad = grad + self.weight_decay * param
+                if self.momentum > 0:
+                    key = (idx, name)
+                    vel = self._velocity.get(key)
+                    vel = grad if vel is None else self.momentum * vel + grad
+                    self._velocity[key] = vel
+                    grad = vel
+                param -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[tuple[int, str], np.ndarray] = {}
+        self._v: dict[tuple[int, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self, layers: list[Layer]) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for idx, layer in enumerate(layers):
+            for name, param in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    continue
+                if self.weight_decay > 0 and name != "b":
+                    grad = grad + self.weight_decay * param
+                key = (idx, name)
+                m = self._m.get(key, np.zeros_like(param))
+                v = self._v.get(key, np.zeros_like(param))
+                m = self.beta1 * m + (1 - self.beta1) * grad
+                v = self.beta2 * v + (1 - self.beta2) * grad * grad
+                self._m[key] = m
+                self._v[key] = v
+                m_hat = m / bias1
+                v_hat = v / bias2
+                param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,75 @@
+"""Post-training weight quantization (paper Section VII, future work #2).
+
+The paper's future work proposes carbon/energy control for large models via
+quantization-aware model control.  This module implements symmetric
+per-tensor uniform quantization of a trained network's weights: each weight
+tensor is snapped to a ``2^bits``-level grid (simulated quantization — the
+forward pass runs on the dequantized values, the standard way to evaluate
+quantization accuracy), while the *serialized size* shrinks to
+``bits/32`` of the float model.  Quantized variants therefore make
+perfect extra "arms" for the model-selection bandit: smaller ``W_n``
+(cheaper downloads, lower transfer energy), lower inference energy, and a
+measurable accuracy cost that the controller must learn online.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.network import Sequential
+
+__all__ = ["QuantizedSequential", "quantize_tensor", "quantize_network"]
+
+_FLOAT_BITS = 32
+
+
+def quantize_tensor(tensor: np.ndarray, bits: int) -> np.ndarray:
+    """Simulated symmetric uniform quantization of one tensor.
+
+    Values are scaled so the largest magnitude maps to the edge of a
+    ``2^bits``-level signed integer grid, rounded, and mapped back.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    arr = np.asarray(tensor, dtype=float)
+    max_abs = float(np.max(np.abs(arr))) if arr.size else 0.0
+    if max_abs == 0.0:
+        return arr.copy()
+    levels = 2 ** (bits - 1) - 1 if bits > 1 else 1
+    scale = max_abs / levels
+    return np.round(arr / scale) * scale
+
+
+class QuantizedSequential(Sequential):
+    """A Sequential whose serialized size reflects its weight bit-width."""
+
+    def __init__(self, layers: list[Layer], bits: int, name: str = "model") -> None:
+        super().__init__(layers, name=name)
+        if not 1 <= bits <= 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        self.bits = bits
+
+    def size_bytes(self) -> int:
+        """Size when shipped as ``bits``-wide integers plus scales."""
+        # One float scale per parameter tensor is negligible; count weights.
+        raw_bits = self.num_params() * self.bits
+        return max(int(np.ceil(raw_bits / 8)), 1)
+
+
+def quantize_network(network: Sequential, bits: int) -> QuantizedSequential:
+    """Return a quantized copy of ``network`` (the original is untouched).
+
+    Every parameter tensor is independently quantized; biases are kept in
+    float (standard practice — they are a negligible fraction of the size
+    and quantizing them costs disproportionate accuracy).
+    """
+    import copy
+
+    layers = copy.deepcopy(network.layers)
+    for layer in layers:
+        for key in layer.params:
+            if key == "b":
+                continue
+            layer.params[key] = quantize_tensor(layer.params[key], bits)
+    return QuantizedSequential(layers, bits=bits, name=f"{network.name}-int{bits}")

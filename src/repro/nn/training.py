@@ -1,0 +1,103 @@
+"""Mini-batch training loop and evaluation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import SoftmaxCrossEntropy, squared_label_loss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Optimizer, SGD
+
+__all__ = ["TrainingResult", "Trainer", "evaluate_accuracy", "evaluate_brier"]
+
+
+def evaluate_accuracy(network: Sequential, x: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples classified correctly."""
+    if x.shape[0] == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    predictions = network.predict(x)
+    return float(np.mean(predictions == np.asarray(labels)))
+
+
+def evaluate_brier(network: Sequential, x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared (Brier) inference loss — the paper's ``E[l_n]`` estimate."""
+    if x.shape[0] == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    proba = network.predict_proba(x)
+    return float(np.mean(squared_label_loss(proba, labels)))
+
+
+@dataclass
+class TrainingResult:
+    """Per-epoch training history."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_train_loss(self) -> float:
+        """Training loss after the last epoch."""
+        if not self.train_loss:
+            raise ValueError("no epochs recorded")
+        return self.train_loss[-1]
+
+
+class Trainer:
+    """Trains a :class:`Sequential` network by mini-batch gradient descent."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        optimizer: Optimizer | None = None,
+        loss: SoftmaxCrossEntropy | None = None,
+    ) -> None:
+        self.network = network
+        self.optimizer = optimizer if optimizer is not None else SGD(lr=0.05, momentum=0.9)
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+
+    def fit(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        *,
+        epochs: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        x_val: np.ndarray | None = None,
+        labels_val: np.ndarray | None = None,
+    ) -> TrainingResult:
+        """Train for ``epochs`` epochs, shuffling each epoch with ``rng``."""
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot train on an empty dataset")
+        if labels.shape[0] != n:
+            raise ValueError("x and labels disagree on the sample count")
+
+        result = TrainingResult()
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, n, batch_size):
+                batch_idx = order[start : start + batch_size]
+                xb, yb = x[batch_idx], labels[batch_idx]
+                logits = self.network.forward(xb, training=True)
+                loss_value, grad = self.loss(logits, yb)
+                self.network.backward(grad)
+                self.optimizer.step(self.network.layers)
+                epoch_loss += loss_value * xb.shape[0]
+                correct += int(np.sum(np.argmax(logits, axis=1) == yb))
+            result.train_loss.append(epoch_loss / n)
+            result.train_accuracy.append(correct / n)
+            if x_val is not None and labels_val is not None:
+                result.val_accuracy.append(
+                    evaluate_accuracy(self.network, x_val, labels_val)
+                )
+        return result

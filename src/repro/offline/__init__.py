@@ -1,0 +1,30 @@
+"""Offline optimum ("Offline" in the paper's figures).
+
+Offline knows every input in advance: it hosts the posterior-best model on
+each edge for the whole horizon (one initial download, no further switches)
+and solves the carbon-trading linear program exactly — the paper uses
+Gurobi; we use an exact greedy-exchange solver specialised to the problem's
+transportation structure, cross-checked against ``scipy.optimize.linprog``.
+"""
+
+from repro.offline.optimum import (
+    FixedSelection,
+    NullTrading,
+    PrecomputedTrading,
+    best_fixed_models,
+)
+from repro.offline.lp import (
+    OfflineTradingSolution,
+    solve_offline_trading,
+    solve_offline_trading_scipy,
+)
+
+__all__ = [
+    "FixedSelection",
+    "NullTrading",
+    "PrecomputedTrading",
+    "best_fixed_models",
+    "OfflineTradingSolution",
+    "solve_offline_trading",
+    "solve_offline_trading_scipy",
+]

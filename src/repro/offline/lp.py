@@ -1,0 +1,162 @@
+"""Exact offline carbon-trading optimization.
+
+With model placements fixed, the offline trading problem is
+
+    min   sum_t  c_t z_t - r_t w_t
+    s.t.  sum_t (z_t - w_t)  >=  sum_t e_t - R     (constraint (1c))
+          0 <= z_t <= bound,  0 <= w_t <= bound.
+
+The right-hand side may be negative: with a slack cap the optimum *sells*
+the spare allowances (the paper: "sell spare allowances to the market").
+Per-slot trade bounds realise the paper's bounded-feasible-set assumption
+(Appendix B, assumption (2)); without them, any slot pair with
+``r_s > c_t`` would admit unbounded arbitrage and the LP would be unbounded.
+
+The structure is a transportation problem with one coupling constraint, so
+greedy exchange is exactly optimal: cover a positive requirement with the
+cheapest purchase units (or sell a surplus at the dearest sale slots), then
+repeatedly match the cheapest remaining purchase unit with the most
+expensive remaining sale unit while the pair is profitable.
+``solve_offline_trading_scipy`` solves the same LP with
+``scipy.optimize.linprog`` and is used to cross-check optimality in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.carbon_prices import PriceSeries
+from repro.utils.validation import check_finite, check_nonnegative, check_positive
+
+__all__ = [
+    "OfflineTradingSolution",
+    "solve_offline_trading",
+    "solve_offline_trading_scipy",
+]
+
+
+@dataclass(frozen=True)
+class OfflineTradingSolution:
+    """Optimal per-slot buy/sell plan and its total cost."""
+
+    buy: np.ndarray
+    sell: np.ndarray
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.buy.shape != self.sell.shape or self.buy.ndim != 1:
+            raise ValueError("buy and sell must be aligned 1-D arrays")
+        if np.any(self.buy < -1e-9) or np.any(self.sell < -1e-9):
+            raise ValueError("trade quantities must be non-negative")
+
+    @property
+    def net_purchase(self) -> float:
+        """Total allowances acquired net of sales."""
+        return float(self.buy.sum() - self.sell.sum())
+
+
+def _net_requirement(emissions: np.ndarray, cap: float) -> float:
+    """``sum e - R``: positive = must buy, negative = surplus to sell."""
+    return float(emissions.sum()) - cap
+
+
+def solve_offline_trading(
+    emissions: np.ndarray,
+    prices: PriceSeries,
+    cap: float,
+    trade_bound: float,
+) -> OfflineTradingSolution:
+    """Exact greedy-exchange solution of the offline trading LP."""
+    e = check_finite(emissions, "emissions")
+    check_nonnegative(cap, "cap")
+    check_positive(trade_bound, "trade_bound")
+    if e.ndim != 1 or e.size != prices.horizon:
+        raise ValueError("emissions must be 1-D and aligned with the price horizon")
+    horizon = prices.horizon
+    requirement = _net_requirement(e, cap)
+    if requirement > horizon * trade_bound + 1e-9:
+        raise ValueError(
+            f"infeasible: deficit {requirement:.3f} exceeds total purchase "
+            f"capacity {horizon * trade_bound:.3f}"
+        )
+
+    buy = np.zeros(horizon)
+    sell = np.zeros(horizon)
+    buy_order = np.argsort(prices.buy, kind="stable")  # cheapest first
+    sell_order = np.argsort(-prices.sell, kind="stable")  # dearest first
+
+    if requirement > 0:
+        # Phase 1a: cover the deficit with the cheapest purchase capacity.
+        remaining = requirement
+        for t in buy_order:
+            if remaining <= 1e-12:
+                break
+            take = min(trade_bound, remaining)
+            buy[t] += take
+            remaining -= take
+    elif requirement < 0:
+        # Phase 1b: sell the surplus allowances at the dearest sale slots
+        # (pure revenue; selling less than the surplus is always allowed, so
+        # running out of sale capacity is fine).
+        remaining = -requirement
+        for t in sell_order:
+            if remaining <= 1e-12:
+                break
+            take = min(trade_bound, remaining)
+            sell[t] += take
+            remaining -= take
+
+    # Phase 2: profitable arbitrage — cheapest remaining purchase unit vs
+    # most expensive remaining sale unit.  Marginal purchase cost is
+    # non-decreasing and marginal sale revenue non-increasing, so stopping at
+    # the first unprofitable pair is optimal.
+    bi = 0
+    si = 0
+    while bi < horizon and si < horizon:
+        tb = int(buy_order[bi])
+        ts = int(sell_order[si])
+        buy_room = trade_bound - buy[tb]
+        sell_room = trade_bound - sell[ts]
+        if buy_room <= 1e-12:
+            bi += 1
+            continue
+        if sell_room <= 1e-12:
+            si += 1
+            continue
+        if prices.sell[ts] <= prices.buy[tb] + 1e-12:
+            break  # no remaining profitable pair
+        quantity = min(buy_room, sell_room)
+        buy[tb] += quantity
+        sell[ts] += quantity
+
+    cost = float(np.dot(buy, prices.buy) - np.dot(sell, prices.sell))
+    return OfflineTradingSolution(buy=buy, sell=sell, cost=cost)
+
+
+def solve_offline_trading_scipy(
+    emissions: np.ndarray,
+    prices: PriceSeries,
+    cap: float,
+    trade_bound: float,
+) -> OfflineTradingSolution:
+    """Same LP solved with ``scipy.optimize.linprog`` (cross-check)."""
+    from scipy.optimize import linprog
+
+    e = check_finite(emissions, "emissions")
+    horizon = prices.horizon
+    if e.ndim != 1 or e.size != horizon:
+        raise ValueError("emissions must be 1-D and aligned with the price horizon")
+    requirement = _net_requirement(e, cap)
+    # Variables: [z_0..z_{T-1}, w_0..w_{T-1}]; constraint sum(w) - sum(z) <= R - sum(e).
+    c = np.concatenate([prices.buy, -prices.sell])
+    a_ub = np.concatenate([-np.ones(horizon), np.ones(horizon)])[None, :]
+    b_ub = np.array([-requirement])
+    bounds = [(0.0, trade_bound)] * (2 * horizon)
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not res.success:
+        raise RuntimeError(f"offline trading LP failed: {res.message}")
+    buy = res.x[:horizon]
+    sell = res.x[horizon:]
+    return OfflineTradingSolution(buy=buy, sell=sell, cost=float(res.fun))

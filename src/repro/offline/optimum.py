@@ -1,0 +1,91 @@
+"""Offline model selection and trading replay policies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.selection import SelectionPolicy
+from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
+from repro.utils.validation import check_finite
+
+__all__ = ["best_fixed_models", "FixedSelection", "PrecomputedTrading"]
+
+
+def best_fixed_models(expected_losses: np.ndarray, latencies: np.ndarray) -> np.ndarray:
+    """Per-edge best fixed model at hindsight.
+
+    Minimizes the posterior mean slot cost ``E[l_n] + v_{i,n}`` — the
+    comparator of Theorem 1.  (The paper's prose says "minimum expectation of
+    the inference loss"; including the known computation cost ``v`` matches
+    the regret definition and only differs when two models' losses tie.)
+
+    Parameters
+    ----------
+    expected_losses:
+        (N,) posterior mean inference loss per model.
+    latencies:
+        (I, N) computation cost ``v_{i,n}``.
+
+    Returns
+    -------
+    (I,) best model index per edge.
+    """
+    losses = check_finite(expected_losses, "expected_losses")
+    v = check_finite(latencies, "latencies")
+    if v.ndim != 2 or v.shape[1] != losses.size:
+        raise ValueError("latencies must be (num_edges, num_models)")
+    return np.argmin(losses[None, :] + v, axis=1)
+
+
+class FixedSelection(SelectionPolicy):
+    """Hosts one fixed model forever (used by Offline and in ablations)."""
+
+    name = "Fixed"
+
+    def __init__(self, num_models: int, model: int) -> None:
+        super().__init__(num_models)
+        self._check_model(model)
+        self._model = model
+
+    @property
+    def model(self) -> int:
+        """The fixed model index."""
+        return self._model
+
+    def select(self, t: int) -> int:
+        return self._model
+
+    def observe(self, t: int, model: int, loss: float) -> None:
+        self._check_model(model)
+
+
+class PrecomputedTrading(TradingPolicy):
+    """Replays a precomputed per-slot (buy, sell) plan (Offline's trades)."""
+
+    name = "Offline"
+
+    def __init__(self, buy: np.ndarray, sell: np.ndarray) -> None:
+        b = check_finite(buy, "buy")
+        s = check_finite(sell, "sell")
+        if b.shape != s.shape or b.ndim != 1:
+            raise ValueError("buy and sell must be aligned 1-D arrays")
+        if np.any(b < -1e-9) or np.any(s < -1e-9):
+            raise ValueError("plans must be non-negative")
+        self._buy = np.maximum(b, 0.0)
+        self._sell = np.maximum(s, 0.0)
+
+    def decide(self, context: TradingContext) -> TradeDecision:
+        if context.t >= self._buy.size:
+            raise IndexError(f"plan covers {self._buy.size} slots, asked for {context.t}")
+        return TradeDecision(
+            buy=float(self._buy[context.t]), sell=float(self._sell[context.t])
+        )
+
+
+class NullTrading(TradingPolicy):
+    """Never trades (used for emission-recording passes and ablations)."""
+
+    name = "Null"
+
+    def decide(self, context: TradingContext) -> TradeDecision:
+        return TradeDecision(buy=0.0, sell=0.0)

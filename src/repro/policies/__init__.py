@@ -1,0 +1,6 @@
+"""Abstract policy interfaces shared by the paper's algorithms and baselines."""
+
+from repro.policies.selection import SelectionPolicy
+from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
+
+__all__ = ["SelectionPolicy", "TradingPolicy", "TradingContext", "TradeDecision"]

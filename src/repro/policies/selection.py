@@ -1,0 +1,43 @@
+"""Interface for per-edge model-selection policies (problem P1).
+
+One policy instance controls one edge.  At each slot the simulator calls
+:meth:`SelectionPolicy.select` to obtain the model to host, runs inference,
+and feeds back the realized slot loss ``L_{i,n}^t + v_{i,n}`` through
+:meth:`SelectionPolicy.observe` — bandit feedback: only the chosen model's
+loss is revealed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SelectionPolicy"]
+
+
+class SelectionPolicy:
+    """Base class for model-selection policies on a single edge."""
+
+    #: short identifier used in experiment tables (e.g. "Ran", "UCB").
+    name: str = "base"
+
+    def __init__(self, num_models: int) -> None:
+        if num_models <= 0:
+            raise ValueError(f"num_models must be positive, got {num_models}")
+        self.num_models = num_models
+
+    def select(self, t: int) -> int:
+        """Return the model index to host at slot ``t``."""
+        raise NotImplementedError
+
+    def observe(self, t: int, model: int, loss: float) -> None:
+        """Feed back the realized slot loss of the *chosen* model.
+
+        ``loss`` is the paper's ``L_{i,n}^t + v_{i,n}`` — average inference
+        loss over the slot's arrivals plus the model's computation cost.
+        """
+        raise NotImplementedError
+
+    def _check_model(self, model: int) -> None:
+        if not 0 <= model < self.num_models:
+            raise ValueError(f"model index {model} outside [0, {self.num_models})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_models={self.num_models})"

@@ -1,0 +1,92 @@
+"""Interface for carbon allowance trading policies (problem P2).
+
+At each slot the simulator builds a :class:`TradingContext` with everything
+observable *before* the trade executes, asks the policy for a
+:class:`TradeDecision`, executes it, and then reveals the slot's realized
+emissions through :meth:`TradingPolicy.observe` so the policy can update its
+internal state (dual variable, virtual queue, running averages, ...).
+
+Note the information structure: the paper's Algorithm 2 only uses inputs up
+to and *excluding* the current slot (prices ``c^{t-1}, r^{t-1}`` and the
+previous constraint function), while simpler baselines may look at the
+currently posted prices — both are available in the context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TradeDecision", "TradingContext", "TradingPolicy"]
+
+
+@dataclass(frozen=True)
+class TradeDecision:
+    """Quantities of allowances to buy (``z^t``) and sell (``w^t``)."""
+
+    buy: float
+    sell: float
+
+    def __post_init__(self) -> None:
+        if self.buy < 0 or self.sell < 0:
+            raise ValueError(f"trade quantities must be non-negative: {self}")
+
+
+@dataclass(frozen=True)
+class TradingContext:
+    """Everything a trading policy may observe before deciding at slot ``t``."""
+
+    t: int
+    horizon: int
+    cap: float
+    buy_price: float
+    sell_price: float
+    prev_buy_price: float
+    prev_sell_price: float
+    prev_emissions: float
+    cumulative_emissions: float
+    holdings: float
+    mean_slot_emissions: float
+    trade_bound: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.t < self.horizon:
+            raise ValueError(f"slot {self.t} outside horizon [0, {self.horizon})")
+        if self.trade_bound <= 0:
+            raise ValueError(f"trade_bound must be positive, got {self.trade_bound}")
+
+    @property
+    def cap_per_slot(self) -> float:
+        """``R / T`` — the per-slot allowance budget in ``g^t``."""
+        return self.cap / self.horizon
+
+    @property
+    def deficit(self) -> float:
+        """Current uncovered emissions ``[cumulative_emissions - holdings]^+``."""
+        return max(self.cumulative_emissions - self.holdings, 0.0)
+
+
+class TradingPolicy:
+    """Base class for carbon allowance trading policies."""
+
+    #: short identifier used in experiment tables (e.g. "TH", "LY").
+    name: str = "base"
+
+    def decide(self, context: TradingContext) -> TradeDecision:
+        """Choose the quantities to buy and sell at slot ``context.t``."""
+        raise NotImplementedError
+
+    def observe(
+        self, context: TradingContext, decision: TradeDecision, emissions: float
+    ) -> None:
+        """Reveal the slot's realized emissions after the trade executed.
+
+        Default: no state to update.
+        """
+
+    @staticmethod
+    def _clip(value: float, bound: float) -> float:
+        """Clamp a trade quantity into the feasible interval [0, bound]."""
+        return min(max(value, 0.0), bound)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

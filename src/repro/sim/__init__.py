@@ -1,0 +1,20 @@
+"""Trace-driven cloud-edge simulation engine."""
+
+from repro.sim.config import CostWeights, ScenarioConfig
+from repro.sim.profiles import ModelProfile, profiles_from_networks, synthetic_profiles
+from repro.sim.scenario import Scenario, build_scenario, build_scenario_with_profiles
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "CostWeights",
+    "ScenarioConfig",
+    "ModelProfile",
+    "profiles_from_networks",
+    "synthetic_profiles",
+    "Scenario",
+    "build_scenario",
+    "build_scenario_with_profiles",
+    "SimulationResult",
+    "Simulator",
+]

@@ -1,0 +1,103 @@
+"""Saving and loading simulation results.
+
+Two formats:
+
+* JSON — human-inspectable, arrays as lists (``save_result_json``).
+* NPZ — compact binary via ``numpy.savez_compressed`` (``save_result_npz``).
+
+Both round-trip every field of :class:`SimulationResult` exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result_json",
+    "load_result_json",
+    "save_result_npz",
+    "load_result_npz",
+]
+
+_SCALAR_FIELDS = ("label", "horizon", "num_edges", "carbon_cap")
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Serialize a result to plain Python types (JSON-compatible)."""
+    payload: dict = {"format_version": _FORMAT_VERSION}
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        if isinstance(value, np.ndarray):
+            payload[field.name] = value.tolist()
+        else:
+            payload[field.name] = value
+    return payload
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Reconstruct a result from :func:`result_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version: {version!r}")
+    kwargs: dict = {}
+    for field in dataclasses.fields(SimulationResult):
+        if field.name not in payload:
+            raise ValueError(f"missing field {field.name!r} in serialized result")
+        value = payload[field.name]
+        if field.name in _SCALAR_FIELDS:
+            kwargs[field.name] = value
+        elif field.name == "selections":
+            kwargs[field.name] = np.asarray(value, dtype=int)
+        elif field.name == "switches":
+            kwargs[field.name] = np.asarray(value, dtype=bool)
+        else:
+            kwargs[field.name] = np.asarray(value, dtype=float)
+    return SimulationResult(**kwargs)
+
+
+def save_result_json(result: SimulationResult, path: str | Path) -> Path:
+    """Write the result as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result)))
+    return path
+
+
+def load_result_json(path: str | Path) -> SimulationResult:
+    """Read a result saved by :func:`save_result_json`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_result_npz(result: SimulationResult, path: str | Path) -> Path:
+    """Write the result as a compressed NPZ; returns the path written."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"format_version": _FORMAT_VERSION}
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        if isinstance(value, np.ndarray):
+            arrays[field.name] = value
+        else:
+            meta[field.name] = value
+    arrays["_meta"] = np.array(json.dumps(meta))
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_result_npz(path: str | Path) -> SimulationResult:
+    """Read a result saved by :func:`save_result_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["_meta"]))
+        payload = dict(meta)
+        for key in data.files:
+            if key != "_meta":
+                payload[key] = data[key]
+    return result_from_dict(payload)

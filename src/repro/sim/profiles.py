@@ -1,0 +1,155 @@
+"""Model profiles: everything the simulator needs to know about one model.
+
+A profile caches the model's per-sample squared loss and correctness over
+the held-out data pool.  During simulation, arrivals are realized as indices
+into that pool, so looking losses up in the table is *numerically identical*
+to running the stored network forward on the drawn samples — the lookup is a
+memoized forward pass, not an approximation (verified by a test).  The
+``network`` handle is retained for live-inference validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import squared_label_loss
+from repro.nn.network import Sequential
+from repro.utils.validation import check_finite, check_positive
+
+__all__ = ["ModelProfile", "profiles_from_networks", "synthetic_profiles"]
+
+_FORWARD_BATCH = 1024
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Per-model data consumed by the simulator.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"cnn-64"``.
+    size_bytes:
+        Serialized model size ``W_n`` (drives transfer delay and energy).
+    loss_per_sample:
+        (P,) squared loss of this model on each pool sample.
+    correct_per_sample:
+        (P,) whether this model classifies each pool sample correctly.
+    network:
+        Optional live network for validation runs.
+    """
+
+    name: str
+    size_bytes: float
+    loss_per_sample: np.ndarray
+    correct_per_sample: np.ndarray
+    network: Sequential | None = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.size_bytes, "size_bytes")
+        losses = check_finite(self.loss_per_sample, "loss_per_sample")
+        if losses.ndim != 1 or losses.size == 0:
+            raise ValueError("loss_per_sample must be a non-empty vector")
+        if np.any(losses < 0):
+            raise ValueError("losses must be non-negative")
+        if self.correct_per_sample.shape != losses.shape:
+            raise ValueError("correct_per_sample must align with loss_per_sample")
+
+    @property
+    def pool_size(self) -> int:
+        """Number of samples in the evaluation pool."""
+        return int(self.loss_per_sample.size)
+
+    @property
+    def expected_loss(self) -> float:
+        """Posterior mean inference loss — the estimate of ``E[l_n]``."""
+        return float(self.loss_per_sample.mean())
+
+    @property
+    def loss_std(self) -> float:
+        """Standard deviation of the per-sample loss."""
+        return float(self.loss_per_sample.std())
+
+    @property
+    def accuracy(self) -> float:
+        """Pool classification accuracy."""
+        return float(np.mean(self.correct_per_sample))
+
+
+def profiles_from_networks(
+    networks: list[Sequential],
+    x_pool: np.ndarray,
+    y_pool: np.ndarray,
+) -> list[ModelProfile]:
+    """Evaluate each trained network on the pool and build its profile."""
+    if x_pool.shape[0] != y_pool.shape[0] or x_pool.shape[0] == 0:
+        raise ValueError("pool features/labels misaligned or empty")
+    profiles = []
+    for network in networks:
+        losses = np.empty(x_pool.shape[0])
+        correct = np.empty(x_pool.shape[0], dtype=bool)
+        for start in range(0, x_pool.shape[0], _FORWARD_BATCH):
+            stop = min(start + _FORWARD_BATCH, x_pool.shape[0])
+            proba = network.predict_proba(x_pool[start:stop])
+            losses[start:stop] = squared_label_loss(proba, y_pool[start:stop])
+            correct[start:stop] = np.argmax(proba, axis=1) == y_pool[start:stop]
+        profiles.append(
+            ModelProfile(
+                name=network.name,
+                size_bytes=float(network.size_bytes()),
+                loss_per_sample=losses,
+                correct_per_sample=correct,
+                network=network,
+            )
+        )
+    return profiles
+
+
+def synthetic_profiles(
+    num_models: int,
+    rng: np.random.Generator,
+    pool_size: int = 2000,
+    loss_means: np.ndarray | None = None,
+) -> list[ModelProfile]:
+    """Fast NN-free profiles for unit tests and large sweeps.
+
+    Per-sample losses are Beta-distributed scaled to [0, 2] (the squared-loss
+    range), with model means spread over [0.15, 1.1] unless given; model
+    sizes span 0.05-2 MB and are anti-correlated with loss (bigger models are
+    better, as in the trained zoos); accuracy is tied inversely to the loss
+    mean.
+    """
+    check_positive(num_models, "num_models")
+    check_positive(pool_size, "pool_size")
+    if loss_means is None:
+        loss_means = np.linspace(0.12, 1.35, num_models)
+    means = check_finite(loss_means, "loss_means")
+    if means.size != num_models:
+        raise ValueError("loss_means length must equal num_models")
+    if np.any((means <= 0) | (means >= 2)):
+        raise ValueError("loss means must lie strictly inside (0, 2)")
+    profiles = []
+    # Bigger models achieve lower loss: map loss rank inversely to size,
+    # with multiplicative jitter so sizes are not perfectly ordered.
+    spread = means.max() - means.min()
+    quality = (means.max() - means) / spread if spread > 0 else np.full(num_models, 0.5)
+    sizes = (5e4 + quality * (2e6 - 5e4)) * rng.uniform(0.85, 1.15, size=num_models)
+    for n in range(num_models):
+        mean01 = means[n] / 2.0  # Beta mean in (0, 1)
+        concentration = 8.0
+        a = mean01 * concentration
+        b = (1.0 - mean01) * concentration
+        losses = 2.0 * rng.beta(a, b, size=pool_size)
+        accuracy = float(np.clip(1.0 - mean01, 0.05, 0.98))
+        correct = rng.random(pool_size) < accuracy
+        profiles.append(
+            ModelProfile(
+                name=f"synthetic-{n}",
+                size_bytes=float(sizes[n]),
+                loss_per_sample=losses,
+                correct_per_sample=correct,
+            )
+        )
+    return profiles

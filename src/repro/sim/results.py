@@ -1,0 +1,152 @@
+"""Simulation results: per-slot records and cost/fit accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.config import CostWeights
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Per-slot outcome arrays of one simulation run.
+
+    All arrays have length ``horizon`` unless noted.  Cost components are
+    stored *unweighted*; :meth:`cost_series` combines them with
+    :class:`CostWeights` into the paper's objective (1).
+    """
+
+    label: str
+    horizon: int
+    num_edges: int
+    carbon_cap: float
+    expected_inference_cost: np.ndarray  # sum_i E[l_{J_i^t}] per slot
+    realized_inference_loss: np.ndarray  # sum_i L_{i,J}^t per slot (sample)
+    compute_cost: np.ndarray  # sum_i v_{i,J} per slot
+    switching_cost: np.ndarray  # sum_i y_i^t u_i per slot (unweighted u)
+    emissions: np.ndarray  # total kg per slot
+    bought: np.ndarray
+    sold: np.ndarray
+    trading_cost: np.ndarray  # z c - w r per slot, currency units
+    buy_prices: np.ndarray
+    sell_prices: np.ndarray
+    arrivals: np.ndarray  # total arrivals per slot
+    accuracy: np.ndarray  # arrival-weighted accuracy per slot
+    selections: np.ndarray  # (horizon, num_edges) model indices
+    switches: np.ndarray  # (horizon, num_edges) bools
+
+    def __post_init__(self) -> None:
+        t = self.horizon
+        per_slot = (
+            self.expected_inference_cost,
+            self.realized_inference_loss,
+            self.compute_cost,
+            self.switching_cost,
+            self.emissions,
+            self.bought,
+            self.sold,
+            self.trading_cost,
+            self.buy_prices,
+            self.sell_prices,
+            self.arrivals,
+            self.accuracy,
+        )
+        for arr in per_slot:
+            if arr.shape != (t,):
+                raise ValueError(f"per-slot array has shape {arr.shape}, expected ({t},)")
+        if self.selections.shape != (t, self.num_edges):
+            raise ValueError("selections must be (horizon, num_edges)")
+        if self.switches.shape != (t, self.num_edges):
+            raise ValueError("switches must be (horizon, num_edges)")
+
+    def cost_series(self, weights: CostWeights) -> np.ndarray:
+        """Per-slot total cost under the paper's objective (1)."""
+        return (
+            weights.inference * self.expected_inference_cost
+            + weights.compute * self.compute_cost
+            + weights.switching * self.switching_cost
+            + weights.trading * self.trading_cost
+        )
+
+    def cumulative_cost(self, weights: CostWeights) -> np.ndarray:
+        """Running total cost after each slot."""
+        return np.cumsum(self.cost_series(weights))
+
+    def total_cost(self, weights: CostWeights) -> float:
+        """Total cost over the horizon."""
+        return float(self.cost_series(weights).sum())
+
+    def total_switches(self) -> int:
+        """Number of model downloads over all edges."""
+        return int(self.switches.sum())
+
+    def switches_per_edge(self) -> np.ndarray:
+        """(num_edges,) download counts."""
+        return self.switches.sum(axis=0).astype(int)
+
+    def selection_counts(self) -> np.ndarray:
+        """(num_edges, num_models-agnostic) — counts of each selected index.
+
+        Returns an ``(num_edges, max_index + 1)`` matrix of how many slots
+        each edge hosted each model.
+        """
+        num_models = int(self.selections.max()) + 1
+        counts = np.zeros((self.num_edges, num_models), dtype=int)
+        for i in range(self.num_edges):
+            values, freqs = np.unique(self.selections[:, i], return_counts=True)
+            counts[i, values] = freqs
+        return counts
+
+    def holdings_series(self) -> np.ndarray:
+        """Allowances held after each slot: ``R + cum(bought) - cum(sold)``."""
+        return self.carbon_cap + np.cumsum(self.bought) - np.cumsum(self.sold)
+
+    def fit_series(self) -> np.ndarray:
+        """Running neutrality violation ``[cum emissions - holdings]^+``.
+
+        This is the paper's fit, evaluated at every prefix of the horizon.
+        """
+        return np.maximum(np.cumsum(self.emissions) - self.holdings_series(), 0.0)
+
+    def final_fit(self) -> float:
+        """Fit at the end of the horizon."""
+        return float(self.fit_series()[-1])
+
+    def net_purchase_series(self) -> np.ndarray:
+        """Per-slot net allowance purchases."""
+        return self.bought - self.sold
+
+    def mean_accuracy(self) -> float:
+        """Arrival-weighted mean inference accuracy over the horizon."""
+        total = float(self.arrivals.sum())
+        if total <= 0:
+            return float("nan")
+        return float(np.dot(self.accuracy, self.arrivals) / total)
+
+    def mean_purchase_price(self) -> float:
+        """Average price paid per allowance purchased.
+
+        ``sum_t z^t c^t / sum_t z^t`` — low when purchases concentrate on
+        cheap slots.  NaN if the policy never bought anything.
+        """
+        total_bought = float(self.bought.sum())
+        if total_bought <= 1e-12:
+            return float("nan")
+        return float(np.dot(self.bought, self.buy_prices) / total_bought)
+
+    def unit_purchase_cost(self) -> float:
+        """Effective cost per net allowance acquired (Fig. 9 metric).
+
+        ``(sum_t z^t c^t - w^t r^t) / sum_t (z^t - w^t)`` — what the system
+        actually pays per unit of emission coverage it keeps.  Random
+        buy/sell churn inflates it (buy-sell spread is lost on every wash
+        trade); NaN when the policy acquires no net coverage at all.
+        """
+        net = float((self.bought - self.sold).sum())
+        if net <= 1e-12:
+            return float("nan")
+        return float(self.trading_cost.sum() / net)

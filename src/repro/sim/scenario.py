@@ -1,0 +1,245 @@
+"""Scenario assembly: traces + topology + profiles + energy model.
+
+A :class:`Scenario` bundles every exogenous input of one experiment.  All
+randomness is derived from the config's ``seed`` through named streams, so a
+config maps to exactly one scenario.  The trained zoo is keyed by
+``zoo_seed`` and shared across scenarios (the paper fixes the models and
+varies only algorithm/stream randomness between runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.energy.model import (
+    EnergyModel,
+    THETA_KWH_PER_BYTE,
+    sample_inference_energies,
+    sample_latencies,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.profiles import ModelProfile, synthetic_profiles
+from repro.traces.carbon_prices import CarbonPriceModel, PriceSeries
+from repro.traces.geo import generate_topology
+from repro.traces.workload import WorkloadModel
+from repro.utils.rng import RngFactory
+
+__all__ = ["Scenario", "build_scenario", "build_scenario_with_profiles"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Fully materialized inputs of one experiment."""
+
+    config: ScenarioConfig
+    profiles: list[ModelProfile]
+    energy: EnergyModel
+    latencies: np.ndarray  # (I, N) computation cost v_{i,n}, seconds
+    download_delays: np.ndarray  # (I,) communication cost u_i, seconds
+    prices: PriceSeries
+    workload_means: np.ndarray  # (I, T) mean arrivals per slot
+    trade_bound: float
+    x_pool: np.ndarray | None = None  # shared held-out features (live checks)
+    y_pool: np.ndarray | None = None
+    # Optional (I, K) per-edge class mix: edge i draws class k with
+    # probability edge_class_weights[i, k] (requires y_pool).  None = the
+    # paper's single global distribution D.
+    edge_class_weights: np.ndarray | None = None
+    _expected_losses: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        if len(self.profiles) != cfg.num_models:
+            raise ValueError("profile count does not match config.num_models")
+        if self.latencies.shape != (cfg.num_edges, cfg.num_models):
+            raise ValueError("latencies must be (num_edges, num_models)")
+        if self.download_delays.shape != (cfg.num_edges,):
+            raise ValueError("download_delays must be (num_edges,)")
+        if self.prices.horizon != cfg.horizon:
+            raise ValueError("price horizon does not match config.horizon")
+        if self.workload_means.shape != (cfg.num_edges, cfg.horizon):
+            raise ValueError("workload_means must be (num_edges, horizon)")
+        if self.trade_bound <= 0:
+            raise ValueError("trade_bound must be positive")
+        if self.edge_class_weights is not None:
+            if self.y_pool is None:
+                raise ValueError("edge_class_weights requires a labelled data pool")
+            weights = self.edge_class_weights
+            num_classes = int(np.max(self.y_pool)) + 1
+            if weights.shape != (cfg.num_edges, num_classes):
+                raise ValueError(
+                    f"edge_class_weights must be (num_edges, num_classes) = "
+                    f"({cfg.num_edges}, {num_classes}), got {weights.shape}"
+                )
+            if np.any(weights < 0) or not np.allclose(weights.sum(axis=1), 1.0):
+                raise ValueError("each edge's class weights must form a distribution")
+        object.__setattr__(
+            self,
+            "_expected_losses",
+            np.array([p.expected_loss for p in self.profiles]),
+        )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges I."""
+        return self.config.num_edges
+
+    @property
+    def num_models(self) -> int:
+        """Number of models N."""
+        return self.config.num_models
+
+    @property
+    def horizon(self) -> int:
+        """Number of slots T."""
+        return self.config.horizon
+
+    @property
+    def expected_losses(self) -> np.ndarray:
+        """(N,) posterior mean loss per model."""
+        return self._expected_losses.copy()
+
+    @property
+    def model_sizes(self) -> np.ndarray:
+        """(N,) serialized model sizes in bytes."""
+        return np.array([p.size_bytes for p in self.profiles])
+
+    def expected_losses_per_edge(self) -> np.ndarray:
+        """(I, N) expected loss of each model under each edge's data mix.
+
+        With the paper's single global distribution this is the same row
+        repeated; with ``edge_class_weights`` set, each row reweights the
+        models' per-class mean losses by that edge's class mix, so different
+        edges can have different best models.
+        """
+        cfg = self.config
+        if self.edge_class_weights is None or self.y_pool is None:
+            return np.tile(self._expected_losses, (cfg.num_edges, 1))
+        num_classes = self.edge_class_weights.shape[1]
+        class_means = np.zeros((cfg.num_models, num_classes))
+        for k in range(num_classes):
+            mask = self.y_pool == k
+            if not np.any(mask):
+                continue
+            for n, profile in enumerate(self.profiles):
+                class_means[n, k] = float(profile.loss_per_sample[mask].mean())
+        return self.edge_class_weights @ class_means.T
+
+    def effective_switch_costs(self) -> np.ndarray:
+        """(I,) download delays scaled by the switching weight.
+
+        This is what Algorithm 1 consumes to size its blocks and what the
+        objective charges per switch.
+        """
+        return self.config.switching_weight * self.download_delays
+
+    def estimated_slot_emissions(self) -> float:
+        """Rough expected total emissions per slot (for bounds/calibration)."""
+        mean_arrivals = float(self.workload_means.sum(axis=0).mean())
+        mean_phi = float(self.energy.phi_kwh.mean())
+        return (
+            mean_arrivals
+            * mean_phi
+            * self.energy.requests_per_arrival
+            * self.energy.rho_kg_per_kwh
+        )
+
+
+def _build_profiles(
+    config: ScenarioConfig, rng: RngFactory
+) -> tuple[list[ModelProfile], np.ndarray | None, np.ndarray | None]:
+    if config.dataset == "synthetic":
+        profiles = synthetic_profiles(
+            config.num_models, rng.get("profiles"), pool_size=config.n_test
+        )
+        return profiles, None, None
+    from repro.sim.zoo import trained_pool, trained_profiles
+
+    profiles = trained_profiles(
+        config.dataset,
+        zoo_seed=config.zoo_seed,
+        n_train=config.n_train,
+        n_test=config.n_test,
+        image_size=config.image_size,
+    )
+    if len(profiles) != config.num_models:
+        raise ValueError(
+            f"the {config.dataset} zoo has {len(profiles)} models; "
+            f"config.num_models must equal that (got {config.num_models})"
+        )
+    x_pool, y_pool = trained_pool(
+        config.dataset,
+        zoo_seed=config.zoo_seed,
+        n_train=config.n_train,
+        n_test=config.n_test,
+        image_size=config.image_size,
+    )
+    return profiles, x_pool, y_pool
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Materialize the scenario described by ``config``."""
+    rng = RngFactory(config.seed)
+    profiles, x_pool, y_pool = _build_profiles(config, rng)
+    return build_scenario_with_profiles(config, profiles, x_pool=x_pool, y_pool=y_pool)
+
+
+def build_scenario_with_profiles(
+    config: ScenarioConfig,
+    profiles: list[ModelProfile],
+    x_pool: np.ndarray | None = None,
+    y_pool: np.ndarray | None = None,
+) -> Scenario:
+    """Assemble a scenario around an explicit model-profile list.
+
+    Used for extended zoos (e.g. quantized variants as extra bandit arms);
+    ``config.num_models`` must equal ``len(profiles)``.  Traces and derived
+    quantities (delays, energies, prices, workload) are built exactly as in
+    :func:`build_scenario` from ``config.seed``.
+    """
+    if len(profiles) != config.num_models:
+        raise ValueError(
+            f"config.num_models ({config.num_models}) must equal the number "
+            f"of profiles ({len(profiles)})"
+        )
+    rng = RngFactory(config.seed)
+    sizes = np.array([p.size_bytes for p in profiles])
+
+    topology = generate_topology(config.num_edges, rng.get("geo"))
+    download_delays = topology.download_delays()
+    latencies = sample_latencies(
+        config.num_edges, config.num_models, rng.get("latency"), model_sizes=sizes
+    )
+    phi = sample_inference_energies(config.num_models, rng.get("energy"), model_sizes=sizes)
+    energy = EnergyModel(
+        phi_kwh=phi,
+        theta_kwh_per_byte=np.full(config.num_edges, THETA_KWH_PER_BYTE),
+        model_sizes_bytes=sizes,
+        rho_kg_per_kwh=config.rho_kg_per_kwh,
+        requests_per_arrival=config.requests_per_arrival,
+    )
+    prices = CarbonPriceModel().generate(config.horizon, rng.get("prices"))
+    workload = WorkloadModel(base_mean=config.workload_base_mean).generate(
+        config.num_edges, config.horizon, rng.get("workload")
+    )
+
+    mean_arrivals = float(workload.sum(axis=0).mean())
+    mean_slot_emissions = (
+        mean_arrivals * float(phi.mean()) * config.requests_per_arrival * config.rho_kg_per_kwh
+    )
+    trade_bound = max(config.trade_bound_factor * mean_slot_emissions, 1e-9)
+
+    return Scenario(
+        config=config,
+        profiles=profiles,
+        energy=energy,
+        latencies=latencies,
+        download_delays=download_delays,
+        prices=prices,
+        workload_means=workload,
+        trade_bound=trade_bound,
+        x_pool=x_pool,
+        y_pool=y_pool,
+    )

@@ -1,0 +1,290 @@
+"""The time-slotted cloud-edge simulator (paper Fig. 2 workflow).
+
+Per slot ``t`` the simulator executes, for every edge:
+
+1. the selection policy picks a model (a download/switch occurs if it
+   differs from the previous slot's model);
+2. ``M_i^t`` samples arrive (Poisson around the workload trace) and are
+   realized as indices into the held-out data pool;
+3. the edge "runs" inference — per-sample losses are looked up from the
+   model's memoized forward-pass table (bit-identical to a live forward
+   pass; optionally recomputed live for validation) — and the average slot
+   loss plus computation cost is fed back to the policy (bandit feedback);
+
+and then, once slot emissions are known at the system level:
+
+4. the trading policy decides allowance purchases/sales from information up
+   to the current slot, the market executes them, and realized emissions are
+   revealed to the policy for its dual/queue update.
+
+Arrivals and sample draws use dedicated named RNG streams that do not depend
+on the policies, so different policies face *identical* workloads and data
+(common random numbers) — exactly how the paper compares combinations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.streams import ArrivalProcess
+from repro.market.ledger import AllowanceLedger
+from repro.market.market import CarbonMarket
+from repro.nn.losses import squared_label_loss
+from repro.policies.selection import SelectionPolicy
+from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+from repro.utils.rng import RngFactory
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Runs one (selection policies, trading policy) combination."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        selection_policies: list[SelectionPolicy],
+        trading_policy: TradingPolicy,
+        run_seed: int = 0,
+        label: str = "run",
+        live_inference: bool = False,
+        label_delay: int = 0,
+    ) -> None:
+        if len(selection_policies) != scenario.num_edges:
+            raise ValueError(
+                f"need one selection policy per edge: got {len(selection_policies)}, "
+                f"expected {scenario.num_edges}"
+            )
+        for policy in selection_policies:
+            if policy.num_models != scenario.num_models:
+                raise ValueError(
+                    f"policy {policy!r} expects {policy.num_models} models, "
+                    f"scenario has {scenario.num_models}"
+                )
+        if label_delay < 0:
+            raise ValueError(f"label_delay must be non-negative, got {label_delay}")
+        self.scenario = scenario
+        self.selection_policies = list(selection_policies)
+        self.trading_policy = trading_policy
+        self.label = label
+        self.live_inference = live_inference
+        self.label_delay = label_delay
+        self._rng = RngFactory(run_seed).child("simulator")
+
+    def run(self) -> SimulationResult:
+        """Simulate the full horizon and return per-slot records."""
+        scenario = self.scenario
+        cfg = scenario.config
+        horizon, num_edges = scenario.horizon, scenario.num_edges
+        pool_size = scenario.profiles[0].pool_size
+        effective_u = scenario.effective_switch_costs()
+
+        arrival_processes = [
+            ArrivalProcess(scenario.workload_means[i], self._rng.get(f"arrivals-{i}"))
+            for i in range(num_edges)
+        ]
+        data_rngs = [self._rng.get(f"data-{i}") for i in range(num_edges)]
+        class_indices = self._class_index_map()
+
+        market = CarbonMarket(scenario.prices)
+        ledger = AllowanceLedger(cfg.carbon_cap_kg)
+
+        expected_inference = np.zeros(horizon)
+        realized_loss = np.zeros(horizon)
+        compute_cost = np.zeros(horizon)
+        switching_cost = np.zeros(horizon)
+        emissions = np.zeros(horizon)
+        bought = np.zeros(horizon)
+        sold = np.zeros(horizon)
+        trading_cost = np.zeros(horizon)
+        arrivals_total = np.zeros(horizon)
+        accuracy = np.zeros(horizon)
+        selections = np.zeros((horizon, num_edges), dtype=int)
+        switches = np.zeros((horizon, num_edges), dtype=bool)
+
+        previous_model = np.full(num_edges, -1, dtype=int)
+        emissions_running_sum = 0.0
+        # Delayed label feedback (paper Step 2.3): slot losses reach the
+        # selection policies `label_delay` slots after the inference ran.
+        pending_feedback: list[tuple[int, int, int, float]] = []
+
+        for t in range(horizon):
+            slot_emissions = 0.0
+            slot_correct = 0.0
+            slot_arrivals = 0
+            for i in range(num_edges):
+                policy = self.selection_policies[i]
+                model = policy.select(t)
+                switched = model != previous_model[i]
+                previous_model[i] = model
+                selections[t, i] = model
+                switches[t, i] = switched
+
+                count = arrival_processes[i].sample(t)
+                idx = self._draw_indices(
+                    i, count, data_rngs[i], pool_size, class_indices
+                )
+                profile = scenario.profiles[model]
+                losses = self._sample_losses(profile, idx)
+                slot_loss = float(losses.mean())
+                latency = float(scenario.latencies[i, model])
+                if self.label_delay == 0:
+                    policy.observe(t, model, slot_loss + latency)
+                else:
+                    pending_feedback.append((t, i, model, slot_loss + latency))
+
+                expected_inference[t] += profile.expected_loss
+                realized_loss[t] += slot_loss
+                compute_cost[t] += latency
+                if switched:
+                    switching_cost[t] += float(effective_u[i])
+                slot_emissions += scenario.energy.slot_emissions_kg(
+                    i, model, count, switched
+                )
+                slot_correct += float(profile.correct_per_sample[idx].sum())
+                slot_arrivals += count
+
+            emissions[t] = slot_emissions
+            arrivals_total[t] = slot_arrivals
+            accuracy[t] = slot_correct / slot_arrivals if slot_arrivals else np.nan
+
+            context = self._trading_context(
+                t, market, ledger, emissions, emissions_running_sum
+            )
+            decision = self.trading_policy.decide(context)
+            decision = TradeDecision(
+                buy=min(max(decision.buy, 0.0), scenario.trade_bound),
+                sell=min(max(decision.sell, 0.0), scenario.trade_bound),
+            )
+            trade = market.execute(t, decision.buy, decision.sell)
+            ledger.record(slot_emissions, decision.buy, decision.sell)
+            self.trading_policy.observe(context, decision, slot_emissions)
+
+            bought[t] = trade.bought
+            sold[t] = trade.sold
+            trading_cost[t] = trade.cost
+            emissions_running_sum += slot_emissions
+
+            if self.label_delay > 0:
+                self._deliver_feedback(pending_feedback, due_slot=t - self.label_delay)
+
+        if self.label_delay > 0:
+            # Labels still in flight at the end of the horizon arrive after
+            # it; deliver them so every policy's accounting completes.
+            self._deliver_feedback(pending_feedback, due_slot=horizon)
+
+        return SimulationResult(
+            label=self.label,
+            horizon=horizon,
+            num_edges=num_edges,
+            carbon_cap=cfg.carbon_cap_kg,
+            expected_inference_cost=expected_inference,
+            realized_inference_loss=realized_loss,
+            compute_cost=compute_cost,
+            switching_cost=switching_cost,
+            emissions=emissions,
+            bought=bought,
+            sold=sold,
+            trading_cost=trading_cost,
+            buy_prices=scenario.prices.buy.copy(),
+            sell_prices=scenario.prices.sell.copy(),
+            arrivals=arrivals_total,
+            accuracy=accuracy,
+            selections=selections,
+            switches=switches,
+        )
+
+    def _class_index_map(self) -> list[np.ndarray] | None:
+        """Pool indices per class, when per-edge class mixes are in force."""
+        weights = self.scenario.edge_class_weights
+        if weights is None:
+            return None
+        labels = self.scenario.y_pool
+        assert labels is not None  # enforced by Scenario validation
+        return [np.nonzero(labels == k)[0] for k in range(weights.shape[1])]
+
+    def _draw_indices(
+        self,
+        edge: int,
+        count: int,
+        rng: np.random.Generator,
+        pool_size: int,
+        class_indices: list[np.ndarray] | None,
+    ) -> np.ndarray:
+        """IID pool indices for one edge-slot.
+
+        Uniform over the pool (the paper's single distribution D), or a
+        two-stage draw — class by the edge's mix, then a uniform member of
+        that class — under per-edge heterogeneity.
+        """
+        if class_indices is None:
+            return rng.integers(0, pool_size, size=count)
+        weights = self.scenario.edge_class_weights[edge]
+        classes = rng.choice(weights.size, size=count, p=weights)
+        idx = np.empty(count, dtype=int)
+        for k in np.unique(classes):
+            members = class_indices[k]
+            if members.size == 0:
+                raise ValueError(f"class {k} has no pool members to sample")
+            mask = classes == k
+            idx[mask] = members[rng.integers(0, members.size, size=int(mask.sum()))]
+        return idx
+
+    def _deliver_feedback(
+        self, pending: list[tuple[int, int, int, float]], due_slot: int
+    ) -> None:
+        """Deliver all queued slot losses whose slot is <= ``due_slot``."""
+        while pending and pending[0][0] <= due_slot:
+            slot, edge, model, loss = pending.pop(0)
+            self.selection_policies[edge].observe(slot, model, loss)
+
+    def _sample_losses(self, profile, idx: np.ndarray) -> np.ndarray:
+        """Per-sample losses for the drawn pool indices.
+
+        The memoized table lookup is exact; ``live_inference=True``
+        recomputes the forward pass on the drawn samples for validation
+        (requires the scenario to carry the shared data pool).
+        """
+        if self.live_inference:
+            if profile.network is None:
+                raise ValueError(
+                    f"profile {profile.name!r} has no network for live inference"
+                )
+            if self.scenario.x_pool is None or self.scenario.y_pool is None:
+                raise ValueError("scenario carries no data pool for live inference")
+            proba = profile.network.predict_proba(self.scenario.x_pool[idx])
+            return squared_label_loss(proba, self.scenario.y_pool[idx])
+        return profile.loss_per_sample[idx]
+
+    def _trading_context(
+        self,
+        t: int,
+        market: CarbonMarket,
+        ledger: AllowanceLedger,
+        emissions: np.ndarray,
+        emissions_running_sum: float,
+    ) -> TradingContext:
+        scenario = self.scenario
+        snapshot = ledger.snapshot()
+        prev_buy = market.buy_price(t - 1) if t > 0 else market.buy_price(0)
+        prev_sell = market.sell_price(t - 1) if t > 0 else market.sell_price(0)
+        prev_emissions = float(emissions[t - 1]) if t > 0 else 0.0
+        mean_emissions = (
+            emissions_running_sum / t if t > 0 else scenario.estimated_slot_emissions()
+        )
+        return TradingContext(
+            t=t,
+            horizon=scenario.horizon,
+            cap=scenario.config.carbon_cap_kg,
+            buy_price=market.buy_price(t),
+            sell_price=market.sell_price(t),
+            prev_buy_price=prev_buy,
+            prev_sell_price=prev_sell,
+            prev_emissions=prev_emissions,
+            cumulative_emissions=snapshot.cumulative_emissions,
+            holdings=snapshot.holdings,
+            mean_slot_emissions=mean_emissions,
+            trade_bound=scenario.trade_bound,
+        )

@@ -1,0 +1,198 @@
+"""Trained model-zoo cache.
+
+The paper fixes the models and averages 10 runs over *algorithm* randomness,
+so the zoo is trained once per (dataset, zoo_seed, data sizes) and reused
+across runs and sweeps.  Training six numpy networks takes a few seconds;
+the in-process cache makes repeated scenario builds free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import make_cifar10_like, make_mnist_like
+from repro.nn.models import (
+    ModelSpec,
+    build_model,
+    cifar_like_zoo_specs,
+    mnist_like_zoo_specs,
+)
+from repro.nn.optimizers import SGD
+from repro.nn.training import Trainer
+from repro.sim.profiles import ModelProfile, profiles_from_networks
+from repro.utils.rng import spawn_generator
+
+__all__ = [
+    "trained_profiles",
+    "trained_pool",
+    "quantized_trained_profiles",
+    "specialist_trained_profiles",
+    "clear_zoo_cache",
+]
+
+_CACHE: dict[tuple, tuple[list[ModelProfile], np.ndarray, np.ndarray]] = {}
+
+
+def clear_zoo_cache() -> None:
+    """Drop all cached trained zoos (tests only)."""
+    _CACHE.clear()
+
+
+def _train_zoo(
+    specs: list[ModelSpec],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    zoo_seed: int,
+) -> list:
+    networks = []
+    for index, spec in enumerate(specs):
+        init_rng = spawn_generator(zoo_seed, f"init-{spec.name}-{index}")
+        train_rng = spawn_generator(zoo_seed, f"train-{spec.name}-{index}")
+        network = build_model(spec, init_rng)
+        trainer = Trainer(network, optimizer=SGD(lr=0.05, momentum=0.9))
+        trainer.fit(
+            x_train,
+            y_train,
+            epochs=spec.epochs,
+            batch_size=64,
+            rng=train_rng,
+        )
+        networks.append(network)
+    return networks
+
+
+def _materialize(
+    dataset: str, zoo_seed: int, n_train: int, n_test: int, image_size: int
+) -> tuple[list[ModelProfile], np.ndarray, np.ndarray]:
+    key = (dataset, zoo_seed, n_train, n_test, image_size)
+    if key in _CACHE:
+        return _CACHE[key]
+    data_rng = spawn_generator(zoo_seed, f"dataset-{dataset}")
+    if dataset == "mnist":
+        data = make_mnist_like(data_rng, n_train=n_train, n_test=n_test, image_size=image_size)
+        specs = mnist_like_zoo_specs(image_size=image_size, num_classes=data.num_classes)
+    elif dataset == "cifar10":
+        data = make_cifar10_like(data_rng, n_train=n_train, n_test=n_test, image_size=image_size)
+        specs = cifar_like_zoo_specs(image_size=image_size, num_classes=data.num_classes)
+    else:
+        raise ValueError(f"unknown trained dataset {dataset!r}")
+    networks = _train_zoo(specs, data.x_train, data.y_train, zoo_seed)
+    profiles = profiles_from_networks(networks, data.x_test, data.y_test)
+    _CACHE[key] = (profiles, data.x_test, data.y_test)
+    return _CACHE[key]
+
+
+def trained_profiles(
+    dataset: str,
+    zoo_seed: int = 1234,
+    n_train: int = 2000,
+    n_test: int = 4000,
+    image_size: int = 8,
+) -> list[ModelProfile]:
+    """Return (cached) trained profiles for ``dataset`` in {mnist, cifar10}."""
+    return _materialize(dataset, zoo_seed, n_train, n_test, image_size)[0]
+
+
+def trained_pool(
+    dataset: str,
+    zoo_seed: int = 1234,
+    n_train: int = 2000,
+    n_test: int = 4000,
+    image_size: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The shared held-out pool (features, labels) the profiles index into."""
+    _, x_pool, y_pool = _materialize(dataset, zoo_seed, n_train, n_test, image_size)
+    return x_pool, y_pool
+
+
+def quantized_trained_profiles(
+    dataset: str,
+    bits: int,
+    zoo_seed: int = 1234,
+    n_train: int = 2000,
+    n_test: int = 4000,
+    image_size: int = 8,
+) -> list[ModelProfile]:
+    """Quantized variants of the trained zoo (future-work extension).
+
+    Each trained network is copied, its weights quantized to ``bits`` bits
+    (``repro.nn.quantization``), and re-evaluated on the shared pool, so the
+    variant has its own genuine loss table, accuracy and (smaller) size —
+    ready to serve as additional bandit arms alongside the float models.
+    """
+    from repro.nn.quantization import quantize_network
+
+    key = (dataset, zoo_seed, n_train, n_test, image_size, "quantized", bits)
+    if key in _CACHE:
+        return _CACHE[key][0]
+    profiles, x_pool, y_pool = _materialize(
+        dataset, zoo_seed, n_train, n_test, image_size
+    )
+    quantized_networks = [
+        quantize_network(profile.network, bits)
+        for profile in profiles
+        if profile.network is not None
+    ]
+    if len(quantized_networks) != len(profiles):
+        raise ValueError("every trained profile must carry its network")
+    quantized = profiles_from_networks(quantized_networks, x_pool, y_pool)
+    _CACHE[key] = (quantized, x_pool, y_pool)
+    return quantized
+
+
+def specialist_trained_profiles(
+    dataset: str,
+    zoo_seed: int = 1234,
+    n_train: int = 2000,
+    n_test: int = 4000,
+    image_size: int = 8,
+    classes_per_model: int = 5,
+) -> list[ModelProfile]:
+    """A zoo of class specialists (per-edge heterogeneity experiments).
+
+    Model ``n`` is trained only on the ``classes_per_model`` classes
+    ``{n, n+1, ...} mod K``, so each model excels on its slice of the label
+    space and degrades elsewhere.  Against per-edge class mixes this makes
+    the best model genuinely edge-dependent, which the paper's global-
+    distribution assumption rules out.
+    """
+    key = (dataset, zoo_seed, n_train, n_test, image_size, "spec", classes_per_model)
+    if key in _CACHE:
+        return _CACHE[key][0]
+    profiles, x_pool, y_pool = _materialize(
+        dataset, zoo_seed, n_train, n_test, image_size
+    )
+    data_rng = spawn_generator(zoo_seed, f"dataset-{dataset}")
+    if dataset == "mnist":
+        data = make_mnist_like(data_rng, n_train=n_train, n_test=n_test, image_size=image_size)
+        specs = mnist_like_zoo_specs(image_size=image_size, num_classes=data.num_classes)
+    elif dataset == "cifar10":
+        data = make_cifar10_like(data_rng, n_train=n_train, n_test=n_test, image_size=image_size)
+        specs = cifar_like_zoo_specs(image_size=image_size, num_classes=data.num_classes)
+    else:
+        raise ValueError(f"unknown trained dataset {dataset!r}")
+    num_classes = data.num_classes
+    if not 1 <= classes_per_model <= num_classes:
+        raise ValueError(
+            f"classes_per_model must be in [1, {num_classes}], got {classes_per_model}"
+        )
+    networks = []
+    for index, spec in enumerate(specs):
+        allowed = {(index + j) % num_classes for j in range(classes_per_model)}
+        mask = np.isin(data.y_train, sorted(allowed))
+        init_rng = spawn_generator(zoo_seed, f"spec-init-{spec.name}-{index}")
+        train_rng = spawn_generator(zoo_seed, f"spec-train-{spec.name}-{index}")
+        network = build_model(spec, init_rng)
+        network.name = f"{spec.name}-spec{index}"
+        trainer = Trainer(network, optimizer=SGD(lr=0.05, momentum=0.9))
+        trainer.fit(
+            data.x_train[mask],
+            data.y_train[mask],
+            epochs=spec.epochs,
+            batch_size=64,
+            rng=train_rng,
+        )
+        networks.append(network)
+    specialist = profiles_from_networks(networks, x_pool, y_pool)
+    _CACHE[key] = (specialist, x_pool, y_pool)
+    return specialist

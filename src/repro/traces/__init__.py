@@ -1,0 +1,23 @@
+"""Trace generators substituting the paper's real-world data sources.
+
+* :mod:`repro.traces.workload` — London-Underground-like 15-minute passenger
+  counts driving per-edge inference workloads.
+* :mod:`repro.traces.carbon_prices` — EU-Carbon-Permit-like allowance prices.
+* :mod:`repro.traces.geo` — Australia-like base-station geography providing
+  heterogeneous model-download delays.
+"""
+
+from repro.traces.workload import WorkloadModel, generate_workload
+from repro.traces.carbon_prices import CarbonPriceModel, PriceSeries, generate_prices
+from repro.traces.geo import EdgeTopology, Site, generate_topology
+
+__all__ = [
+    "WorkloadModel",
+    "generate_workload",
+    "CarbonPriceModel",
+    "PriceSeries",
+    "generate_prices",
+    "EdgeTopology",
+    "Site",
+    "generate_topology",
+]

@@ -1,0 +1,126 @@
+"""Carbon allowance price traces (EU Carbon Permit substitute).
+
+The paper draws buying prices from EU Carbon Permits between March 2023 and
+March 2024, i.e. the range [5.9, 10.9] cent/kg, and sets the selling price
+to 90% of the buying price.  We generate a mean-reverting (Ornstein-
+Uhlenbeck-style) series clipped to the same range — the trading algorithms
+depend only on bounded, fluctuating, temporally correlated prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = [
+    "PriceSeries",
+    "CarbonPriceModel",
+    "RegimeShiftPriceModel",
+    "generate_prices",
+]
+
+
+@dataclass(frozen=True)
+class PriceSeries:
+    """Aligned buy/sell price arrays over the horizon (cent per kg CO2)."""
+
+    buy: np.ndarray
+    sell: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.buy.shape != self.sell.shape or self.buy.ndim != 1:
+            raise ValueError("buy and sell must be 1-D arrays of equal length")
+        if np.any(self.sell > self.buy + 1e-12):
+            raise ValueError("selling price must never exceed buying price")
+        if np.any(self.buy <= 0) or np.any(self.sell < 0):
+            raise ValueError("prices must be positive (buy) / non-negative (sell)")
+
+    @property
+    def horizon(self) -> int:
+        """Number of slots covered."""
+        return int(self.buy.size)
+
+
+@dataclass(frozen=True)
+class CarbonPriceModel:
+    """Mean-reverting price process clipped to the paper's EU-permit range.
+
+    ``p_{t+1} = p_t + kappa * (mu - p_t) + sigma * eps_t`` clipped to
+    ``[low, high]``; the sell price is ``sell_ratio * buy`` (paper: 90%).
+    """
+
+    low: float = 5.9
+    high: float = 10.9
+    kappa: float = 0.08
+    sigma: float = 0.35
+    sell_ratio: float = 0.9
+
+    def __post_init__(self) -> None:
+        check_positive(self.low, "low")
+        if self.high <= self.low:
+            raise ValueError(f"high ({self.high}) must exceed low ({self.low})")
+        check_in_range(self.kappa, "kappa", 0.0, 1.0)
+        check_in_range(self.sell_ratio, "sell_ratio", 0.0, 1.0)
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    @property
+    def mean_price(self) -> float:
+        """Long-run mean the process reverts to."""
+        return 0.5 * (self.low + self.high)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> PriceSeries:
+        """Simulate ``horizon`` slots of buy/sell prices."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        buy = np.empty(horizon)
+        price = rng.uniform(self.low, self.high)
+        for t in range(horizon):
+            buy[t] = price
+            shock = self.sigma * rng.standard_normal()
+            price = price + self.kappa * (self.mean_price - price) + shock
+            price = float(np.clip(price, self.low, self.high))
+        return PriceSeries(buy=buy, sell=self.sell_ratio * buy)
+
+
+@dataclass(frozen=True)
+class RegimeShiftPriceModel:
+    """Mean-reverting prices with an abrupt regime change (robustness tests).
+
+    Before ``shift_at`` (a fraction of the horizon) prices follow
+    ``before``; after it they follow ``after`` — e.g. the whole EU-permit
+    band jumping 30% on a policy announcement.  Online trading algorithms
+    with no price model must re-adapt; forecasters must not blow up.
+    """
+
+    before: CarbonPriceModel = CarbonPriceModel()
+    after: CarbonPriceModel = CarbonPriceModel(low=7.7, high=14.2)
+    shift_at: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_in_range(self.shift_at, "shift_at", 0.0, 1.0, inclusive=False)
+        if self.before.sell_ratio != self.after.sell_ratio:
+            raise ValueError("both regimes must use the same sell ratio")
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> PriceSeries:
+        """Simulate the two regimes back to back."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        first = max(int(round(self.shift_at * horizon)), 1)
+        second = horizon - first
+        head = self.before.generate(first, rng)
+        if second == 0:
+            return head
+        tail = self.after.generate(second, rng)
+        buy = np.concatenate([head.buy, tail.buy])
+        return PriceSeries(buy=buy, sell=self.before.sell_ratio * buy)
+
+
+def generate_prices(
+    horizon: int, rng: np.random.Generator, sell_ratio: float = 0.9
+) -> PriceSeries:
+    """Convenience wrapper: default :class:`CarbonPriceModel` series."""
+    return CarbonPriceModel(sell_ratio=sell_ratio).generate(horizon, rng)

@@ -1,0 +1,113 @@
+"""Cloud/edge geography (Australian base-station substitute).
+
+The paper places the cloud at one real Australian base station and edges at
+10-50 others, estimating network delay from geographical distance.  We
+generate seeded sites over an Australia-sized bounding box and derive each
+edge's model-download delay ``u_i`` from its great-circle distance to the
+cloud, which is all the algorithms consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.mathutils import haversine_km
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["Site", "EdgeTopology", "generate_topology"]
+
+# Mainland-Australia-like bounding box.
+_LAT_RANGE = (-38.0, -12.0)
+_LON_RANGE = (114.0, 153.0)
+
+
+@dataclass(frozen=True)
+class Site:
+    """A base-station site."""
+
+    name: str
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+    def distance_km(self, other: "Site") -> float:
+        """Great-circle distance to another site in kilometres."""
+        return float(
+            haversine_km(self.latitude, self.longitude, other.latitude, other.longitude)
+        )
+
+
+class EdgeTopology:
+    """A cloud site plus edge sites, with distance-derived download delays.
+
+    The download delay for edge ``i`` is
+    ``u_i = base_delay_s + per_km_s * distance_km(cloud, edge_i)``, measured
+    in seconds: a fixed wired-backbone latency plus a distance-proportional
+    component (speed-of-light propagation and routing detours).
+    """
+
+    def __init__(
+        self,
+        cloud: Site,
+        edges: list[Site],
+        base_delay_s: float = 1.0,
+        per_km_s: float = 0.0015,
+    ) -> None:
+        if not edges:
+            raise ValueError("topology needs at least one edge site")
+        self.cloud = cloud
+        self.edges = list(edges)
+        self.base_delay_s = check_nonnegative(base_delay_s, "base_delay_s")
+        self.per_km_s = check_nonnegative(per_km_s, "per_km_s")
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edge sites."""
+        return len(self.edges)
+
+    def distances_km(self) -> np.ndarray:
+        """Distance from the cloud to each edge, kilometres."""
+        return np.array([self.cloud.distance_km(edge) for edge in self.edges])
+
+    def download_delays(self) -> np.ndarray:
+        """Model-download delay ``u_i`` per edge, in seconds."""
+        return self.base_delay_s + self.per_km_s * self.distances_km()
+
+
+def generate_topology(
+    num_edges: int,
+    rng: np.random.Generator,
+    base_delay_s: float = 1.0,
+    per_km_s: float = 0.0015,
+) -> EdgeTopology:
+    """Sample a cloud site plus ``num_edges`` edge sites.
+
+    Sites cluster loosely toward the south-east (as Australian population
+    does) by mixing a coastal cluster with uniform outback sites.
+    """
+    check_positive(num_edges, "num_edges")
+    total = num_edges + 1
+
+    lat = np.empty(total)
+    lon = np.empty(total)
+    cluster = rng.random(total) < 0.7
+    n_cluster = int(cluster.sum())
+    # South-east coastal cluster around (-33.5, 149).
+    lat[cluster] = np.clip(rng.normal(-33.5, 3.0, n_cluster), *_LAT_RANGE)
+    lon[cluster] = np.clip(rng.normal(149.0, 4.0, n_cluster), *_LON_RANGE)
+    lat[~cluster] = rng.uniform(*_LAT_RANGE, total - n_cluster)
+    lon[~cluster] = rng.uniform(*_LON_RANGE, total - n_cluster)
+
+    cloud = Site(name="cloud", latitude=float(lat[0]), longitude=float(lon[0]))
+    edges = [
+        Site(name=f"edge-{i}", latitude=float(lat[i + 1]), longitude=float(lon[i + 1]))
+        for i in range(num_edges)
+    ]
+    return EdgeTopology(cloud, edges, base_delay_s=base_delay_s, per_km_s=per_km_s)

@@ -1,0 +1,7 @@
+"""Baseline carbon-trading policies (paper Section V-A)."""
+
+from repro.trading.random_trader import RandomTrading
+from repro.trading.threshold import ThresholdTrading
+from repro.trading.lyapunov import LyapunovTrading
+
+__all__ = ["RandomTrading", "ThresholdTrading", "LyapunovTrading"]

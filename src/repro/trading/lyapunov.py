@@ -1,0 +1,74 @@
+"""Lyapunov drift-plus-penalty carbon trading baseline.
+
+The paper's state-of-the-art trading baseline ("LY", after Yang et al. and
+related carbon-neutral scheduling work): maintain a virtual queue tracking
+the cumulative neutrality violation,
+
+    Q^{t+1} = [Q^t + e^t - R/T - z^t + w^t]^+ ,
+
+and at each slot minimize the drift-plus-penalty bound
+
+    V * (z c^t - w r^t) + Q^t * (e - R/T - z + w)
+
+over ``0 <= z, w <= bound``.  The objective is linear in ``(z, w)``, so the
+minimizer is bang-bang: buy the maximum when ``Q^t > V c^t`` (the queue
+pressure outweighs the purchase price) and sell the maximum when
+``Q^t < V r^t`` (selling revenue outweighs the queue pressure).
+"""
+
+from __future__ import annotations
+
+from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["LyapunovTrading"]
+
+
+class LyapunovTrading(TradingPolicy):
+    """Virtual-queue drift-plus-penalty trading (paper "LY").
+
+    Parameters
+    ----------
+    v:
+        The drift-plus-penalty trade-off weight ``V``; larger values weigh
+        trading cost more against queue (violation) growth.
+    trade_fraction:
+        Fraction of the feasible trade bound used as the bang-bang quantity,
+        smoothing the all-or-nothing behaviour slightly.
+    """
+
+    name = "LY"
+
+    def __init__(self, v: float = 1.0, trade_fraction: float = 0.5) -> None:
+        check_positive(v, "v")
+        check_positive(trade_fraction, "trade_fraction")
+        if trade_fraction > 1.0:
+            raise ValueError(f"trade_fraction must be <= 1, got {trade_fraction}")
+        self.v = v
+        self.trade_fraction = trade_fraction
+        self._queue = 0.0
+        self._queue_history: list[float] = []
+
+    @property
+    def queue(self) -> float:
+        """Current virtual-queue backlog ``Q^t``."""
+        return self._queue
+
+    @property
+    def queue_history(self) -> list[float]:
+        """Queue value after every completed slot."""
+        return list(self._queue_history)
+
+    def decide(self, context: TradingContext) -> TradeDecision:
+        quantity = self.trade_fraction * context.trade_bound
+        buy = quantity if self._queue > self.v * context.buy_price else 0.0
+        sell = quantity if self._queue < self.v * context.sell_price else 0.0
+        return TradeDecision(buy=buy, sell=sell)
+
+    def observe(
+        self, context: TradingContext, decision: TradeDecision, emissions: float
+    ) -> None:
+        check_nonnegative(emissions, "emissions")
+        drift = emissions - context.cap_per_slot - decision.buy + decision.sell
+        self._queue = max(self._queue + drift, 0.0)
+        self._queue_history.append(self._queue)

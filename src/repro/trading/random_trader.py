@@ -1,0 +1,33 @@
+"""Random carbon trading baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
+from repro.utils.validation import check_in_range
+
+__all__ = ["RandomTrading"]
+
+
+class RandomTrading(TradingPolicy):
+    """Buys and sells uniformly random quantities each slot (paper "Ran").
+
+    Quantities are drawn from ``[0, intensity * trade_bound]``, independent
+    of prices, workload and the cap — the paper's point of comparison for a
+    policy with no signal at all.
+    """
+
+    name = "Ran"
+
+    def __init__(self, rng: np.random.Generator, intensity: float = 0.25) -> None:
+        check_in_range(intensity, "intensity", 0.0, 1.0)
+        self._rng = rng
+        self.intensity = intensity
+
+    def decide(self, context: TradingContext) -> TradeDecision:
+        high = self.intensity * context.trade_bound
+        return TradeDecision(
+            buy=float(self._rng.uniform(0.0, high)),
+            sell=float(self._rng.uniform(0.0, high)),
+        )

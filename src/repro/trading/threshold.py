@@ -1,0 +1,46 @@
+"""Threshold carbon trading baseline."""
+
+from __future__ import annotations
+
+from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["ThresholdTrading"]
+
+
+class ThresholdTrading(TradingPolicy):
+    """Price-threshold trading (paper "TH").
+
+    Buys a fixed quantity whenever the buying price drops below
+    ``buy_threshold`` and sells a fixed quantity whenever the selling price
+    rises above ``sell_threshold``.  Quantities default to the running mean
+    of slot emissions so the policy is at least scale-aware, but — as the
+    paper notes — its decisions are unrelated to the cap or the workload.
+    """
+
+    name = "TH"
+
+    def __init__(
+        self,
+        buy_threshold: float,
+        sell_threshold: float,
+        quantity: float | None = None,
+    ) -> None:
+        check_positive(buy_threshold, "buy_threshold")
+        check_positive(sell_threshold, "sell_threshold")
+        self.buy_threshold = buy_threshold
+        self.sell_threshold = sell_threshold
+        if quantity is not None:
+            check_nonnegative(quantity, "quantity")
+        self.quantity = quantity
+
+    def _quantity(self, context: TradingContext) -> float:
+        if self.quantity is not None:
+            return self.quantity
+        return context.mean_slot_emissions
+
+    def decide(self, context: TradingContext) -> TradeDecision:
+        quantity = self._clip(self._quantity(context), context.trade_bound)
+        buy = quantity if context.buy_price < self.buy_threshold else 0.0
+        sell = quantity if context.sell_price > self.sell_threshold else 0.0
+        return TradeDecision(buy=buy, sell=sell)

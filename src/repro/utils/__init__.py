@@ -1,0 +1,36 @@
+"""Shared low-level utilities: seeded RNG streams, validation, math helpers."""
+
+from repro.utils.rng import RngFactory, spawn_generator
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability_vector,
+)
+from repro.utils.mathutils import (
+    clip_to_simplex,
+    cummax,
+    haversine_km,
+    moving_average,
+    normalize,
+    positive_part,
+    softmax,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn_generator",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability_vector",
+    "clip_to_simplex",
+    "cummax",
+    "haversine_km",
+    "moving_average",
+    "normalize",
+    "positive_part",
+    "softmax",
+]

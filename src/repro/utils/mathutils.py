@@ -1,0 +1,98 @@
+"""Small numeric helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "clip_to_simplex",
+    "cummax",
+    "haversine_km",
+    "moving_average",
+    "normalize",
+    "positive_part",
+    "softmax",
+]
+
+_EARTH_RADIUS_KM = 6371.0088
+
+
+def positive_part(x: float | np.ndarray) -> float | np.ndarray:
+    """Elementwise ``max(x, 0)`` — the paper's ``[.]^+`` operator."""
+    if np.isscalar(x):
+        return max(float(x), 0.0)
+    return np.maximum(np.asarray(x, dtype=float), 0.0)
+
+
+def normalize(x: np.ndarray) -> np.ndarray:
+    """Scale a non-negative vector to sum to one (uniform if all-zero)."""
+    arr = np.asarray(x, dtype=float)
+    total = arr.sum()
+    if total <= 0:
+        return np.full_like(arr, 1.0 / max(arr.size, 1))
+    return arr / total
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    z = np.asarray(logits, dtype=float)
+    z = z - np.max(z, axis=axis, keepdims=True)
+    expz = np.exp(z)
+    return expz / np.sum(expz, axis=axis, keepdims=True)
+
+
+def clip_to_simplex(v: np.ndarray) -> np.ndarray:
+    """Euclidean projection of a vector onto the probability simplex.
+
+    Implements the sort-based algorithm of Held, Wolfe & Crowder (1974).
+    """
+    arr = np.asarray(v, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a vector, got shape {arr.shape}")
+    n = arr.size
+    if n == 0:
+        raise ValueError("cannot project an empty vector")
+    u = np.sort(arr)[::-1]
+    css = np.cumsum(u) - 1.0
+    ks = np.arange(1, n + 1)
+    cond = u - css / ks > 0
+    rho = int(np.nonzero(cond)[0][-1]) + 1
+    theta = css[rho - 1] / rho
+    return np.maximum(arr - theta, 0.0)
+
+
+def cummax(x: np.ndarray) -> np.ndarray:
+    """Running maximum of a 1-D array."""
+    return np.maximum.accumulate(np.asarray(x, dtype=float))
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Trailing moving average with a ramp-up (same length as input)."""
+    arr = np.asarray(x, dtype=float)
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if window == 1 or arr.size == 0:
+        return arr.copy()
+    csum = np.cumsum(arr)
+    out = np.empty_like(arr)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def haversine_km(
+    lat1: float | np.ndarray,
+    lon1: float | np.ndarray,
+    lat2: float | np.ndarray,
+    lon2: float | np.ndarray,
+) -> float | np.ndarray:
+    """Great-circle distance between points given in degrees, in kilometres."""
+    phi1, phi2 = np.radians(lat1), np.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = np.radians(np.asarray(lon2, dtype=float) - np.asarray(lon1, dtype=float))
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    distance = 2.0 * _EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+    if np.isscalar(lat1) and np.isscalar(lat2) and np.isscalar(lon1) and np.isscalar(lon2):
+        return float(distance)
+    return distance

@@ -1,0 +1,63 @@
+"""Argument-validation helpers raising uniform, descriptive errors."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability_vector",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in ``[low, high]`` (or open)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not np.isfinite(value) or not ok:
+        brackets = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {brackets[0]}{low}, {high}{brackets[1]}, got {value!r}"
+        )
+    return float(value)
+
+
+def check_finite(array: Any, name: str) -> np.ndarray:
+    """Coerce to ``ndarray`` and raise ``ValueError`` on NaN/inf entries."""
+    arr = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_probability_vector(p: Any, name: str, *, atol: float = 1e-8) -> np.ndarray:
+    """Validate that ``p`` is a probability vector (non-negative, sums to 1)."""
+    arr = check_finite(p, name)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} has negative entries: min={arr.min()!r}")
+    total = float(arr.sum())
+    if abs(total - 1.0) > max(atol, 1e-6):
+        raise ValueError(f"{name} must sum to 1, got {total!r}")
+    return np.clip(arr, 0.0, None) / max(total, 1e-300)

@@ -1,0 +1,50 @@
+"""Shared fixtures: RNGs and small reusable scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import Scenario, build_scenario
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ScenarioConfig:
+    """A tiny synthetic scenario config shared across the test session."""
+    return ScenarioConfig(
+        dataset="synthetic",
+        num_edges=3,
+        horizon=40,
+        num_models=4,
+        n_test=500,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_scenario(small_config: ScenarioConfig) -> Scenario:
+    """The materialized tiny scenario."""
+    return build_scenario(small_config)
+
+
+@pytest.fixture(scope="session")
+def mnist_scenario() -> Scenario:
+    """A scenario backed by the trained MNIST-like zoo (small sizes)."""
+    config = ScenarioConfig(
+        dataset="mnist",
+        num_edges=2,
+        horizon=20,
+        num_models=6,
+        n_train=600,
+        n_test=800,
+        seed=0,
+        zoo_seed=77,
+    )
+    return build_scenario(config)

@@ -1,0 +1,153 @@
+"""Tests for theoretical bounds and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    block_count_bound,
+    suboptimality_gaps,
+    theorem1_bound,
+    theorem2_bounds,
+    theorem3_bound,
+)
+from repro.analysis.diagnostics import (
+    dual_tracking_error,
+    emission_coverage_ratio,
+    exploration_fraction,
+    switch_rate_series,
+)
+from repro.core.blocks import build_schedule
+from repro.experiments.runner import run_combo
+
+
+class TestBlockCountBound:
+    @pytest.mark.parametrize("u", [0.5, 2.0, 10.0])
+    @pytest.mark.parametrize("horizon", [50, 400])
+    def test_dominates_actual_block_count(self, u, horizon):
+        schedule = build_schedule(horizon, u, 6)
+        assert schedule.num_blocks <= block_count_bound(u, 6, horizon) + 1
+
+    def test_zero_switch_cost_gives_horizon(self):
+        assert block_count_bound(0.0, 6, 100) == 100.0
+
+    def test_decreases_with_switch_cost(self):
+        assert block_count_bound(10.0, 6, 400) < block_count_bound(1.0, 6, 400)
+
+
+class TestSuboptimalityGaps:
+    def test_best_arm_has_zero_gap(self):
+        gaps = suboptimality_gaps(
+            np.array([0.2, 0.5]), np.array([[0.1, 0.1], [0.0, 0.0]])
+        )
+        assert gaps.shape == (2, 2)
+        np.testing.assert_allclose(gaps.min(axis=1), [0.0, 0.0])
+
+    def test_latency_can_flip_best_arm(self):
+        gaps = suboptimality_gaps(
+            np.array([0.2, 0.3]), np.array([[0.5, 0.0]])
+        )
+        assert gaps[0, 1] == 0.0  # arm 1 best despite higher loss
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            suboptimality_gaps(np.array([0.1]), np.zeros((2, 3)))
+
+
+class TestTheorem1Bound:
+    def test_grows_as_cube_root_of_horizon(self):
+        # The + u^2 + ln T terms dilute the ratio at small T, so compare
+        # at large horizons where the T^(1/3) term dominates.
+        gaps = np.array([0.0, 0.3, 0.6])
+        small = theorem1_bound(2.0, 3, 10**5, gaps)
+        large = theorem1_bound(2.0, 3, 8 * 10**5, gaps)
+        assert large / small == pytest.approx(2.0, rel=0.05)  # 8^(1/3)
+
+    def test_identical_arms_no_regret(self):
+        assert theorem1_bound(2.0, 3, 100, np.zeros(3)) == 0.0
+
+    def test_smaller_gaps_larger_bound(self):
+        wide = theorem1_bound(2.0, 2, 100, np.array([0.0, 0.5]))
+        narrow = theorem1_bound(2.0, 2, 100, np.array([0.0, 0.05]))
+        assert narrow > wide
+
+    def test_dominates_measured_bandit_regret(self):
+        """Algorithm 1's measured regret+switching must sit under the bound."""
+        from tests.test_theory_properties import bandit_regret
+
+        means = np.array([0.2, 0.5, 0.8, 1.1])
+        gaps = means - means.min()
+        for horizon in (400, 1600):
+            regret, switches = bandit_regret(horizon, seed=0, switch_cost=2.0)
+            measured = regret + 2.0 * switches
+            bound = theorem1_bound(2.0, 4, horizon, gaps)
+            assert measured <= bound, f"T={horizon}: {measured} > {bound}"
+
+
+class TestTheorem2And3:
+    def test_theorem2_scaling(self):
+        regret_a, fit_a = theorem2_bounds(100)
+        regret_b, fit_b = theorem2_bounds(800)
+        assert regret_b / regret_a == pytest.approx(4.0)  # 8^(2/3)
+        assert fit_a == regret_a
+
+    def test_theorem3_combines_terms(self):
+        u = np.array([1.0, 2.0])
+        gaps = np.array([[0.0, 0.4], [0.0, 0.4]])
+        total = theorem3_bound(u, 2, 200, gaps)
+        parts = (
+            theorem1_bound(1.0, 2, 200, gaps[0])
+            + theorem1_bound(2.0, 2, 200, gaps[1])
+            + theorem2_bounds(200)[0]
+        )
+        assert total == pytest.approx(parts)
+
+    def test_theorem3_shape_validation(self):
+        with pytest.raises(ValueError):
+            theorem3_bound(np.array([1.0]), 3, 100, np.zeros((2, 3)))
+
+
+class TestDiagnostics:
+    @pytest.fixture(scope="class")
+    def runs(self, small_scenario):
+        ours = run_combo(small_scenario, "Ours", "Ours", seed=0)
+        random = run_combo(small_scenario, "Ran", "Ran", seed=0)
+        return ours, random
+
+    def test_exploration_fraction_ordering(self, runs):
+        ours, random = runs
+        assert 0.0 <= exploration_fraction(ours) < exploration_fraction(random)
+
+    def test_switch_rate_random_near_uniform(self, runs, small_scenario):
+        _, random = runs
+        n = small_scenario.num_models
+        rate = switch_rate_series(random, window=40)[-1]
+        assert rate == pytest.approx((n - 1) / n, abs=0.15)
+
+    def test_switch_rate_ours_decays(self, runs):
+        ours, _ = runs
+        series = switch_rate_series(ours, window=10)
+        assert series[-1] < series[0]
+
+    def test_emission_coverage_approaches_one(self, runs):
+        ours, _ = runs
+        coverage = emission_coverage_ratio(ours)
+        assert coverage[-1] == pytest.approx(1.0, abs=0.15)
+
+    def test_dual_tracking_error(self, small_scenario):
+        from repro.core import OnlineCarbonTrading
+        from repro.experiments.runner import make_selection_policies
+        from repro.sim.simulator import Simulator
+        from repro.utils.rng import RngFactory
+
+        trading = OnlineCarbonTrading()
+        selection = make_selection_policies("Ours", small_scenario, RngFactory(0))
+        Simulator(small_scenario, selection, trading, run_seed=0).run()
+        error = dual_tracking_error(trading.lambda_history, small_scenario.prices.buy)
+        # The multiplier shadows the price level once trading equilibrates.
+        assert error < 0.8 * float(np.mean(small_scenario.prices.buy))
+
+    def test_dual_tracking_validation(self):
+        with pytest.raises(ValueError):
+            dual_tracking_error([1.0], np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            dual_tracking_error([], np.array([]))

@@ -1,0 +1,58 @@
+"""Whole-package API surface checks.
+
+Every module must import cleanly, every ``__all__`` name must resolve, and
+docstring examples must execute.  These tests catch broken exports and
+stale documentation across the entire package at once.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+MODULE_NAMES = sorted(set(_iter_module_names()))
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        assert hasattr(module, export), f"{name}.__all__ lists missing {export!r}"
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_public_callables_have_docstrings(name):
+    module = importlib.import_module(name)
+    for export in getattr(module, "__all__", []):
+        obj = getattr(module, export)
+        if callable(obj) and getattr(obj, "__module__", "").startswith("repro"):
+            assert obj.__doc__, f"{name}.{export} lacks a docstring"
+
+
+def test_docstring_examples_execute():
+    """Run doctests in the modules that carry executable examples."""
+    for name in ("repro.utils.rng",):
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False)
+        assert result.failed == 0, f"doctest failures in {name}"
+        assert result.attempted > 0
+
+
+def test_version_is_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2

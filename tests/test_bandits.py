@@ -1,0 +1,177 @@
+"""Tests for the baseline bandit selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import (
+    EpsilonGreedySelection,
+    Exp3Selection,
+    GreedySelection,
+    RandomSelection,
+    TsallisInfSelection,
+    UCB1Selection,
+    UCB2Selection,
+)
+
+
+def drive(policy, loss_fn, horizon, rng):
+    selections = []
+    for t in range(horizon):
+        model = policy.select(t)
+        policy.observe(t, model, loss_fn(model, rng))
+        selections.append(model)
+    return np.array(selections)
+
+
+def gapped_loss(means):
+    def loss_fn(m, rng):
+        return float(np.clip(means[m] + 0.05 * rng.standard_normal(), 0, 2.5))
+
+    return loss_fn
+
+
+class TestRandomSelection:
+    def test_covers_all_arms(self):
+        policy = RandomSelection(4, np.random.default_rng(0))
+        selections = drive(policy, lambda m, r: 1.0, 200, np.random.default_rng(1))
+        assert set(np.unique(selections)) == {0, 1, 2, 3}
+
+    def test_roughly_uniform(self):
+        policy = RandomSelection(4, np.random.default_rng(2))
+        selections = drive(policy, lambda m, r: 1.0, 4000, np.random.default_rng(3))
+        counts = np.bincount(selections, minlength=4)
+        assert counts.min() > 800
+
+    def test_invalid_num_models(self):
+        with pytest.raises(ValueError):
+            RandomSelection(0, np.random.default_rng(0))
+
+
+class TestGreedySelection:
+    def test_picks_lowest_energy(self):
+        policy = GreedySelection(3, energies=np.array([3.0, 1.0, 2.0]))
+        assert policy.choice == 1
+        assert policy.select(0) == 1
+        assert policy.select(5) == 1
+
+    def test_never_switches(self):
+        policy = GreedySelection(3, energies=np.array([3.0, 1.0, 2.0]))
+        selections = drive(policy, lambda m, r: 9.9, 100, np.random.default_rng(0))
+        assert len(np.unique(selections)) == 1
+
+    def test_energy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GreedySelection(3, energies=np.array([1.0, 2.0]))
+
+
+class TestEpsilonGreedy:
+    def test_finds_best_arm(self):
+        policy = EpsilonGreedySelection(4, np.random.default_rng(4), epsilon=0.3)
+        selections = drive(
+            policy, gapped_loss([0.1, 1.0, 1.0, 1.0]), 2000, np.random.default_rng(5)
+        )
+        counts = np.bincount(selections, minlength=4)
+        assert counts[0] == max(counts)
+        assert counts[0] > 1000
+
+    def test_tries_every_arm_first(self):
+        policy = EpsilonGreedySelection(5, np.random.default_rng(6))
+        first = []
+        for t in range(5):
+            m = policy.select(t)
+            policy.observe(t, m, 1.0)
+            first.append(m)
+        assert sorted(first) == [0, 1, 2, 3, 4]
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedySelection(3, np.random.default_rng(0), epsilon=1.5)
+
+
+class TestUCB1:
+    def test_finds_best_arm(self):
+        policy = UCB1Selection(4)
+        selections = drive(
+            policy, gapped_loss([0.1, 1.0, 1.0, 1.0]), 2000, np.random.default_rng(7)
+        )
+        counts = np.bincount(selections, minlength=4)
+        assert counts[0] > 1200
+
+    def test_invalid_loss_range(self):
+        with pytest.raises(ValueError):
+            UCB1Selection(3, loss_range=0.0)
+
+
+class TestUCB2:
+    def test_finds_best_arm(self):
+        policy = UCB2Selection(4)
+        selections = drive(
+            policy, gapped_loss([0.1, 1.0, 1.0, 1.0]), 2000, np.random.default_rng(8)
+        )
+        counts = np.bincount(selections, minlength=4)
+        assert counts[0] > 1200
+
+    def test_logarithmic_switching(self):
+        """UCB2's epoch structure keeps switches O(log T) per arm."""
+        policy = UCB2Selection(4, alpha=0.5)
+        selections = drive(
+            policy, gapped_loss([0.2, 0.5, 0.8, 1.1]), 4000, np.random.default_rng(9)
+        )
+        switches = int(np.sum(selections[1:] != selections[:-1]))
+        assert switches < 250  # Random would switch ~3000 times
+
+    def test_switches_fewer_than_ucb1(self):
+        def count_switches(policy):
+            selections = drive(
+                policy, gapped_loss([0.2, 0.6, 1.0, 1.4]), 1500, np.random.default_rng(10)
+            )
+            return int(np.sum(selections[1:] != selections[:-1]))
+
+        assert count_switches(UCB2Selection(4)) <= count_switches(UCB1Selection(4))
+
+    def test_epochs_grow_geometrically(self):
+        policy = UCB2Selection(2, alpha=0.5)
+        # tau(r) = ceil(1.5^r): 1, 2, 3, 4, 6, 8 ...
+        assert policy._tau(0) == 1
+        assert policy._tau(3) == 4
+        assert policy._tau(6) > 2 * policy._tau(3)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            UCB2Selection(3, alpha=1.0)
+
+
+class TestExp3:
+    def test_finds_best_arm(self):
+        policy = Exp3Selection(4, np.random.default_rng(11))
+        selections = drive(
+            policy, gapped_loss([0.1, 1.2, 1.2, 1.2]), 4000, np.random.default_rng(12)
+        )
+        counts = np.bincount(selections, minlength=4)
+        assert counts[0] == max(counts)
+
+    def test_probabilities_valid(self):
+        policy = Exp3Selection(3, np.random.default_rng(13))
+        drive(policy, gapped_loss([0.5, 1.0, 1.5]), 100, np.random.default_rng(14))
+        p = policy._probabilities()
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+
+class TestTsallisInf:
+    def test_unit_blocks(self):
+        policy = TsallisInfSelection(4, horizon=50, rng=np.random.default_rng(15))
+        assert policy.schedule.num_blocks == 50
+        assert np.all(policy.schedule.lengths == 1)
+
+    def test_finds_best_arm(self):
+        policy = TsallisInfSelection(4, horizon=2000, rng=np.random.default_rng(16))
+        selections = drive(
+            policy, gapped_loss([0.1, 1.0, 1.0, 1.0]), 2000, np.random.default_rng(17)
+        )
+        counts = np.bincount(selections, minlength=4)
+        assert counts[0] > 1000
+
+    def test_name(self):
+        policy = TsallisInfSelection(4, horizon=10, rng=np.random.default_rng(18))
+        assert policy.name == "TINF"

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.selection == "Ours"
+        assert args.trading == "Ours"
+        assert args.edges == 10
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--selection", "Thompson"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSimulateCommand:
+    def test_runs_and_prints_summary(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--selection", "Greedy",
+                "--trading", "LY",
+                "--edges", "2",
+                "--horizon", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Greedy-LY" in out
+        assert "total_cost" in out
+
+    def test_offline_trading_option(self, capsys):
+        code = main(
+            ["simulate", "--trading", "Offline", "--edges", "2", "--horizon", "16"]
+        )
+        assert code == 0
+        assert "Offline" in capsys.readouterr().out
+
+    def test_save_json(self, capsys, tmp_path):
+        target = tmp_path / "run.json"
+        code = main(
+            [
+                "simulate",
+                "--edges", "2",
+                "--horizon", "16",
+                "--save-json", str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        from repro.sim.io import load_result_json
+
+        assert load_result_json(target).horizon == 16
+
+    def test_save_npz(self, capsys, tmp_path):
+        target = tmp_path / "run.npz"
+        code = main(
+            ["simulate", "--edges", "2", "--horizon", "16", "--save-npz", str(target)]
+        )
+        assert code == 0
+        from repro.sim.io import load_result_npz
+
+        assert load_result_npz(target).num_edges == 2
+
+    def test_switching_weight_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--edges", "2",
+                "--horizon", "16",
+                "--switching-weight", "4.0",
+            ]
+        )
+        assert code == 0
+
+
+class TestExperimentCommand:
+    def test_runs_named_figure(self, capsys):
+        code = main(["experiment", "fig14"])
+        assert code == 0
+        assert "Fig. 14" in capsys.readouterr().out
+
+    def test_unknown_figure_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestZooCommand:
+    def test_prints_zoo_table(self, capsys):
+        code = main(
+            ["zoo", "--dataset", "mnist", "--zoo-seed", "55",
+             "--n-train", "300", "--n-test", "300"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mnist zoo" in out
+        assert "cnn-32" in out
+
+    def test_quantized_variants_shown(self, capsys):
+        code = main(
+            ["zoo", "--dataset", "mnist", "--zoo-seed", "55",
+             "--n-train", "300", "--n-test", "300", "--bits", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "int8 variants" in out
+        assert "-int8" in out

@@ -1,0 +1,185 @@
+"""Tests for Algorithm 2 (online carbon trading)."""
+
+import numpy as np
+import pytest
+
+from repro.core.carbon_trading import OnlineCarbonTrading
+from repro.policies.trading import TradeDecision, TradingContext
+
+
+def make_context(
+    t=1,
+    horizon=100,
+    cap=100.0,
+    buy=8.0,
+    sell=7.2,
+    prev_buy=8.0,
+    prev_sell=7.2,
+    prev_emissions=10.0,
+    cumulative=10.0,
+    holdings=100.0,
+    mean_emissions=10.0,
+    bound=50.0,
+):
+    return TradingContext(
+        t=t,
+        horizon=horizon,
+        cap=cap,
+        buy_price=buy,
+        sell_price=sell,
+        prev_buy_price=prev_buy,
+        prev_sell_price=prev_sell,
+        prev_emissions=prev_emissions,
+        cumulative_emissions=cumulative,
+        holdings=holdings,
+        mean_slot_emissions=mean_emissions,
+        trade_bound=bound,
+    )
+
+
+class TestPrimalStep:
+    def test_first_slot_trades_nothing(self):
+        policy = OnlineCarbonTrading()
+        decision = policy.decide(make_context(t=0))
+        assert decision.buy == 0.0
+        assert decision.sell == 0.0
+
+    def test_closed_form_matches_theorem_formula(self):
+        """z^t = [z^{t-1} - gamma2 (c^{t-1} - lambda)]^+, same for w."""
+        policy = OnlineCarbonTrading(gamma1=0.1, gamma2=2.0)
+        # Manufacture internal state: one observation raises lambda.
+        ctx0 = make_context(t=0)
+        policy.observe(ctx0, TradeDecision(buy=3.0, sell=1.0), emissions=30.0)
+        lam = policy.dual_variable
+        assert lam == pytest.approx(0.1 * (30.0 - 1.0 - 3.0 + 1.0))
+
+        ctx = make_context(t=1, prev_buy=8.0, prev_sell=7.2)
+        decision = policy.decide(ctx)
+        expected_buy = min(max(3.0 - 2.0 * (8.0 - lam), 0.0), ctx.trade_bound)
+        expected_sell = min(max(1.0 - 2.0 * (lam - 7.2), 0.0), ctx.trade_bound)
+        assert decision.buy == pytest.approx(expected_buy)
+        assert decision.sell == pytest.approx(expected_sell)
+
+    def test_primal_step_minimizes_one_shot_objective(self):
+        """The closed form must solve P2^t over the box numerically."""
+        policy = OnlineCarbonTrading(gamma1=0.2, gamma2=3.0)
+        ctx0 = make_context(t=0)
+        policy.observe(ctx0, TradeDecision(buy=2.0, sell=0.5), emissions=25.0)
+        lam = policy.dual_variable
+        prev = np.array([2.0, 0.5])
+        ctx = make_context(t=1, prev_buy=9.0, prev_sell=8.1, prev_emissions=25.0)
+        decision = policy.decide(ctx)
+
+        grad_f = np.array([9.0, -8.1])  # gradient of f^{t-1} at Z^{t-1}
+
+        def objective(z, w):
+            zvec = np.array([z, w])
+            g_prev = 25.0 - ctx.cap_per_slot - z + w
+            return (
+                grad_f @ (zvec - prev)
+                + lam * g_prev
+                + np.sum((zvec - prev) ** 2) / (2 * 3.0)
+            )
+
+        best = objective(decision.buy, decision.sell)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            z = rng.uniform(0, ctx.trade_bound)
+            w = rng.uniform(0, ctx.trade_bound)
+            assert objective(z, w) >= best - 1e-8
+
+    def test_high_dual_triggers_buying(self):
+        policy = OnlineCarbonTrading(gamma1=1.0, gamma2=1.0)
+        # Huge uncovered emissions -> lambda spikes above the price.
+        policy.observe(make_context(t=0), TradeDecision(0.0, 0.0), emissions=100.0)
+        decision = policy.decide(make_context(t=1))
+        assert decision.buy > 0.0
+        assert decision.sell == 0.0
+
+    def test_low_dual_triggers_selling(self):
+        policy = OnlineCarbonTrading(gamma1=1.0, gamma2=1.0)
+        # No emissions at all: lambda stays zero, selling is profitable.
+        policy.observe(make_context(t=0), TradeDecision(0.0, 0.0), emissions=0.0)
+        assert policy.dual_variable == 0.0
+        decision = policy.decide(make_context(t=1))
+        assert decision.sell > 0.0
+        assert decision.buy == 0.0
+
+    def test_decisions_respect_bound(self):
+        policy = OnlineCarbonTrading(gamma1=5.0, gamma2=100.0)
+        policy.observe(make_context(t=0), TradeDecision(0.0, 0.0), emissions=500.0)
+        decision = policy.decide(make_context(t=1, bound=10.0))
+        assert 0.0 <= decision.buy <= 10.0
+        assert 0.0 <= decision.sell <= 10.0
+
+
+class TestDualStep:
+    def test_dual_update_formula(self):
+        policy = OnlineCarbonTrading(gamma1=0.5, gamma2=1.0)
+        ctx = make_context(t=0, horizon=50, cap=100.0)
+        policy.observe(ctx, TradeDecision(buy=4.0, sell=1.0), emissions=10.0)
+        g = 10.0 - 100.0 / 50 - 4.0 + 1.0
+        assert policy.dual_variable == pytest.approx(max(0.5 * g, 0.0))
+
+    def test_dual_never_negative(self):
+        policy = OnlineCarbonTrading(gamma1=1.0, gamma2=1.0)
+        ctx = make_context(t=0, cap=1000.0, horizon=10)
+        policy.observe(ctx, TradeDecision(0.0, 0.0), emissions=0.0)  # g very negative
+        assert policy.dual_variable == 0.0
+
+    def test_lambda_history_recorded(self):
+        policy = OnlineCarbonTrading()
+        for t in range(3):
+            ctx = make_context(t=t)
+            policy.observe(ctx, TradeDecision(0.0, 0.0), emissions=20.0)
+        assert len(policy.lambda_history) == 3
+
+    def test_negative_emissions_rejected(self):
+        policy = OnlineCarbonTrading()
+        with pytest.raises(ValueError):
+            policy.observe(make_context(t=0), TradeDecision(0.0, 0.0), emissions=-1.0)
+
+
+class TestLongRunBehaviour:
+    def _simulate(self, rectified=True, horizon=400, emissions_level=20.0):
+        policy = OnlineCarbonTrading(gamma1=0.2, gamma2=4.0, rectified=rectified)
+        rng = np.random.default_rng(0)
+        cap = 100.0
+        bought = sold = emitted = 0.0
+        for t in range(horizon):
+            price = float(rng.uniform(5.9, 10.9))
+            ctx = make_context(
+                t=t,
+                horizon=horizon,
+                cap=cap,
+                buy=price,
+                sell=0.9 * price,
+                prev_buy=price,
+                prev_sell=0.9 * price,
+                bound=80.0,
+            )
+            decision = policy.decide(ctx)
+            emissions = float(emissions_level * rng.uniform(0.5, 1.5))
+            policy.observe(ctx, decision, emissions)
+            bought += decision.buy
+            sold += decision.sell
+            emitted += emissions
+        violation = max(emitted - (cap + bought - sold), 0.0)
+        return violation, emitted
+
+    def test_long_run_violation_is_small(self):
+        violation, emitted = self._simulate()
+        assert violation < 0.05 * emitted
+
+    def test_step_sizes_for_horizon_scaling(self):
+        g1_small, g2_small = OnlineCarbonTrading.step_sizes_for_horizon(160)
+        g1_large, g2_large = OnlineCarbonTrading.step_sizes_for_horizon(1280)
+        # gamma = O(T^{-1/3}): doubling T three times halves the step.
+        assert g1_large == pytest.approx(g1_small / 2)
+        assert g2_large == pytest.approx(g2_small / 2)
+
+    def test_invalid_step_sizes(self):
+        with pytest.raises(ValueError):
+            OnlineCarbonTrading(gamma1=0.0)
+        with pytest.raises(ValueError):
+            OnlineCarbonTrading(gamma2=-1.0)

@@ -1,0 +1,64 @@
+"""Tests for the importance-weighted loss estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import ImportanceWeightedEstimator
+
+
+class TestImportanceWeightedEstimator:
+    def test_single_update(self):
+        estimator = ImportanceWeightedEstimator(3)
+        estimate = estimator.update(1, observed_loss=2.0, probabilities=np.array([0.5, 0.25, 0.25]))
+        np.testing.assert_allclose(estimate, [0.0, 8.0, 0.0])
+        np.testing.assert_allclose(estimator.cumulative, [0.0, 8.0, 0.0])
+        assert estimator.observations == 1
+
+    def test_accumulates(self):
+        estimator = ImportanceWeightedEstimator(2)
+        p = np.array([0.5, 0.5])
+        estimator.update(0, 1.0, p)
+        estimator.update(0, 1.0, p)
+        np.testing.assert_allclose(estimator.cumulative, [4.0, 0.0])
+
+    def test_unbiasedness(self):
+        """E[c_hat] must equal the true loss vector under the sampling law."""
+        rng = np.random.default_rng(0)
+        true_losses = np.array([1.0, 2.0, 4.0])
+        p = np.array([0.5, 0.3, 0.2])
+        trials = 40000
+        total = np.zeros(3)
+        for _ in range(trials):
+            estimator = ImportanceWeightedEstimator(3)
+            arm = rng.choice(3, p=p)
+            total += estimator.update(int(arm), float(true_losses[arm]), p)
+        np.testing.assert_allclose(total / trials, true_losses, rtol=0.05)
+
+    def test_zero_probability_arm_rejected(self):
+        estimator = ImportanceWeightedEstimator(2)
+        with pytest.raises(ValueError, match="zero sampling probability"):
+            estimator.update(0, 1.0, np.array([0.0, 1.0]))
+
+    def test_invalid_arm_rejected(self):
+        estimator = ImportanceWeightedEstimator(2)
+        with pytest.raises(ValueError):
+            estimator.update(2, 1.0, np.array([0.5, 0.5]))
+
+    def test_nonfinite_loss_rejected(self):
+        estimator = ImportanceWeightedEstimator(2)
+        with pytest.raises(ValueError):
+            estimator.update(0, float("nan"), np.array([0.5, 0.5]))
+
+    def test_wrong_probability_length_rejected(self):
+        estimator = ImportanceWeightedEstimator(3)
+        with pytest.raises(ValueError):
+            estimator.update(0, 1.0, np.array([0.5, 0.5]))
+
+    def test_cumulative_is_a_copy(self):
+        estimator = ImportanceWeightedEstimator(2)
+        estimator.cumulative[0] = 99.0
+        np.testing.assert_allclose(estimator.cumulative, [0.0, 0.0])
+
+    def test_invalid_arm_count(self):
+        with pytest.raises(ValueError):
+            ImportanceWeightedEstimator(0)

@@ -1,0 +1,121 @@
+"""Tests for Algorithm 1 (online model selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_selection import OnlineModelSelection
+
+
+def drive(policy, loss_fn, horizon):
+    """Run the select/observe loop; return per-slot selections."""
+    selections = []
+    for t in range(horizon):
+        model = policy.select(t)
+        policy.observe(t, model, loss_fn(model, t))
+        selections.append(model)
+    return np.array(selections)
+
+
+class TestOnlineModelSelection:
+    def test_switches_only_at_block_starts(self):
+        rng = np.random.default_rng(0)
+        policy = OnlineModelSelection(4, horizon=100, switch_cost=3.0, rng=rng)
+        selections = drive(policy, lambda m, t: float(m), 100)
+        starts = set(policy.schedule.starts.tolist())
+        for t in range(1, 100):
+            if selections[t] != selections[t - 1]:
+                assert t in starts, f"switch at non-boundary slot {t}"
+
+    def test_switch_count_bounded_by_blocks(self):
+        rng = np.random.default_rng(1)
+        policy = OnlineModelSelection(5, horizon=200, switch_cost=2.0, rng=rng)
+        selections = drive(policy, lambda m, t: 1.0, 200)
+        switches = 1 + int(np.sum(selections[1:] != selections[:-1]))
+        assert switches <= policy.schedule.num_blocks
+
+    def test_concentrates_on_best_arm(self):
+        """With a clear gap, the best arm gets the majority of slots."""
+        rng = np.random.default_rng(2)
+        policy = OnlineModelSelection(4, horizon=3000, switch_cost=0.5, rng=rng)
+        noise = np.random.default_rng(3)
+        losses = np.array([0.1, 0.9, 0.9, 0.9])
+
+        def loss_fn(m, t):
+            return float(np.clip(losses[m] + 0.05 * noise.standard_normal(), 0, 2))
+
+        selections = drive(policy, loss_fn, 3000)
+        counts = np.bincount(selections, minlength=4)
+        assert counts[0] > 0.5 * 3000
+        assert counts[0] == max(counts)
+
+    def test_selection_counts_property(self):
+        rng = np.random.default_rng(4)
+        policy = OnlineModelSelection(3, horizon=50, switch_cost=1.0, rng=rng)
+        drive(policy, lambda m, t: 1.0, 50)
+        counts = policy.selection_counts
+        assert counts.sum() == 50
+
+    def test_probability_history_valid(self):
+        rng = np.random.default_rng(5)
+        policy = OnlineModelSelection(3, horizon=60, switch_cost=1.0, rng=rng)
+        drive(policy, lambda m, t: float(m), 60)
+        history = policy.probability_history
+        assert len(history) == policy.schedule.num_blocks
+        for p in history:
+            assert p.sum() == pytest.approx(1.0, abs=1e-8)
+            assert np.all(p >= 0)
+
+    def test_out_of_order_slots_rejected(self):
+        rng = np.random.default_rng(6)
+        policy = OnlineModelSelection(3, horizon=100, switch_cost=5.0, rng=rng)
+        policy.select(0)
+        with pytest.raises(RuntimeError, match="order"):
+            # Slot far in the future skips whole blocks.
+            policy.select(99)
+
+    def test_observe_wrong_model_rejected(self):
+        rng = np.random.default_rng(7)
+        policy = OnlineModelSelection(3, horizon=10, switch_cost=1.0, rng=rng)
+        model = policy.select(0)
+        wrong = (model + 1) % 3
+        with pytest.raises(ValueError, match="hosts"):
+            policy.observe(0, wrong, 1.0)
+
+    def test_observe_nonfinite_loss_rejected(self):
+        rng = np.random.default_rng(8)
+        policy = OnlineModelSelection(3, horizon=10, switch_cost=1.0, rng=rng)
+        model = policy.select(0)
+        with pytest.raises(ValueError):
+            policy.observe(0, model, float("inf"))
+
+    def test_slot_outside_horizon_rejected(self):
+        rng = np.random.default_rng(9)
+        policy = OnlineModelSelection(3, horizon=10, switch_cost=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            policy.select(10)
+
+    def test_invalid_construction(self):
+        rng = np.random.default_rng(10)
+        with pytest.raises(ValueError):
+            OnlineModelSelection(3, horizon=0, switch_cost=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            OnlineModelSelection(3, horizon=10, switch_cost=-1.0, rng=rng)
+
+    def test_deterministic_given_rng(self):
+        def run(seed):
+            policy = OnlineModelSelection(
+                4, horizon=80, switch_cost=2.0, rng=np.random.default_rng(seed)
+            )
+            return drive(policy, lambda m, t: float(m) * 0.2, 80)
+
+        np.testing.assert_array_equal(run(11), run(11))
+        assert not np.array_equal(run(11), run(12))
+
+    def test_higher_switch_cost_fewer_switches(self):
+        def count_switches(switch_cost):
+            rng = np.random.default_rng(13)
+            policy = OnlineModelSelection(4, horizon=400, switch_cost=switch_cost, rng=rng)
+            selections = drive(policy, lambda m, t: float(m) * 0.1, 400)
+            return int(np.sum(selections[1:] != selections[:-1]))
+
+        assert count_switches(10.0) < count_switches(0.5)

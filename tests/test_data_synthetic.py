@@ -1,0 +1,86 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import Dataset, make_cifar10_like, make_dataset, make_mnist_like
+from repro.nn.models import build_mlp
+from repro.nn.optimizers import SGD
+from repro.nn.training import Trainer, evaluate_accuracy
+
+
+class TestDataset:
+    def test_image_shape(self):
+        data = make_mnist_like(np.random.default_rng(0), n_train=50, n_test=50)
+        assert data.image_shape == (1, 8, 8)
+
+    def test_misaligned_labels_rejected(self):
+        x = np.zeros((4, 1, 8, 8))
+        with pytest.raises(ValueError):
+            Dataset("bad", x, np.zeros(3, dtype=int), x, np.zeros(4, dtype=int), 10)
+
+    def test_non_nchw_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                "bad",
+                np.zeros((4, 8, 8)),
+                np.zeros(4, dtype=int),
+                np.zeros((4, 8, 8)),
+                np.zeros(4, dtype=int),
+                10,
+            )
+
+
+class TestGenerators:
+    def test_mnist_like_shapes(self):
+        data = make_mnist_like(np.random.default_rng(0), n_train=120, n_test=80)
+        assert data.x_train.shape == (120, 1, 8, 8)
+        assert data.x_test.shape == (80, 1, 8, 8)
+        assert data.num_classes == 10
+
+    def test_cifar_like_is_three_channel(self):
+        data = make_cifar10_like(np.random.default_rng(0), n_train=50, n_test=50)
+        assert data.x_train.shape[1] == 3
+
+    def test_pixels_in_unit_interval(self):
+        data = make_mnist_like(np.random.default_rng(1), n_train=100, n_test=50)
+        assert data.x_train.min() >= 0.0
+        assert data.x_train.max() <= 1.0
+
+    def test_all_classes_present(self):
+        data = make_mnist_like(np.random.default_rng(2), n_train=500, n_test=500)
+        assert set(np.unique(data.y_train)) == set(range(10))
+
+    def test_deterministic_given_seed(self):
+        a = make_mnist_like(np.random.default_rng(3), n_train=20, n_test=20)
+        b = make_mnist_like(np.random.default_rng(3), n_train=20, n_test=20)
+        np.testing.assert_allclose(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            make_dataset(
+                name="x", rng=np.random.default_rng(0), channels=1, overlap=1.0
+            )
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            make_dataset(
+                name="x", rng=np.random.default_rng(0), channels=1, noise=-0.1
+            )
+
+    def test_cifar_like_harder_than_mnist_like(self):
+        """The same model should reach higher accuracy on the MNIST-like set."""
+        rng = np.random.default_rng(4)
+        easy = make_mnist_like(rng, n_train=400, n_test=400)
+        hard = make_cifar10_like(rng, n_train=400, n_test=400)
+        accs = {}
+        for name, data in {"easy": easy, "hard": hard}.items():
+            channels = data.image_shape[0]
+            net = build_mlp(np.random.default_rng(5), in_channels=channels, hidden=32)
+            Trainer(net, optimizer=SGD(lr=0.1, momentum=0.9)).fit(
+                data.x_train, data.y_train, epochs=4, batch_size=32,
+                rng=np.random.default_rng(6),
+            )
+            accs[name] = evaluate_accuracy(net, data.x_test, data.y_test)
+        assert accs["easy"] > accs["hard"] + 0.1

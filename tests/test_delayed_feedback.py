@@ -1,0 +1,145 @@
+"""Tests for delayed label feedback (paper Step 2.3 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.offline import NullTrading
+from repro.sim.simulator import Simulator
+from repro.utils.rng import RngFactory
+
+
+def make_policies(scenario, seed=0):
+    factory = RngFactory(seed)
+    return [
+        OnlineModelSelection(
+            scenario.num_models,
+            scenario.horizon,
+            float(scenario.effective_switch_costs()[i]),
+            factory.get(f"sel-{i}"),
+        )
+        for i in range(scenario.num_edges)
+    ]
+
+
+class TestPolicyDelayTolerance:
+    def test_select_ahead_of_observations(self):
+        """select() may enter new blocks while old losses are outstanding."""
+        rng = np.random.default_rng(0)
+        policy = OnlineModelSelection(3, horizon=60, switch_cost=2.0, rng=rng)
+        decisions = {}
+        delay = 4
+        queue = []
+        for t in range(60):
+            decisions[t] = policy.select(t)
+            queue.append((t, decisions[t]))
+            while queue and queue[0][0] <= t - delay:
+                slot, model = queue.pop(0)
+                policy.observe(slot, model, 0.5)
+        for slot, model in queue:
+            policy.observe(slot, model, 0.5)
+        assert policy.pending_blocks == 0
+        assert policy.selection_counts.sum() == 60
+
+    def test_all_blocks_eventually_closed(self):
+        rng = np.random.default_rng(1)
+        policy = OnlineModelSelection(4, horizon=100, switch_cost=1.5, rng=rng)
+        losses = []
+        for t in range(100):
+            model = policy.select(t)
+            losses.append((t, model))
+        assert policy.pending_blocks == policy.schedule.num_blocks
+        for t, model in losses:
+            policy.observe(t, model, 1.0)
+        assert policy.pending_blocks == 0
+
+    def test_observe_before_block_opened_rejected(self):
+        rng = np.random.default_rng(2)
+        policy = OnlineModelSelection(3, horizon=50, switch_cost=3.0, rng=rng)
+        policy.select(0)
+        with pytest.raises(RuntimeError, match="before its block"):
+            policy.observe(49, 0, 1.0)
+
+    def test_double_observation_rejected(self):
+        rng = np.random.default_rng(3)
+        policy = OnlineModelSelection(3, horizon=10, switch_cost=0.0, rng=rng)
+        model = policy.select(0)
+        policy.observe(0, model, 1.0)  # unit block: closes immediately
+        with pytest.raises(RuntimeError, match="already received"):
+            policy.observe(0, model, 1.0)
+
+    def test_zero_delay_unchanged(self):
+        """With immediate feedback, behaviour matches the strict protocol."""
+
+        def run(seed):
+            policy = OnlineModelSelection(
+                4, horizon=120, switch_cost=2.0, rng=np.random.default_rng(seed)
+            )
+            out = []
+            for t in range(120):
+                model = policy.select(t)
+                policy.observe(t, model, 0.3 * model)
+                out.append(model)
+            return out
+
+        assert run(7) == run(7)
+
+
+class TestSimulatorDelay:
+    def test_delay_zero_equals_default(self, small_scenario):
+        a = Simulator(
+            small_scenario, make_policies(small_scenario), NullTrading(), run_seed=1
+        ).run()
+        b = Simulator(
+            small_scenario,
+            make_policies(small_scenario),
+            NullTrading(),
+            run_seed=1,
+            label_delay=0,
+        ).run()
+        np.testing.assert_array_equal(a.selections, b.selections)
+
+    def test_delay_changes_learning_but_preserves_invariants(self, small_scenario):
+        result = Simulator(
+            small_scenario,
+            make_policies(small_scenario),
+            OnlineCarbonTrading(),
+            run_seed=1,
+            label_delay=5,
+        ).run()
+        assert result.selections.min() >= 0
+        assert np.all(result.fit_series() >= 0)
+        assert result.switches[0].all()
+
+    def test_policies_fully_informed_at_end(self, small_scenario):
+        policies = make_policies(small_scenario)
+        Simulator(
+            small_scenario, policies, NullTrading(), run_seed=2, label_delay=7
+        ).run()
+        for policy in policies:
+            assert policy.pending_blocks == 0
+
+    def test_moderate_delay_degrades_gracefully(self, small_scenario):
+        """Learning still concentrates on good models under moderate delay."""
+        expected = small_scenario.expected_losses
+        best = int(np.argmin(expected))
+        worst = int(np.argmax(expected))
+        counts = np.zeros(small_scenario.num_models)
+        for seed in range(4):
+            policies = make_policies(small_scenario, seed=seed)
+            result = Simulator(
+                small_scenario, policies, NullTrading(), run_seed=seed, label_delay=3
+            ).run()
+            for i in range(small_scenario.num_edges):
+                values, freqs = np.unique(result.selections[:, i], return_counts=True)
+                counts[values] += freqs
+        assert counts[best] > counts[worst]
+
+    def test_negative_delay_rejected(self, small_scenario):
+        with pytest.raises(ValueError):
+            Simulator(
+                small_scenario,
+                make_policies(small_scenario),
+                NullTrading(),
+                label_delay=-1,
+            )

@@ -1,0 +1,109 @@
+"""Tests for the energy and carbon model."""
+
+import numpy as np
+import pytest
+
+from repro.energy.model import (
+    EnergyModel,
+    LATENCY_RANGE_S,
+    PHI_RANGE_KWH,
+    sample_inference_energies,
+    sample_latencies,
+)
+
+
+@pytest.fixture()
+def model():
+    return EnergyModel(
+        phi_kwh=np.array([6e-8, 8e-8, 1e-7]),
+        theta_kwh_per_byte=np.array([1e-16, 2e-16]),
+        model_sizes_bytes=np.array([1e5, 5e5, 1e6]),
+        rho_kg_per_kwh=0.5,
+        requests_per_arrival=1e6,
+    )
+
+
+class TestSampling:
+    def test_energies_in_paper_range(self):
+        phi = sample_inference_energies(20, np.random.default_rng(0))
+        assert np.all(phi >= PHI_RANGE_KWH[0])
+        assert np.all(phi <= PHI_RANGE_KWH[1])
+
+    def test_energies_ordered_by_size(self):
+        sizes = np.array([1e4, 1e5, 1e6, 1e7])
+        phi = sample_inference_energies(4, np.random.default_rng(1), model_sizes=sizes)
+        assert phi[-1] > phi[0]
+
+    def test_energies_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sample_inference_energies(3, np.random.default_rng(0), model_sizes=np.ones(2))
+
+    def test_latencies_in_paper_range(self):
+        v = sample_latencies(5, 4, np.random.default_rng(2))
+        assert v.shape == (5, 4)
+        assert np.all(v >= LATENCY_RANGE_S[0])
+        assert np.all(v <= LATENCY_RANGE_S[1])
+
+    def test_latencies_grow_with_model_size(self):
+        sizes = np.array([1e4, 1e7])
+        v = sample_latencies(3, 2, np.random.default_rng(3), model_sizes=sizes)
+        assert np.all(v[:, 1] >= v[:, 0])
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            sample_inference_energies(0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sample_latencies(0, 3, np.random.default_rng(0))
+
+
+class TestEnergyModel:
+    def test_inference_energy_linear_in_arrivals(self, model):
+        one = model.inference_energy_kwh(0, 1)
+        ten = model.inference_energy_kwh(0, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_inference_energy_uses_multiplier(self, model):
+        assert model.inference_energy_kwh(0, 1) == pytest.approx(6e-8 * 1e6)
+
+    def test_transfer_energy(self, model):
+        assert model.transfer_energy_kwh(1, 2) == pytest.approx(2e-16 * 1e6)
+
+    def test_emissions_rate(self, model):
+        assert model.emissions_kg(10.0) == pytest.approx(5.0)
+
+    def test_slot_emissions_switch_adds_transfer(self, model):
+        base = model.slot_emissions_kg(0, 1, 50, switched=False)
+        switched = model.slot_emissions_kg(0, 1, 50, switched=True)
+        expected_extra = model.emissions_kg(model.transfer_energy_kwh(0, 1))
+        assert switched - base == pytest.approx(expected_extra)
+
+    def test_negative_arrivals_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.inference_energy_kwh(0, -1)
+
+    def test_negative_energy_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.emissions_kg(-1.0)
+
+    def test_with_rho(self, model):
+        doubled = model.with_rho(1.0)
+        assert doubled.emissions_kg(1.0) == pytest.approx(2 * model.emissions_kg(1.0))
+        assert doubled.requests_per_arrival == model.requests_per_arrival
+
+    def test_counts(self, model):
+        assert model.num_models == 3
+        assert model.num_edges == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EnergyModel(
+                phi_kwh=np.array([-1.0]),
+                theta_kwh_per_byte=np.array([1e-16]),
+                model_sizes_bytes=np.array([1e5]),
+            )
+        with pytest.raises(ValueError):
+            EnergyModel(
+                phi_kwh=np.array([1e-8, 1e-8]),
+                theta_kwh_per_byte=np.array([1e-16]),
+                model_sizes_bytes=np.array([1e5]),  # misaligned with phi
+            )

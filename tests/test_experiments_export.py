@@ -1,0 +1,173 @@
+"""Tests for the CSV figure exporter."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments import export
+from repro.experiments.fig04_total_cost_vs_edges import Fig04Result
+from repro.experiments.fig08_selection_histogram import Fig08Result
+from repro.experiments.fig10_regret import Fig10Result
+from repro.experiments.fig12_accuracy_mnist import Fig12Result
+from repro.experiments.fig14_runtime import Fig14Result
+
+
+class TestFigureRows:
+    def test_sweep_result(self):
+        result = Fig04Result(
+            edge_counts=(5, 10),
+            costs={"Ours": [1.0, 2.0], "Ran-Ran": [3.0, 4.0]},
+        )
+        headers, rows = export.figure_rows(result)
+        assert headers == ["num_edges", "Ours", "Ran-Ran"]
+        assert rows == [[5, 1.0, 3.0], [10, 2.0, 4.0]]
+
+    def test_regret_result(self):
+        result = Fig10Result(horizons=(40, 80), regrets={"Ours": [1.0, 2.0]})
+        headers, rows = export.figure_rows(result)
+        assert headers == ["horizon", "Ours"]
+        assert len(rows) == 2
+
+    def test_histogram_result(self):
+        result = Fig08Result(
+            edge=0,
+            model_names=["a", "b"],
+            expected_losses=np.array([0.1, 0.5]),
+            ours_counts=np.array([10.0, 2.0]),
+            offline_choice=0,
+            greedy_choice=1,
+        )
+        headers, rows = export.figure_rows(result)
+        assert rows[0] == ["a", 0.1, 10.0, 1, 0]
+        assert rows[1] == ["b", 0.5, 2.0, 0, 1]
+
+    def test_accuracy_series_result(self):
+        result = Fig12Result(
+            horizon=3,
+            accuracy={"Ours": np.array([0.5, 0.6, 0.7])},
+        )
+        headers, rows = export.figure_rows(result)
+        assert headers == ["slot", "Ours"]
+        assert rows[2] == [2, pytest.approx(0.7)]
+
+    def test_runtime_result(self):
+        result = Fig14Result(
+            edge_counts=(5, 10),
+            alg1_seconds_per_slot=[0.001, 0.002],
+            alg2_seconds_per_slot=[0.0001, 0.0001],
+        )
+        headers, rows = export.figure_rows(result)
+        assert len(rows) == 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="no CSV exporter"):
+            export.figure_rows(object())
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        table = (["x", "y"], [[1, 2.5], [3, 4.25]])
+        path = export.write_csv(table, tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_mismatched_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export.write_csv((["a"], [[1, 2]]), tmp_path / "out.csv")
+
+    def test_end_to_end_with_real_experiment(self, tmp_path):
+        from repro.experiments import fig14_runtime
+
+        result = fig14_runtime.run(fast=True, edge_counts=(2, 4), horizon=10)
+        path = export.write_csv(export.figure_rows(result), tmp_path / "fig14.csv")
+        content = path.read_text()
+        assert "alg1_seconds_per_slot" in content
+        assert content.count("\n") == 3  # header + two rows
+
+
+class TestRemainingExporters:
+    def test_fig03_series(self):
+        import numpy as np
+        from repro.experiments.fig03_cumulative_cost import Fig03Result
+
+        result = Fig03Result(
+            horizon=2, series={"Ours": np.array([1.0, 2.0])}
+        )
+        headers, rows = export.figure_rows(result)
+        assert headers == ["slot", "Ours"]
+        assert rows == [[0, 1.0], [1, 2.0]]
+
+    def test_fig05_fig06_fig07_sweeps(self):
+        from repro.experiments.fig05_switching_weight import Fig05Result
+        from repro.experiments.fig06_emission_rate import Fig06Result
+        from repro.experiments.fig07_carbon_cap import Fig07Result
+
+        f5 = Fig05Result(sweep=(1.0, 2.0), costs={"Ours": [1.0, 2.0]})
+        f6 = Fig06Result(rates=(0.5, 1.0), costs={"Ours": [1.0, 2.0]})
+        f7 = Fig07Result(caps=(0.0, 500.0), costs={"Ours": [2.0, 1.0]})
+        assert export.figure_rows(f5)[0][0] == "switching_weight"
+        assert export.figure_rows(f6)[0][0] == "emission_rate"
+        assert export.figure_rows(f7)[0][0] == "carbon_cap"
+
+    def test_fig09_series(self):
+        import numpy as np
+        from repro.experiments.fig09_trading_vs_workload import Fig09Result
+
+        result = Fig09Result(
+            arrivals=np.array([10.0, 20.0]),
+            net_purchases={"Ours": np.array([1.0, 2.0])},
+            unit_costs={"Ours": 8.0},
+        )
+        headers, rows = export.figure_rows(result)
+        assert headers == ["slot", "arrivals", "net_purchase_Ours"]
+        assert rows[1] == [1, 20.0, 2.0]
+
+    def test_fig11_fits(self):
+        from repro.experiments.fig11_fit import Fig11Result
+
+        result = Fig11Result(horizons=(40, 80), fits={"Ours": [1.0, 2.0]})
+        headers, rows = export.figure_rows(result)
+        assert headers == ["horizon", "Ours"]
+        assert len(rows) == 2
+
+
+class TestExtensionExporters:
+    def test_ext_forecast(self):
+        from repro.experiments.ext_forecast import ExtForecastResult
+
+        result = ExtForecastResult(
+            regimes=("a", "b"),
+            unit_cost_plain=[8.0, 8.5],
+            unit_cost_forecast=[8.1, 8.4],
+            fit_plain=[30.0, 20.0],
+            fit_forecast=[10.0, 0.0],
+        )
+        headers, rows = export.figure_rows(result)
+        assert headers[0] == "regime"
+        assert rows[1][0] == "b"
+
+    def test_ext_delay(self):
+        from repro.experiments.ext_delay import ExtDelayResult
+
+        result = ExtDelayResult(
+            delays=(0, 5), total_cost=[1.0, 1.1],
+            accuracy=[0.8, 0.79], switching_cost=[0.3, 0.3],
+        )
+        headers, rows = export.figure_rows(result)
+        assert headers[0] == "label_delay"
+        assert len(rows) == 2
+
+    def test_ext_heterogeneity(self):
+        from repro.experiments.ext_heterogeneity import ExtHeterogeneityResult
+
+        result = ExtHeterogeneityResult(
+            horizons=(160, 320), ours=[2.0, 3.5],
+            global_fixed=[2.2, 4.4], oracle_fixed=[1.5, 3.0],
+            distinct_best_models=3,
+        )
+        headers, rows = export.figure_rows(result)
+        assert headers == ["horizon", "oracle_fixed", "ours", "global_fixed"]
+        assert rows[0] == [160, 1.5, 2.0, 2.2]

@@ -1,0 +1,59 @@
+"""Tests for the experiment table renderer."""
+
+import pytest
+
+from repro.experiments.reporting import format_table, format_value
+
+
+class TestFormatValue:
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_scientific_for_tiny(self):
+        assert "e" in format_value(1e-9)
+
+    def test_scientific_for_huge(self):
+        assert "e" in format_value(1e9)
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0.000"
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 22.5]], title="Title"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1]
+        assert "22.500" in lines[-1]
+
+    def test_alignment(self):
+        table = format_table(["col"], [["x"], ["longer"]])
+        lines = table.splitlines()
+        assert len(lines[1]) == len(lines[2])  # separator matches rows
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_no_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "a" in table

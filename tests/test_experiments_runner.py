@@ -1,0 +1,97 @@
+"""Tests for the experiment runner and policy factories."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    SELECTION_NAMES,
+    TRADING_NAMES,
+    make_selection_policies,
+    make_trading_policy,
+    run_combo,
+    run_many,
+    run_offline,
+)
+from repro.utils.rng import RngFactory
+
+
+class TestFactories:
+    @pytest.mark.parametrize("name", SELECTION_NAMES)
+    def test_selection_factory_all_names(self, name, small_scenario):
+        policies = make_selection_policies(name, small_scenario, RngFactory(0))
+        assert len(policies) == small_scenario.num_edges
+        for policy in policies:
+            assert policy.num_models == small_scenario.num_models
+
+    def test_selection_factory_unknown(self, small_scenario):
+        with pytest.raises(ValueError, match="unknown selection"):
+            make_selection_policies("Thompson", small_scenario, RngFactory(0))
+
+    @pytest.mark.parametrize("name", TRADING_NAMES)
+    def test_trading_factory_all_names(self, name, small_scenario):
+        policy = make_trading_policy(name, small_scenario, RngFactory(0))
+        assert policy is not None
+
+    def test_trading_factory_unknown(self, small_scenario):
+        with pytest.raises(ValueError, match="unknown trading"):
+            make_trading_policy("HODL", small_scenario, RngFactory(0))
+
+
+class TestRunCombo:
+    def test_basic_run(self, small_scenario):
+        result = run_combo(small_scenario, "Ran", "Ran", seed=0)
+        assert result.horizon == small_scenario.horizon
+        assert result.label == "Ran-Ran"
+
+    def test_custom_label(self, small_scenario):
+        result = run_combo(small_scenario, "Ours", "Ours", seed=0, label="mine")
+        assert result.label == "mine"
+
+    def test_run_many_length(self, small_scenario):
+        results = run_many(small_scenario, "Greedy", "LY", seeds=[0, 1])
+        assert len(results) == 2
+
+    def test_run_many_empty_seeds_rejected(self, small_scenario):
+        with pytest.raises(ValueError):
+            run_many(small_scenario, "Greedy", "LY", seeds=[])
+
+    def test_seeds_change_outcomes(self, small_scenario):
+        a = run_combo(small_scenario, "Ran", "Ran", seed=0)
+        b = run_combo(small_scenario, "Ran", "Ran", seed=1)
+        assert not np.array_equal(a.selections, b.selections)
+
+    def test_same_seed_reproduces(self, small_scenario):
+        a = run_combo(small_scenario, "Ours", "Ours", seed=3)
+        b = run_combo(small_scenario, "Ours", "Ours", seed=3)
+        np.testing.assert_allclose(a.trading_cost, b.trading_cost)
+        np.testing.assert_array_equal(a.selections, b.selections)
+
+
+class TestRunOffline:
+    def test_offline_is_neutral(self, small_scenario):
+        result = run_offline(small_scenario, seed=0)
+        assert result.final_fit() == pytest.approx(0.0, abs=1e-6)
+
+    def test_offline_hosts_fixed_models(self, small_scenario):
+        result = run_offline(small_scenario, seed=0)
+        for i in range(small_scenario.num_edges):
+            assert len(np.unique(result.selections[:, i])) == 1
+        # One download per edge (first slot) and none after.
+        assert result.total_switches() == small_scenario.num_edges
+
+    def test_offline_trading_cheaper_than_naive(self, small_scenario):
+        """The LP plan must not cost more than buying the deficit at the
+        per-slot average price."""
+        result = run_offline(small_scenario, seed=0)
+        deficit = max(
+            result.emissions.sum() - small_scenario.config.carbon_cap_kg, 0.0
+        )
+        naive = deficit * result.buy_prices.mean()
+        assert result.trading_cost.sum() <= naive + 1e-6
+
+    def test_offline_beats_online_total_cost(self, small_scenario):
+        """Offline must lower-bound our online algorithm's cost."""
+        weights = small_scenario.config.weights
+        offline = run_offline(small_scenario, seed=0).total_cost(weights)
+        ours = run_combo(small_scenario, "Ours", "Ours", seed=0).total_cost(weights)
+        assert offline <= ours

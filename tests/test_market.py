@@ -1,0 +1,119 @@
+"""Tests for the carbon market and allowance ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.market.ledger import AllowanceLedger
+from repro.market.market import CarbonMarket, Trade
+from repro.traces.carbon_prices import PriceSeries
+
+
+@pytest.fixture()
+def prices():
+    buy = np.array([8.0, 10.0, 6.0])
+    return PriceSeries(buy=buy, sell=0.9 * buy)
+
+
+class TestTrade:
+    def test_cost(self):
+        trade = Trade(slot=0, bought=10.0, sold=4.0, buy_price=8.0, sell_price=7.2)
+        assert trade.cost == pytest.approx(10 * 8 - 4 * 7.2)
+        assert trade.net_quantity == pytest.approx(6.0)
+
+
+class TestCarbonMarket:
+    def test_prices(self, prices):
+        market = CarbonMarket(prices)
+        assert market.buy_price(1) == 10.0
+        assert market.sell_price(2) == pytest.approx(5.4)
+
+    def test_execute_records_trade(self, prices):
+        market = CarbonMarket(prices)
+        market.execute(0, 5.0, 1.0)
+        market.execute(2, 0.0, 2.0)
+        assert len(market.trades) == 2
+        assert market.total_cost() == pytest.approx(5 * 8 - 1 * 7.2 - 2 * 5.4)
+
+    def test_out_of_horizon_rejected(self, prices):
+        market = CarbonMarket(prices)
+        with pytest.raises(IndexError):
+            market.buy_price(3)
+        with pytest.raises(IndexError):
+            market.execute(-1, 1.0, 0.0)
+
+    def test_negative_quantities_rejected(self, prices):
+        market = CarbonMarket(prices)
+        with pytest.raises(ValueError):
+            market.execute(0, -1.0, 0.0)
+
+
+class TestAllowanceLedger:
+    def test_neutral_when_covered(self):
+        ledger = AllowanceLedger(initial_cap=100.0)
+        ledger.record(emissions=30.0, bought=0.0, sold=0.0)
+        snap = ledger.snapshot()
+        assert snap.is_neutral
+        assert snap.violation == 0.0
+        assert snap.holdings == 100.0
+
+    def test_violation_when_uncovered(self):
+        ledger = AllowanceLedger(initial_cap=10.0)
+        ledger.record(emissions=30.0, bought=5.0, sold=0.0)
+        snap = ledger.snapshot()
+        assert snap.violation == pytest.approx(15.0)
+        assert not snap.is_neutral
+
+    def test_selling_reduces_holdings(self):
+        ledger = AllowanceLedger(initial_cap=50.0)
+        ledger.record(emissions=0.0, bought=0.0, sold=20.0)
+        assert ledger.snapshot().holdings == pytest.approx(30.0)
+
+    def test_violation_series_prefixwise(self):
+        ledger = AllowanceLedger(initial_cap=10.0)
+        ledger.record(5.0, 0.0, 0.0)   # cum e=5,  holdings=10 -> 0
+        ledger.record(10.0, 0.0, 0.0)  # cum e=15, holdings=10 -> 5
+        ledger.record(0.0, 10.0, 0.0)  # cum e=15, holdings=20 -> 0
+        np.testing.assert_allclose(ledger.violation_series(), [0.0, 5.0, 0.0])
+
+    def test_net_purchase_series(self):
+        ledger = AllowanceLedger(initial_cap=0.0)
+        ledger.record(0.0, 3.0, 1.0)
+        ledger.record(0.0, 0.0, 2.0)
+        np.testing.assert_allclose(ledger.net_purchase_series(), [2.0, -2.0])
+
+    def test_negative_values_rejected(self):
+        ledger = AllowanceLedger(initial_cap=0.0)
+        with pytest.raises(ValueError):
+            ledger.record(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            AllowanceLedger(initial_cap=-5.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100), st.floats(0, 100), st.floats(0, 100)
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(0, 500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, records, cap):
+        """Ledger identities hold for arbitrary histories."""
+        ledger = AllowanceLedger(initial_cap=cap)
+        for e, z, w in records:
+            ledger.record(e, z, w)
+        snap = ledger.snapshot()
+        series = ledger.violation_series()
+        assert snap.slots == len(records)
+        # Final violation in the series equals the snapshot violation.
+        assert series[-1] == pytest.approx(snap.violation, abs=1e-9)
+        # Violations are the positive part of an accounting identity.
+        assert np.all(series >= 0)
+        assert snap.holdings == pytest.approx(
+            cap + sum(z for _, z, _ in records) - sum(w for *_, w in records),
+            abs=1e-6,
+        )

@@ -1,0 +1,137 @@
+"""Tests for metrics (regret, summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineCarbonTrading
+from repro.metrics.regret import final_regret, regret_series, sublinear_reference
+from repro.metrics.summary import summarize_many, summarize_run
+from repro.offline import NullTrading
+from repro.sim.config import CostWeights
+from repro.sim.simulator import Simulator
+from tests.test_sim_simulator import make_ours_policies
+
+
+@pytest.fixture(scope="module")
+def pair(small_scenario_module):
+    scenario = small_scenario_module
+    ours = Simulator(
+        scenario, make_ours_policies(scenario, seed=1), OnlineCarbonTrading(), run_seed=1
+    ).run()
+    reference = Simulator(
+        scenario, make_ours_policies(scenario, seed=2), NullTrading(), run_seed=1,
+        label="ref",
+    ).run()
+    return ours, reference
+
+
+@pytest.fixture(scope="module")
+def small_scenario_module():
+    from repro.sim.config import ScenarioConfig
+    from repro.sim.scenario import build_scenario
+
+    return build_scenario(
+        ScenarioConfig(dataset="synthetic", num_edges=3, horizon=40, num_models=4, n_test=500)
+    )
+
+
+class TestRegret:
+    def test_series_is_cumulative_difference(self, pair):
+        ours, reference = pair
+        weights = CostWeights()
+        series = regret_series(ours, reference, weights)
+        expected = ours.cumulative_cost(weights) - reference.cumulative_cost(weights)
+        np.testing.assert_allclose(series, expected)
+
+    def test_final_regret_matches_series(self, pair):
+        ours, reference = pair
+        weights = CostWeights()
+        assert final_regret(ours, reference, weights) == pytest.approx(
+            regret_series(ours, reference, weights)[-1]
+        )
+
+    def test_horizon_mismatch_rejected(self, pair):
+        ours, _ = pair
+        weights = CostWeights()
+        with pytest.raises(ValueError):
+            regret_series(ours, _shorten(ours), weights)
+
+
+def _shorten(result):
+    import dataclasses
+
+    kwargs = dataclasses.asdict(result)
+    for key, value in kwargs.items():
+        if isinstance(value, np.ndarray) and value.shape and value.shape[0] == result.horizon:
+            kwargs[key] = value[:-1]
+    kwargs["horizon"] = result.horizon - 1
+    from repro.sim.results import SimulationResult
+
+    return SimulationResult(**kwargs)
+
+
+class TestSublinearReference:
+    def test_anchor_value_at_horizon(self):
+        curve = sublinear_reference(100, 2 / 3, anchor_value=50.0)
+        assert curve[-1] == pytest.approx(50.0)
+        assert curve.shape == (100,)
+
+    def test_concave_growth(self):
+        curve = sublinear_reference(100, 1 / 3, anchor_value=10.0)
+        increments = np.diff(curve)
+        assert np.all(np.diff(increments) <= 1e-12)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            sublinear_reference(10, 1.0, 1.0)
+
+
+class TestSummaries:
+    def test_summarize_run_fields(self, pair):
+        ours, _ = pair
+        weights = CostWeights()
+        summary = summarize_run(ours, weights)
+        assert summary.total_cost == pytest.approx(ours.total_cost(weights))
+        assert summary.switches == ours.total_switches()
+        assert 0.0 <= summary.mean_accuracy <= 1.0
+        assert set(summary.as_dict()) >= {"label", "total_cost", "final_fit"}
+
+    def test_summarize_many_averages(self, pair):
+        ours, reference = pair
+        weights = CostWeights()
+        combined = summarize_many([ours, reference], weights, label="avg")
+        expected = 0.5 * (ours.total_cost(weights) + reference.total_cost(weights))
+        assert combined.total_cost == pytest.approx(expected)
+        assert combined.label == "avg"
+
+    def test_summarize_many_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_many([], CostWeights())
+
+
+class TestPowerLawSlope:
+    def test_recovers_known_exponent(self):
+        from repro.metrics.regret import power_law_slope
+
+        horizons = np.array([100, 200, 400, 800])
+        values = 3.0 * horizons**0.66
+        assert power_law_slope(horizons, values) == pytest.approx(0.66, abs=1e-9)
+
+    def test_fewer_than_two_positive_points_is_zero(self):
+        from repro.metrics.regret import power_law_slope
+
+        assert power_law_slope([10, 20], [0.0, 5.0]) == 0.0
+        assert power_law_slope([10, 20], [0.0, 0.0]) == 0.0
+
+    def test_misaligned_rejected(self):
+        from repro.metrics.regret import power_law_slope
+
+        with pytest.raises(ValueError):
+            power_law_slope([1, 2, 3], [1, 2])
+
+    def test_negative_values_ignored(self):
+        from repro.metrics.regret import power_law_slope
+
+        horizons = [100, 200, 400]
+        values = [-5.0, 10.0, 20.0]
+        assert power_law_slope(horizons, values) == pytest.approx(1.0, abs=1e-9)

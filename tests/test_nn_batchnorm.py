@@ -1,0 +1,110 @@
+"""Tests for batch-normalization layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm1D, BatchNorm2D, Dense, ReLU
+from repro.nn.network import Sequential
+from tests.test_nn_layers import check_layer_gradients
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestBatchNorm1D:
+    def test_normalizes_batch_in_training(self, rng):
+        layer = BatchNorm1D(4)
+        x = rng.standard_normal((64, 4)) * 3.0 + 5.0
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(4), atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        layer = BatchNorm1D(2)
+        layer.params["W"][:] = [2.0, 3.0]
+        layer.params["b"][:] = [1.0, -1.0]
+        x = rng.standard_normal((32, 2))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), [1.0, -1.0], atol=1e-9)
+
+    def test_inference_uses_running_statistics(self, rng):
+        layer = BatchNorm1D(3, momentum=0.0)  # running = last batch
+        x = rng.standard_normal((128, 3)) + 10.0
+        layer.forward(x, training=True)
+        single = layer.forward(x[:1], training=False)
+        expected = (x[:1] - x.mean(axis=0)) / np.sqrt(x.var(axis=0) + layer.eps)
+        np.testing.assert_allclose(single, expected, atol=1e-9)
+
+    def test_gradients(self, rng):
+        layer = BatchNorm1D(3)
+        check_layer_gradients(layer, rng.standard_normal((8, 3)))
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm1D(3).forward(rng.standard_normal((2, 3, 4)))
+
+    def test_feature_count_checked(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm1D(3).forward(rng.standard_normal((4, 5)))
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_features": 0}, {"momentum": 1.0}, {"eps": 0.0}]
+    )
+    def test_invalid_params(self, kwargs):
+        full = {"num_features": 3, **kwargs}
+        with pytest.raises(ValueError):
+            BatchNorm1D(**full)
+
+
+class TestBatchNorm2D:
+    def test_per_channel_normalization(self, rng):
+        layer = BatchNorm2D(3)
+        x = rng.standard_normal((16, 3, 4, 4)) * 2.0 + 7.0
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3), atol=1e-9)
+
+    def test_gradients(self, rng):
+        layer = BatchNorm2D(2)
+        check_layer_gradients(layer, rng.standard_normal((4, 2, 3, 3)))
+
+    def test_shape_preserved(self, rng):
+        layer = BatchNorm2D(5)
+        x = rng.standard_normal((2, 5, 6, 6))
+        assert layer.forward(x, training=True).shape == x.shape
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm2D(3).forward(rng.standard_normal((2, 3)))
+
+    def test_backward_without_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            BatchNorm2D(3).backward(rng.standard_normal((2, 3, 4, 4)))
+
+
+class TestBatchNormInNetwork:
+    def test_trains_inside_sequential(self, rng):
+        """A BN-equipped head trains end-to-end (loss decreases)."""
+        from repro.nn.losses import SoftmaxCrossEntropy
+        from repro.nn.optimizers import SGD
+
+        net = Sequential(
+            [Dense(6, 16, rng), BatchNorm1D(16), ReLU(), Dense(16, 3, rng)]
+        )
+        x = rng.standard_normal((128, 6))
+        labels = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)
+        loss_fn = SoftmaxCrossEntropy()
+        optimizer = SGD(lr=0.1, momentum=0.9)
+        losses = []
+        for _ in range(60):
+            logits = net.forward(x, training=True)
+            value, grad = loss_fn(logits, labels)
+            net.backward(grad)
+            optimizer.step(net.layers)
+            losses.append(value)
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_num_params_counts_gamma_beta(self, rng):
+        layer = BatchNorm1D(8)
+        assert layer.num_params() == 16

@@ -1,0 +1,204 @@
+"""Gradient checks and behaviour tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPoolGlobal,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+)
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def check_layer_gradients(layer, x: np.ndarray, rtol: float = 1e-5) -> None:
+    """Verify input and parameter gradients against central differences."""
+    rng = np.random.default_rng(99)
+    out = layer.forward(x, training=True)
+    weight = rng.standard_normal(out.shape)  # random scalarization
+
+    def loss() -> float:
+        return float(np.sum(layer.forward(x, training=True) * weight))
+
+    layer.forward(x, training=True)
+    grad_in = layer.backward(weight)
+
+    num_in = numerical_gradient(loss, x)
+    np.testing.assert_allclose(grad_in, num_in, rtol=rtol, atol=1e-6)
+
+    for name, param in layer.params.items():
+        layer.forward(x, training=True)
+        layer.backward(weight)
+        analytic = layer.grads[name].copy()
+        num = numerical_gradient(loss, param)
+        np.testing.assert_allclose(analytic, num, rtol=rtol, atol=1e-6,
+                                   err_msg=f"param {name}")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(5, 3, rng)
+        out = layer.forward(rng.standard_normal((4, 5)))
+        assert out.shape == (4, 3)
+
+    def test_gradients(self, rng):
+        layer = Dense(4, 3, rng)
+        check_layer_gradients(layer, rng.standard_normal((3, 4)))
+
+    def test_wrong_input_dim_raises(self, rng):
+        layer = Dense(4, 3, rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.standard_normal((3, 5)))
+
+    def test_backward_without_forward_raises(self, rng):
+        layer = Dense(4, 3, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((3, 3)))
+
+    def test_inference_forward_does_not_cache(self, rng):
+        layer = Dense(4, 3, rng)
+        layer.forward(rng.standard_normal((3, 4)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((3, 3)))
+
+
+class TestConv2D:
+    def test_forward_shape(self, rng):
+        layer = Conv2D(2, 4, kernel=3, rng=rng, padding=1)
+        out = layer.forward(rng.standard_normal((2, 2, 6, 6)))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_gradients(self, rng):
+        layer = Conv2D(2, 3, kernel=3, rng=rng, padding=1)
+        check_layer_gradients(layer, rng.standard_normal((2, 2, 4, 4)))
+
+    def test_gradients_strided(self, rng):
+        layer = Conv2D(1, 2, kernel=2, rng=rng, stride=2)
+        check_layer_gradients(layer, rng.standard_normal((2, 1, 4, 4)))
+
+    def test_wrong_channels_raises(self, rng):
+        layer = Conv2D(2, 4, kernel=3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.standard_normal((1, 3, 6, 6)))
+
+
+class TestDepthwiseConv2D:
+    def test_forward_shape(self, rng):
+        layer = DepthwiseConv2D(3, kernel=3, rng=rng, padding=1)
+        out = layer.forward(rng.standard_normal((2, 3, 6, 6)))
+        assert out.shape == (2, 3, 6, 6)
+
+    def test_gradients(self, rng):
+        layer = DepthwiseConv2D(2, kernel=3, rng=rng, padding=1)
+        check_layer_gradients(layer, rng.standard_normal((2, 2, 4, 4)))
+
+    def test_channels_are_independent(self, rng):
+        """Changing one input channel only changes that output channel."""
+        layer = DepthwiseConv2D(2, kernel=3, rng=rng, padding=1)
+        x = rng.standard_normal((1, 2, 5, 5))
+        base = layer.forward(x)
+        x2 = x.copy()
+        x2[:, 0] += 1.0
+        out = layer.forward(x2)
+        assert not np.allclose(out[:, 0], base[:, 0])
+        np.testing.assert_allclose(out[:, 1], base[:, 1])
+
+
+class TestMaxPool2D:
+    def test_forward_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradients(self, rng):
+        layer = MaxPool2D(2)
+        check_layer_gradients(layer, rng.standard_normal((2, 2, 4, 4)))
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(rng.standard_normal((1, 1, 5, 5)))
+
+    def test_tied_maxima_split_gradient(self):
+        x = np.ones((1, 1, 2, 2))
+        layer = MaxPool2D(2)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[[[4.0]]]]))
+        np.testing.assert_allclose(grad, np.ones((1, 1, 2, 2)))
+
+
+class TestAvgPoolGlobal:
+    def test_forward(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = AvgPoolGlobal().forward(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)))
+
+    def test_gradients(self, rng):
+        check_layer_gradients(AvgPoolGlobal(), rng.standard_normal((2, 2, 3, 3)))
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_gradients(self, rng):
+        check_layer_gradients(ReLU(), rng.standard_normal((3, 5)) + 0.1)
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        layer = Flatten()
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 48)
+        back = layer.backward(out)
+        np.testing.assert_allclose(back, x)
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_preserves_expectation(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, out)

@@ -1,0 +1,88 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import BrierLoss, SoftmaxCrossEntropy, squared_label_loss
+from repro.utils.mathutils import softmax
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat, gflat = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+class TestSquaredLabelLoss:
+    def test_perfect_prediction_zero_loss(self):
+        p = np.array([[1.0, 0.0, 0.0]])
+        assert squared_label_loss(p, np.array([0]))[0] == pytest.approx(0.0)
+
+    def test_worst_case_is_two(self):
+        p = np.array([[1.0, 0.0]])
+        assert squared_label_loss(p, np.array([1]))[0] == pytest.approx(2.0)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((50, 10))
+        p = softmax(logits, axis=1)
+        labels = rng.integers(0, 10, 50)
+        losses = squared_label_loss(p, labels)
+        assert np.all(losses >= 0.0)
+        assert np.all(losses <= 2.0)
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            squared_label_loss(np.array([[0.5, 0.5]]), np.array([2]))
+
+    def test_requires_matrix(self):
+        with pytest.raises(ValueError):
+            squared_label_loss(np.array([0.5, 0.5]), np.array([0]))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        loss, _ = SoftmaxCrossEntropy()(np.zeros((4, 10)), np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((3, 5))
+        labels = rng.integers(0, 5, 3)
+        loss_fn = SoftmaxCrossEntropy()
+        _, grad = loss_fn(logits, labels)
+        num = numerical_gradient(lambda: loss_fn(logits, labels)[0], logits)
+        np.testing.assert_allclose(grad, num, rtol=1e-5, atol=1e-8)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((4, 6))
+        _, grad = SoftmaxCrossEntropy()(logits, rng.integers(0, 6, 4))
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(4), atol=1e-12)
+
+
+class TestBrierLoss:
+    def test_matches_squared_label_loss(self):
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((6, 4))
+        labels = rng.integers(0, 4, 6)
+        loss, _ = BrierLoss()(logits, labels)
+        expected = float(np.mean(squared_label_loss(softmax(logits, axis=1), labels)))
+        assert loss == pytest.approx(expected)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        logits = rng.standard_normal((3, 5))
+        labels = rng.integers(0, 5, 3)
+        loss_fn = BrierLoss()
+        _, grad = loss_fn(logits, labels)
+        num = numerical_gradient(lambda: loss_fn(logits, labels)[0], logits)
+        np.testing.assert_allclose(grad, num, rtol=1e-5, atol=1e-8)

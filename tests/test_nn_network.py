@@ -1,0 +1,85 @@
+"""Tests for repro.nn.network.Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.network import Sequential
+
+
+@pytest.fixture()
+def net():
+    rng = np.random.default_rng(5)
+    return Sequential([Dense(4, 8, rng), ReLU(), Dense(8, 3, rng)], name="tiny")
+
+
+class TestSequential:
+    def test_forward_shape(self, net):
+        out = net.forward(np.random.default_rng(0).standard_normal((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_predict_proba_rows_sum_to_one(self, net):
+        p = net.predict_proba(np.random.default_rng(0).standard_normal((5, 4)))
+        np.testing.assert_allclose(p.sum(axis=1), np.ones(5))
+        assert np.all(p >= 0)
+
+    def test_predict_argmax_consistent(self, net):
+        x = np.random.default_rng(0).standard_normal((5, 4))
+        np.testing.assert_array_equal(net.predict(x), np.argmax(net.predict_proba(x), axis=1))
+
+    def test_num_params(self, net):
+        assert net.num_params() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_size_bytes_is_four_per_param(self, net):
+        assert net.size_bytes() == 4 * net.num_params()
+
+    def test_weights_roundtrip(self, net):
+        x = np.random.default_rng(1).standard_normal((2, 4))
+        before = net.forward(x)
+        saved = net.get_weights()
+        net.layers[0].params["W"] += 1.0
+        assert not np.allclose(net.forward(x), before)
+        net.set_weights(saved)
+        np.testing.assert_allclose(net.forward(x), before)
+
+    def test_set_weights_shape_mismatch_raises(self, net):
+        saved = net.get_weights()
+        saved[0]["W"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.set_weights(saved)
+
+    def test_set_weights_length_mismatch_raises(self, net):
+        with pytest.raises(ValueError):
+            net.set_weights(net.get_weights()[:-1])
+
+    def test_empty_layer_list_raises(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_end_to_end_gradient(self):
+        """Whole-network backprop matches numerical gradient of a scalar loss."""
+        rng = np.random.default_rng(6)
+        net = Sequential([Flatten(), Dense(4, 5, rng), ReLU(), Dense(5, 2, rng)])
+        x = rng.standard_normal((3, 1, 2, 2))
+        weight = rng.standard_normal((3, 2))
+
+        def loss():
+            return float(np.sum(net.forward(x, training=True) * weight))
+
+        net.forward(x, training=True)
+        net.backward(weight)
+        analytic = net.layers[1].grads["W"].copy()
+
+        eps = 1e-6
+        w = net.layers[1].params["W"]
+        num = np.zeros_like(w)
+        for i in range(w.shape[0]):
+            for j in range(w.shape[1]):
+                orig = w[i, j]
+                w[i, j] = orig + eps
+                fp = loss()
+                w[i, j] = orig - eps
+                fm = loss()
+                w[i, j] = orig
+                num[i, j] = (fp - fm) / (2 * eps)
+        np.testing.assert_allclose(analytic, num, rtol=1e-5, atol=1e-7)

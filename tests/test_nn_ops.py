@@ -1,0 +1,83 @@
+"""Tests for repro.nn.ops (im2col / col2im)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.ops import col2im, conv_output_size, im2col, pad_nchw
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(8, 3, 1, 1, 8), (8, 3, 1, 0, 6), (8, 2, 2, 0, 4), (5, 5, 1, 2, 5)],
+    )
+    def test_known_geometries(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestPad:
+    def test_zero_padding_is_identity(self):
+        x = np.random.default_rng(0).random((1, 2, 3, 3))
+        assert pad_nchw(x, 0) is x
+
+    def test_padding_shape_and_zeros(self):
+        x = np.ones((1, 1, 2, 2))
+        out = pad_nchw(x, 1)
+        assert out.shape == (1, 1, 4, 4)
+        assert out[0, 0, 0, 0] == 0.0
+        assert out[0, 0, 1, 1] == 1.0
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.random.default_rng(0).random((2, 3, 8, 8))
+        cols = im2col(x, kernel=3, stride=1, padding=1)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((2, 2, 6, 6))
+        w = rng.random((4, 2, 3, 3))
+        cols = im2col(x, 3, 1, 1)
+        fast = (cols @ w.reshape(4, -1).T).reshape(2, 6, 6, 4).transpose(0, 3, 1, 2)
+
+        xp = pad_nchw(x, 1)
+        naive = np.zeros((2, 4, 6, 6))
+        for b in range(2):
+            for o in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        patch = xp[b, :, i : i + 3, j : j + 3]
+                        naive[b, o, i, j] = np.sum(patch * w[o])
+        np.testing.assert_allclose(fast, naive, atol=1e-12)
+
+    def test_stride_two(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        cols = im2col(x, kernel=2, stride=2, padding=0)
+        assert cols.shape == (4, 4)
+        np.testing.assert_allclose(cols[0], [0, 1, 4, 5])
+
+
+class TestCol2Im:
+    def test_adjoint_property(self):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y (linear adjoint)."""
+        rng = np.random.default_rng(2)
+        x = rng.random((2, 3, 6, 6))
+        cols = im2col(x, 3, 1, 1)
+        y = rng.random(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, 3, 1, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_adjoint_property_strided(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((1, 2, 8, 8))
+        cols = im2col(x, 2, 2, 0)
+        y = rng.random(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, 2, 2, 0)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)

@@ -1,0 +1,74 @@
+"""Tests for repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.optimizers import SGD, Adam
+
+
+def quadratic_step_sequence(optimizer, steps=200):
+    """Minimize L = 0.5 ||f(x)||^2 for a Dense layer; return output norms."""
+    rng = np.random.default_rng(0)
+    layer = Dense(3, 3, rng)
+    norms = []
+    for _ in range(steps):
+        x = np.eye(3)
+        out = layer.forward(x, training=True)
+        layer.backward(out)  # dL/dout = out for L = 0.5 ||out||^2
+        optimizer.step([layer])
+        norms.append(float(np.linalg.norm(layer.forward(np.eye(3)))))
+    return norms
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        norms = quadratic_step_sequence(SGD(lr=0.1))
+        assert norms[-1] < 0.01 * norms[0]
+
+    def test_momentum_converges(self):
+        norms = quadratic_step_sequence(SGD(lr=0.05, momentum=0.9))
+        assert norms[-1] < 0.01 * norms[0]
+
+    def test_weight_decay_shrinks_weights(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(2, 2, rng)
+        before = np.linalg.norm(layer.params["W"])
+        opt = SGD(lr=0.1, weight_decay=0.5)
+        layer.forward(np.zeros((1, 2)), training=True)
+        layer.backward(np.zeros((1, 2)))
+        opt.step([layer])
+        assert np.linalg.norm(layer.params["W"]) < before
+
+    def test_weight_decay_skips_bias(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(2, 2, rng)
+        layer.params["b"][:] = 1.0
+        opt = SGD(lr=0.1, weight_decay=0.5)
+        layer.forward(np.zeros((1, 2)), training=True)
+        layer.backward(np.zeros((1, 2)))
+        opt.step([layer])
+        np.testing.assert_allclose(layer.params["b"], 1.0)
+
+    @pytest.mark.parametrize("kwargs", [{"lr": 0}, {"momentum": 1.0}, {"weight_decay": -1}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            SGD(**{"lr": 0.1, **kwargs})
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        norms = quadratic_step_sequence(Adam(lr=0.05), steps=400)
+        assert norms[-1] < 0.05 * norms[0]
+
+    def test_skips_layers_without_grads(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(2, 2, rng)
+        before = layer.params["W"].copy()
+        Adam().step([layer])  # no backward happened, no grads
+        np.testing.assert_allclose(layer.params["W"], before)
+
+    @pytest.mark.parametrize("kwargs", [{"lr": -1}, {"beta1": 1.0}, {"beta2": -0.1}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            Adam(**kwargs)

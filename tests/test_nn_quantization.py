@@ -1,0 +1,143 @@
+"""Tests for post-training weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_mnist_like
+from repro.nn.models import build_cnn, build_mlp
+from repro.nn.optimizers import SGD
+from repro.nn.quantization import QuantizedSequential, quantize_network, quantize_tensor
+from repro.nn.training import Trainer, evaluate_accuracy
+
+
+class TestQuantizeTensor:
+    def test_levels_respected(self):
+        arr = np.linspace(-1.0, 1.0, 101)
+        q = quantize_tensor(arr, bits=3)
+        # 3-bit symmetric grid: levels multiples of 1/3.
+        assert len(np.unique(q)) <= 2**3
+        np.testing.assert_allclose(q * 3, np.round(q * 3), atol=1e-12)
+
+    def test_max_magnitude_preserved(self):
+        arr = np.array([-2.0, 0.5, 1.0])
+        q = quantize_tensor(arr, bits=8)
+        assert q.min() == pytest.approx(-2.0)
+
+    def test_zero_tensor_unchanged(self):
+        q = quantize_tensor(np.zeros(5), bits=4)
+        np.testing.assert_allclose(q, np.zeros(5))
+
+    def test_high_precision_nearly_lossless(self):
+        rng = np.random.default_rng(0)
+        arr = rng.standard_normal(1000)
+        q = quantize_tensor(arr, bits=16)
+        assert np.max(np.abs(q - arr)) < 1e-3
+
+    def test_one_bit_is_sign_times_scale(self):
+        arr = np.array([-0.5, 0.2, 0.9])
+        q = quantize_tensor(arr, bits=1)
+        assert len(np.unique(np.abs(q[q != 0]))) <= 1
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), bits=0)
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), bits=20)
+
+    def test_error_decreases_with_bits(self):
+        rng = np.random.default_rng(1)
+        arr = rng.standard_normal(2000)
+        errors = [
+            float(np.mean((quantize_tensor(arr, b) - arr) ** 2)) for b in (2, 4, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestQuantizeNetwork:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(2)
+        data = make_mnist_like(rng, n_train=500, n_test=400)
+        net = build_mlp(np.random.default_rng(3), hidden=32)
+        Trainer(net, optimizer=SGD(lr=0.1, momentum=0.9)).fit(
+            data.x_train, data.y_train, epochs=4, batch_size=32,
+            rng=np.random.default_rng(4),
+        )
+        return net, data
+
+    def test_original_untouched(self, trained):
+        net, _ = trained
+        before = net.get_weights()
+        quantize_network(net, bits=4)
+        after = net.get_weights()
+        for layer_before, layer_after in zip(before, after):
+            for key in layer_before:
+                np.testing.assert_allclose(layer_before[key], layer_after[key])
+
+    def test_size_shrinks_by_bit_ratio(self, trained):
+        net, _ = trained
+        int8 = quantize_network(net, bits=8)
+        assert int8.size_bytes() == pytest.approx(net.size_bytes() / 4, rel=0.01)
+        int4 = quantize_network(net, bits=4)
+        assert int4.size_bytes() == pytest.approx(net.size_bytes() / 8, rel=0.01)
+
+    def test_biases_not_quantized(self, trained):
+        net, _ = trained
+        quantized = quantize_network(net, bits=2)
+        for orig, quant in zip(net.layers, quantized.layers):
+            if "b" in orig.params:
+                np.testing.assert_allclose(orig.params["b"], quant.params["b"])
+
+    def test_int8_accuracy_nearly_intact(self, trained):
+        net, data = trained
+        base = evaluate_accuracy(net, data.x_test, data.y_test)
+        int8 = evaluate_accuracy(
+            quantize_network(net, bits=8), data.x_test, data.y_test
+        )
+        assert int8 >= base - 0.02
+
+    def test_extreme_quantization_hurts(self, trained):
+        net, data = trained
+        base = evaluate_accuracy(net, data.x_test, data.y_test)
+        int1 = evaluate_accuracy(
+            quantize_network(net, bits=1), data.x_test, data.y_test
+        )
+        assert int1 < base
+
+    def test_name_records_bits(self, trained):
+        net, _ = trained
+        assert quantize_network(net, bits=8).name.endswith("-int8")
+
+    def test_works_on_conv_nets(self):
+        net = build_cnn(np.random.default_rng(5), channels=(8, 16))
+        quantized = quantize_network(net, bits=8)
+        x = np.random.default_rng(6).random((4, 1, 8, 8))
+        out = quantized.predict_proba(x)
+        assert out.shape == (4, 10)
+
+    def test_invalid_bits(self, trained):
+        net, _ = trained
+        with pytest.raises(ValueError):
+            quantize_network(net, bits=0)
+        with pytest.raises(ValueError):
+            QuantizedSequential(net.layers, bits=32)
+
+
+class TestQuantizedZoo:
+    def test_quantized_profiles_smaller_and_usable(self, mnist_scenario):
+        from repro.sim.zoo import quantized_trained_profiles
+
+        config = mnist_scenario.config
+        quantized = quantized_trained_profiles(
+            "mnist",
+            bits=8,
+            zoo_seed=config.zoo_seed,
+            n_train=config.n_train,
+            n_test=config.n_test,
+            image_size=config.image_size,
+        )
+        assert len(quantized) == len(mnist_scenario.profiles)
+        for fp32, int8 in zip(mnist_scenario.profiles, quantized):
+            assert int8.size_bytes < fp32.size_bytes
+            assert int8.accuracy >= fp32.accuracy - 0.05
+            assert int8.pool_size == fp32.pool_size

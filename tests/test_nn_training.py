@@ -1,0 +1,92 @@
+"""Tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_mnist_like
+from repro.nn.models import build_mlp
+from repro.nn.optimizers import SGD
+from repro.nn.training import Trainer, evaluate_accuracy, evaluate_brier
+
+
+@pytest.fixture(scope="module")
+def easy_data():
+    rng = np.random.default_rng(21)
+    return make_mnist_like(rng, n_train=400, n_test=300)
+
+
+class TestTrainer:
+    def test_training_improves_accuracy(self, easy_data):
+        rng = np.random.default_rng(3)
+        net = build_mlp(rng, hidden=32)
+        before = evaluate_accuracy(net, easy_data.x_test, easy_data.y_test)
+        trainer = Trainer(net, optimizer=SGD(lr=0.1, momentum=0.9))
+        result = trainer.fit(
+            easy_data.x_train, easy_data.y_train, epochs=4, batch_size=32, rng=rng
+        )
+        after = evaluate_accuracy(net, easy_data.x_test, easy_data.y_test)
+        assert after > before + 0.2
+        assert result.train_loss[-1] < result.train_loss[0]
+
+    def test_training_reduces_brier_loss(self, easy_data):
+        rng = np.random.default_rng(4)
+        net = build_mlp(rng, hidden=32)
+        before = evaluate_brier(net, easy_data.x_test, easy_data.y_test)
+        Trainer(net).fit(
+            easy_data.x_train, easy_data.y_train, epochs=3, batch_size=32, rng=rng
+        )
+        after = evaluate_brier(net, easy_data.x_test, easy_data.y_test)
+        assert after < before
+
+    def test_validation_history_recorded(self, easy_data):
+        rng = np.random.default_rng(5)
+        net = build_mlp(rng, hidden=16)
+        result = Trainer(net).fit(
+            easy_data.x_train,
+            easy_data.y_train,
+            epochs=2,
+            batch_size=64,
+            rng=rng,
+            x_val=easy_data.x_test,
+            labels_val=easy_data.y_test,
+        )
+        assert len(result.val_accuracy) == 2
+        assert len(result.train_accuracy) == 2
+
+    def test_deterministic_given_rngs(self, easy_data):
+        def train_once():
+            init = np.random.default_rng(6)
+            net = build_mlp(init, hidden=16)
+            Trainer(net).fit(
+                easy_data.x_train,
+                easy_data.y_train,
+                epochs=1,
+                batch_size=32,
+                rng=np.random.default_rng(7),
+            )
+            return net.forward(easy_data.x_test[:5])
+
+        np.testing.assert_allclose(train_once(), train_once())
+
+    @pytest.mark.parametrize("kwargs", [{"epochs": 0}, {"batch_size": 0}])
+    def test_invalid_args(self, easy_data, kwargs):
+        rng = np.random.default_rng(8)
+        net = build_mlp(rng, hidden=8)
+        full = {"epochs": 1, "batch_size": 32, **kwargs}
+        with pytest.raises(ValueError):
+            Trainer(net).fit(easy_data.x_train, easy_data.y_train, rng=rng, **full)
+
+    def test_empty_dataset_raises(self):
+        rng = np.random.default_rng(9)
+        net = build_mlp(rng, hidden=8)
+        with pytest.raises(ValueError):
+            Trainer(net).fit(
+                np.zeros((0, 1, 8, 8)), np.zeros(0, dtype=int),
+                epochs=1, batch_size=8, rng=rng,
+            )
+
+    def test_final_train_loss_requires_history(self):
+        from repro.nn.training import TrainingResult
+
+        with pytest.raises(ValueError):
+            TrainingResult().final_train_loss

@@ -1,0 +1,129 @@
+"""Tests for the offline trading LP (greedy-exchange vs scipy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline.lp import (
+    solve_offline_trading,
+    solve_offline_trading_scipy,
+)
+from repro.traces.carbon_prices import PriceSeries
+
+
+def make_prices(buy):
+    buy = np.asarray(buy, dtype=float)
+    return PriceSeries(buy=buy, sell=0.9 * buy)
+
+
+class TestGreedySolver:
+    def test_no_deficit_no_required_purchase(self):
+        prices = make_prices([8.0, 8.0])
+        solution = solve_offline_trading(np.array([1.0, 1.0]), prices, cap=100.0, trade_bound=10.0)
+        # Net purchase can be negative (pure arbitrage) but never leaves a deficit.
+        emissions = 2.0
+        assert emissions <= 100.0 + solution.net_purchase + 1e-9
+
+    def test_deficit_covered_at_cheapest_slots(self):
+        prices = make_prices([10.0, 6.0, 8.0])
+        emissions = np.array([10.0, 10.0, 10.0])
+        solution = solve_offline_trading(emissions, prices, cap=15.0, trade_bound=20.0)
+        # Deficit 15 covered: 20 units? No - cheapest slot (t=1, price 6) holds 15.
+        assert solution.buy[1] >= 15.0 - 1e-9
+        assert solution.net_purchase >= 15.0 - 1e-9
+
+    def test_arbitrage_when_profitable(self):
+        # Sell at 0.9*10.9 = 9.81 > buy at 5.9: profitable pair exists.
+        prices = make_prices([5.9, 10.9])
+        solution = solve_offline_trading(np.zeros(2), prices, cap=0.0, trade_bound=5.0)
+        assert solution.buy[0] == pytest.approx(5.0)
+        assert solution.sell[1] == pytest.approx(5.0)
+        assert solution.cost < 0  # net profit
+
+    def test_no_arbitrage_when_unprofitable(self):
+        prices = make_prices([8.0, 8.1])  # sell max 7.29 < buy min 8.0
+        solution = solve_offline_trading(np.zeros(2), prices, cap=0.0, trade_bound=5.0)
+        assert solution.buy.sum() == pytest.approx(0.0)
+        assert solution.sell.sum() == pytest.approx(0.0)
+
+    def test_surplus_cap_sold_at_dearest_slots(self):
+        """A slack cap is spare allowances: the optimum sells them."""
+        prices = make_prices([8.0, 10.0, 6.0])
+        solution = solve_offline_trading(
+            np.array([1.0, 1.0, 1.0]), prices, cap=10.0, trade_bound=5.0
+        )
+        # Surplus 7 sold: 5 at t=1 (sell 9.0), 2 at t=0 (sell 7.2); then
+        # arbitrage tops up t=0's remaining sale capacity (7.2) against
+        # cheap purchases at t=2 (6.0).
+        assert solution.sell[1] == pytest.approx(5.0)
+        assert solution.sell[0] == pytest.approx(5.0)
+        assert solution.buy[2] == pytest.approx(3.0)
+        expected = -(5 * 9.0 + 2 * 7.2) + 3 * 6.0 - 3 * 7.2
+        assert solution.cost == pytest.approx(expected)
+        # Cross-check against the LP.
+        lp = solve_offline_trading_scipy(
+            np.array([1.0, 1.0, 1.0]), prices, cap=10.0, trade_bound=5.0
+        )
+        assert solution.cost == pytest.approx(lp.cost, abs=1e-8)
+
+    def test_surplus_beyond_sale_capacity_is_kept(self):
+        prices = make_prices([8.0])
+        solution = solve_offline_trading(np.zeros(1), prices, cap=100.0, trade_bound=5.0)
+        assert solution.sell[0] == pytest.approx(5.0)  # capacity-limited
+
+    def test_infeasible_deficit_raises(self):
+        prices = make_prices([8.0, 8.0])
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_offline_trading(np.array([100.0, 100.0]), prices, cap=0.0, trade_bound=1.0)
+
+    def test_bounds_respected(self):
+        prices = make_prices(np.linspace(5.9, 10.9, 10))
+        emissions = np.full(10, 5.0)
+        solution = solve_offline_trading(emissions, prices, cap=0.0, trade_bound=7.0)
+        assert np.all(solution.buy <= 7.0 + 1e-9)
+        assert np.all(solution.sell <= 7.0 + 1e-9)
+
+    def test_misaligned_emissions_rejected(self):
+        prices = make_prices([8.0, 8.0])
+        with pytest.raises(ValueError):
+            solve_offline_trading(np.zeros(3), prices, cap=0.0, trade_bound=1.0)
+
+
+class TestAgainstScipy:
+    @given(
+        buy=st.lists(st.floats(5.9, 10.9), min_size=2, max_size=12),
+        emissions_scale=st.floats(0.0, 30.0),
+        cap=st.floats(0.0, 200.0),
+        bound=st.floats(1.0, 50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_matches_lp_optimum(self, buy, emissions_scale, cap, bound):
+        """The greedy-exchange cost equals the scipy LP optimum."""
+        prices = make_prices(buy)
+        horizon = prices.horizon
+        rng = np.random.default_rng(0)
+        emissions = emissions_scale * rng.random(horizon)
+        deficit = max(emissions.sum() - cap, 0.0)
+        if deficit > horizon * bound:
+            return  # infeasible instance; covered by the dedicated test
+        greedy = solve_offline_trading(emissions, prices, cap, bound)
+        lp = solve_offline_trading_scipy(emissions, prices, cap, bound)
+        assert greedy.cost == pytest.approx(lp.cost, abs=1e-6)
+
+    def test_known_instance(self):
+        prices = make_prices([6.0, 9.0, 10.5, 7.0])
+        emissions = np.array([5.0, 5.0, 5.0, 5.0])
+        greedy = solve_offline_trading(emissions, prices, cap=8.0, trade_bound=10.0)
+        lp = solve_offline_trading_scipy(emissions, prices, cap=8.0, trade_bound=10.0)
+        assert greedy.cost == pytest.approx(lp.cost, abs=1e-8)
+        # Deficit 12 bought at t=0 (10 units @6) then t=3 (2 units @7);
+        # plus arbitrage: sell at t=2 (9.45) vs remaining cheap buys (7.0).
+        assert greedy.buy[0] == pytest.approx(10.0)
+
+    def test_solution_satisfies_constraint(self):
+        prices = make_prices(np.linspace(10.9, 5.9, 8))
+        rng = np.random.default_rng(1)
+        emissions = 10 * rng.random(8)
+        solution = solve_offline_trading(emissions, prices, cap=20.0, trade_bound=15.0)
+        assert emissions.sum() <= 20.0 + solution.net_purchase + 1e-9

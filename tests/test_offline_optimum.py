@@ -1,0 +1,76 @@
+"""Tests for offline model selection and replay policies."""
+
+import numpy as np
+import pytest
+
+from repro.offline.optimum import (
+    FixedSelection,
+    NullTrading,
+    PrecomputedTrading,
+    best_fixed_models,
+)
+from repro.policies.trading import TradingContext
+
+
+def make_context(t, horizon=3):
+    return TradingContext(
+        t=t, horizon=horizon, cap=10.0,
+        buy_price=8.0, sell_price=7.2, prev_buy_price=8.0, prev_sell_price=7.2,
+        prev_emissions=0.0, cumulative_emissions=0.0, holdings=10.0,
+        mean_slot_emissions=1.0, trade_bound=5.0,
+    )
+
+
+class TestBestFixedModels:
+    def test_minimizes_loss_plus_latency(self):
+        losses = np.array([0.5, 0.1])
+        latencies = np.array([[0.0, 0.0], [0.0, 0.6]])
+        models = best_fixed_models(losses, latencies)
+        assert models[0] == 1  # 0.1 < 0.5
+        assert models[1] == 0  # 0.5 < 0.1 + 0.6
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            best_fixed_models(np.array([0.1, 0.2]), np.zeros((3, 3)))
+
+
+class TestFixedSelection:
+    def test_constant_selection(self):
+        policy = FixedSelection(4, model=2)
+        assert policy.select(0) == 2
+        assert policy.select(99) == 2
+        policy.observe(0, 2, 1.0)  # no-op, must not raise
+
+    def test_invalid_model(self):
+        with pytest.raises(ValueError):
+            FixedSelection(4, model=4)
+
+
+class TestPrecomputedTrading:
+    def test_replays_plan(self):
+        policy = PrecomputedTrading(buy=np.array([1.0, 0.0, 2.0]), sell=np.array([0.0, 3.0, 0.0]))
+        d0 = policy.decide(make_context(0))
+        d1 = policy.decide(make_context(1))
+        assert (d0.buy, d0.sell) == (1.0, 0.0)
+        assert (d1.buy, d1.sell) == (0.0, 3.0)
+
+    def test_beyond_plan_raises(self):
+        policy = PrecomputedTrading(buy=np.zeros(2), sell=np.zeros(2))
+        with pytest.raises(IndexError):
+            policy.decide(make_context(2, horizon=5))
+
+    def test_negative_plan_rejected(self):
+        with pytest.raises(ValueError):
+            PrecomputedTrading(buy=np.array([-1.0]), sell=np.array([0.0]))
+
+    def test_tiny_negative_rounding_tolerated(self):
+        policy = PrecomputedTrading(buy=np.array([-1e-12]), sell=np.array([0.0]))
+        assert policy.decide(make_context(0, horizon=1)).buy == 0.0
+
+
+class TestNullTrading:
+    def test_never_trades(self):
+        policy = NullTrading()
+        decision = policy.decide(make_context(0))
+        assert decision.buy == 0.0
+        assert decision.sell == 0.0

@@ -1,0 +1,86 @@
+"""Tests for result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_combo
+from repro.sim.io import (
+    load_result_json,
+    load_result_npz,
+    result_from_dict,
+    result_to_dict,
+    save_result_json,
+    save_result_npz,
+)
+
+
+@pytest.fixture(scope="module")
+def result(small_scenario_module):
+    return run_combo(small_scenario_module, "Ours", "Ours", seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_scenario_module():
+    from repro.sim.config import ScenarioConfig
+    from repro.sim.scenario import build_scenario
+
+    return build_scenario(
+        ScenarioConfig(dataset="synthetic", num_edges=2, horizon=24, num_models=3, n_test=200)
+    )
+
+
+def assert_results_equal(a, b):
+    import dataclasses
+
+    for field in dataclasses.fields(a):
+        va, vb = getattr(a, field.name), getattr(b, field.name)
+        if isinstance(va, np.ndarray):
+            np.testing.assert_array_equal(va, vb, err_msg=field.name)
+        else:
+            assert va == vb, field.name
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_exact(self, result):
+        assert_results_equal(result, result_from_dict(result_to_dict(result)))
+
+    def test_dict_is_json_compatible(self, result):
+        import json
+
+        text = json.dumps(result_to_dict(result))
+        assert "selections" in text
+
+    def test_missing_field_rejected(self, result):
+        payload = result_to_dict(result)
+        del payload["emissions"]
+        with pytest.raises(ValueError, match="emissions"):
+            result_from_dict(payload)
+
+    def test_wrong_version_rejected(self, result):
+        payload = result_to_dict(result)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)
+
+    def test_dtypes_restored(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.selections.dtype == np.dtype(int)
+        assert restored.switches.dtype == np.dtype(bool)
+
+
+class TestFileRoundTrips:
+    def test_json(self, result, tmp_path):
+        path = save_result_json(result, tmp_path / "run.json")
+        assert path.exists()
+        assert_results_equal(result, load_result_json(path))
+
+    def test_npz(self, result, tmp_path):
+        save_result_npz(result, tmp_path / "run.npz")
+        assert_results_equal(result, load_result_npz(tmp_path / "run.npz"))
+
+    def test_derived_metrics_survive(self, result, tmp_path):
+        save_result_json(result, tmp_path / "run.json")
+        restored = load_result_json(tmp_path / "run.json")
+        weights = __import__("repro.sim.config", fromlist=["CostWeights"]).CostWeights()
+        assert restored.total_cost(weights) == pytest.approx(result.total_cost(weights))
+        assert restored.final_fit() == pytest.approx(result.final_fit())

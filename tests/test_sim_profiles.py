@@ -1,0 +1,112 @@
+"""Tests for model profiles."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_mnist_like
+from repro.nn.losses import squared_label_loss
+from repro.nn.models import build_mlp
+from repro.sim.profiles import ModelProfile, profiles_from_networks, synthetic_profiles
+
+
+class TestModelProfile:
+    def test_statistics(self):
+        profile = ModelProfile(
+            name="m",
+            size_bytes=100.0,
+            loss_per_sample=np.array([0.0, 1.0, 2.0]),
+            correct_per_sample=np.array([True, True, False]),
+        )
+        assert profile.expected_loss == pytest.approx(1.0)
+        assert profile.accuracy == pytest.approx(2 / 3)
+        assert profile.pool_size == 3
+        assert profile.loss_std > 0
+
+    def test_negative_losses_rejected(self):
+        with pytest.raises(ValueError):
+            ModelProfile("m", 100.0, np.array([-0.1]), np.array([True]))
+
+    def test_misaligned_correctness_rejected(self):
+        with pytest.raises(ValueError):
+            ModelProfile("m", 100.0, np.array([0.1, 0.2]), np.array([True]))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            ModelProfile("m", 0.0, np.array([0.1]), np.array([True]))
+
+
+class TestProfilesFromNetworks:
+    def test_lookup_matches_live_forward_pass(self):
+        """The profile table must be a memoized forward pass, exactly."""
+        rng = np.random.default_rng(0)
+        data = make_mnist_like(rng, n_train=100, n_test=150)
+        net = build_mlp(np.random.default_rng(1), hidden=16)
+        [profile] = profiles_from_networks([net], data.x_test, data.y_test)
+
+        idx = np.random.default_rng(2).integers(0, 150, size=40)
+        proba = net.predict_proba(data.x_test[idx])
+        live = squared_label_loss(proba, data.y_test[idx])
+        np.testing.assert_allclose(profile.loss_per_sample[idx], live, atol=1e-12)
+
+        live_correct = np.argmax(proba, axis=1) == data.y_test[idx]
+        np.testing.assert_array_equal(profile.correct_per_sample[idx], live_correct)
+
+    def test_size_matches_network(self):
+        rng = np.random.default_rng(3)
+        data = make_mnist_like(rng, n_train=50, n_test=60)
+        net = build_mlp(np.random.default_rng(4), hidden=8)
+        [profile] = profiles_from_networks([net], data.x_test, data.y_test)
+        assert profile.size_bytes == net.size_bytes()
+        assert profile.network is net
+
+    def test_empty_pool_rejected(self):
+        net = build_mlp(np.random.default_rng(5), hidden=8)
+        with pytest.raises(ValueError):
+            profiles_from_networks([net], np.zeros((0, 1, 8, 8)), np.zeros(0, dtype=int))
+
+
+class TestSyntheticProfiles:
+    def test_count_and_pool(self):
+        profiles = synthetic_profiles(5, np.random.default_rng(6), pool_size=300)
+        assert len(profiles) == 5
+        assert all(p.pool_size == 300 for p in profiles)
+
+    def test_losses_in_squared_loss_range(self):
+        profiles = synthetic_profiles(4, np.random.default_rng(7))
+        for p in profiles:
+            assert p.loss_per_sample.min() >= 0.0
+            assert p.loss_per_sample.max() <= 2.0
+
+    def test_loss_means_spread(self):
+        profiles = synthetic_profiles(6, np.random.default_rng(8))
+        means = [p.expected_loss for p in profiles]
+        assert max(means) - min(means) > 0.5
+
+    def test_custom_loss_means_respected(self):
+        means = np.array([0.3, 0.9])
+        profiles = synthetic_profiles(
+            2, np.random.default_rng(9), pool_size=20000, loss_means=means
+        )
+        for p, target in zip(profiles, means):
+            assert p.expected_loss == pytest.approx(target, abs=0.05)
+
+    def test_sizes_anticorrelated_with_loss(self):
+        """Bigger models must be better (as in the trained zoos)."""
+        profiles = synthetic_profiles(6, np.random.default_rng(10))
+        losses = np.array([p.expected_loss for p in profiles])
+        sizes = np.array([p.size_bytes for p in profiles])
+        assert np.corrcoef(losses, sizes)[0, 1] < -0.7
+
+    def test_accuracy_anticorrelated_with_loss(self):
+        profiles = synthetic_profiles(6, np.random.default_rng(11), pool_size=5000)
+        losses = np.array([p.expected_loss for p in profiles])
+        accs = np.array([p.accuracy for p in profiles])
+        assert np.corrcoef(losses, accs)[0, 1] < -0.9
+
+    def test_invalid_loss_means(self):
+        with pytest.raises(ValueError):
+            synthetic_profiles(2, np.random.default_rng(0), loss_means=np.array([0.5]))
+        with pytest.raises(ValueError):
+            synthetic_profiles(
+                2, np.random.default_rng(0), loss_means=np.array([0.5, 2.5])
+            )

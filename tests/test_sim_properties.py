@@ -1,0 +1,94 @@
+"""Property-based simulator invariants (hypothesis).
+
+For randomly drawn tiny scenarios and policy combinations, structural
+invariants of the simulation must always hold: valid selections, bounded
+trades, non-negative fit, exact accounting identities, and policy-
+independent workloads (common random numbers).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_combo
+from repro.sim.config import CostWeights, ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+SELECTIONS = ("Ours", "Ran", "Greedy", "TINF", "UCB", "EG")
+TRADERS = ("Ours", "Forecast", "Ran", "TH", "LY", "Null")
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "num_edges": st.integers(1, 4),
+        "horizon": st.integers(2, 30),
+        "num_models": st.integers(2, 5),
+        "carbon_cap_kg": st.sampled_from([0.0, 100.0, 1000.0]),
+        "seed": st.integers(0, 5),
+    }
+)
+
+
+def build(params) -> tuple:
+    config = ScenarioConfig(dataset="synthetic", n_test=200, **params)
+    return build_scenario(config), config
+
+
+@given(
+    params=scenario_params,
+    selection=st.sampled_from(SELECTIONS),
+    trader=st.sampled_from(TRADERS),
+    seed=st.integers(0, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_simulation_invariants(params, selection, trader, seed):
+    scenario, config = build(params)
+    result = run_combo(scenario, selection, trader, seed)
+
+    # Selections are valid model indices; exactly one model per edge per slot.
+    assert result.selections.min() >= 0
+    assert result.selections.max() < config.num_models
+
+    # Trades stay inside [0, bound].
+    assert np.all(result.bought >= 0) and np.all(result.sold >= 0)
+    assert np.all(result.bought <= scenario.trade_bound + 1e-9)
+    assert np.all(result.sold <= scenario.trade_bound + 1e-9)
+
+    # Accounting identities.
+    np.testing.assert_allclose(
+        result.trading_cost,
+        result.bought * result.buy_prices - result.sold * result.sell_prices,
+    )
+    assert np.all(result.fit_series() >= 0.0)
+    assert np.all(np.isfinite(result.cost_series(CostWeights())))
+
+    # Emissions are strictly positive (every edge serves >= 1 sample/slot)
+    # whenever the emission rate is positive.
+    assert np.all(result.emissions > 0)
+
+    # First slot downloads a model on every edge.
+    assert result.switches[0].all()
+
+
+@given(params=scenario_params, seed=st.integers(0, 3))
+@settings(max_examples=15, deadline=None)
+def test_workload_is_policy_independent(params, seed):
+    scenario, _ = build(params)
+    a = run_combo(scenario, "Ran", "Ran", seed)
+    b = run_combo(scenario, "Greedy", "LY", seed)
+    np.testing.assert_allclose(a.arrivals, b.arrivals)
+    np.testing.assert_allclose(a.buy_prices, b.buy_prices)
+
+
+@given(params=scenario_params)
+@settings(max_examples=10, deadline=None)
+def test_offline_lower_bounds_and_neutral(params):
+    from repro.experiments.runner import run_offline
+
+    scenario, config = build(params)
+    offline = run_offline(scenario, seed=0)
+    assert offline.final_fit() == pytest.approx(0.0, abs=1e-6)
+    ours = run_combo(scenario, "Ours", "Ours", seed=0)
+    # Offline can never cost more: same inference inputs, optimal trading,
+    # at most one switch per edge.
+    assert offline.total_cost(config.weights) <= ours.total_cost(config.weights) + 1e-6

@@ -1,0 +1,126 @@
+"""Tests for SimulationResult accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import CostWeights
+from repro.sim.results import SimulationResult
+
+
+def make_result(horizon=4, num_edges=2, cap=10.0):
+    rng = np.random.default_rng(0)
+    return SimulationResult(
+        label="test",
+        horizon=horizon,
+        num_edges=num_edges,
+        carbon_cap=cap,
+        expected_inference_cost=np.array([1.0, 1.0, 2.0, 2.0]),
+        realized_inference_loss=np.array([1.1, 0.9, 2.2, 1.8]),
+        compute_cost=np.array([0.1, 0.1, 0.2, 0.2]),
+        switching_cost=np.array([2.0, 0.0, 3.0, 0.0]),
+        emissions=np.array([5.0, 6.0, 7.0, 8.0]),
+        bought=np.array([0.0, 4.0, 6.0, 8.0]),
+        sold=np.array([1.0, 0.0, 0.0, 0.0]),
+        trading_cost=np.array([-0.9, 3.2, 4.8, 6.4]),
+        buy_prices=np.array([8.0, 0.8, 0.8, 0.8]),
+        sell_prices=np.array([0.9, 0.72, 0.72, 0.72]),
+        arrivals=np.array([10.0, 10.0, 20.0, 20.0]),
+        accuracy=np.array([0.5, 0.6, 0.7, 0.8]),
+        selections=rng.integers(0, 3, size=(horizon, num_edges)),
+        switches=np.array([[True, True], [False, False], [True, False], [False, False]]),
+    )
+
+
+class TestCostAccounting:
+    def test_cost_series_weighted_sum(self):
+        result = make_result()
+        weights = CostWeights(inference=1.0, compute=2.0, switching=0.5, trading=0.1)
+        expected = (
+            result.expected_inference_cost
+            + 2.0 * result.compute_cost
+            + 0.5 * result.switching_cost
+            + 0.1 * result.trading_cost
+        )
+        np.testing.assert_allclose(result.cost_series(weights), expected)
+
+    def test_total_is_sum_of_series(self):
+        result = make_result()
+        weights = CostWeights()
+        assert result.total_cost(weights) == pytest.approx(
+            result.cost_series(weights).sum()
+        )
+
+    def test_cumulative_monotone_for_positive_costs(self):
+        result = make_result()
+        cum = result.cumulative_cost(CostWeights(trading=0.0))
+        assert np.all(np.diff(cum) > 0)
+
+
+class TestNeutralityAccounting:
+    def test_holdings_series(self):
+        result = make_result(cap=10.0)
+        np.testing.assert_allclose(result.holdings_series(), [9.0, 13.0, 19.0, 27.0])
+
+    def test_fit_series(self):
+        result = make_result(cap=10.0)
+        emissions_cum = np.array([5.0, 11.0, 18.0, 26.0])
+        expected = np.maximum(emissions_cum - result.holdings_series(), 0.0)
+        np.testing.assert_allclose(result.fit_series(), expected)
+
+    def test_final_fit(self):
+        result = make_result()
+        assert result.final_fit() == pytest.approx(result.fit_series()[-1])
+
+    def test_net_purchase_series(self):
+        result = make_result()
+        np.testing.assert_allclose(
+            result.net_purchase_series(), [-1.0, 4.0, 6.0, 8.0]
+        )
+
+
+class TestSelectionAccounting:
+    def test_total_switches(self):
+        assert make_result().total_switches() == 3
+
+    def test_switches_per_edge(self):
+        np.testing.assert_array_equal(make_result().switches_per_edge(), [2, 1])
+
+    def test_selection_counts_sum_to_horizon(self):
+        result = make_result()
+        counts = result.selection_counts()
+        assert counts.sum(axis=1).tolist() == [4, 4]
+
+
+class TestDerivedMetrics:
+    def test_mean_accuracy_weighted_by_arrivals(self):
+        result = make_result()
+        expected = (0.5 * 10 + 0.6 * 10 + 0.7 * 20 + 0.8 * 20) / 60
+        assert result.mean_accuracy() == pytest.approx(expected)
+
+    def test_mean_purchase_price(self):
+        result = make_result()
+        expected = (4 * 0.8 + 6 * 0.8 + 8 * 0.8) / 18
+        assert result.mean_purchase_price() == pytest.approx(expected)
+
+    def test_unit_purchase_cost_is_cost_per_net_allowance(self):
+        result = make_result()
+        expected = result.trading_cost.sum() / 17.0  # net = 18 bought - 1 sold
+        assert result.unit_purchase_cost() == pytest.approx(expected)
+
+    def test_unit_purchase_cost_nan_without_net_coverage(self):
+        result = make_result()
+        object.__setattr__(result, "bought", np.zeros(4))
+        assert np.isnan(result.unit_purchase_cost())
+        assert np.isnan(result.mean_purchase_price())
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            result = make_result()
+            SimulationResult(
+                **{
+                    **result.__dict__,
+                    "emissions": np.zeros(3),
+                }
+            )

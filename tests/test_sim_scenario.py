@@ -1,0 +1,109 @@
+"""Tests for scenario configuration and building."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import CostWeights, ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+
+class TestCostWeights:
+    def test_defaults(self):
+        weights = CostWeights()
+        assert weights.inference == 1.0
+        assert weights.trading == pytest.approx(0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights(switching=-1.0)
+
+
+class TestScenarioConfig:
+    def test_defaults_match_paper(self):
+        config = ScenarioConfig()
+        assert config.horizon == 160
+        assert config.carbon_cap_kg == 500.0
+        assert config.rho_kg_per_kwh == 0.5
+        assert config.num_models == 6
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(dataset="imagenet")
+
+    def test_with_overrides(self):
+        config = ScenarioConfig().with_overrides(num_edges=25, carbon_cap_kg=0.0)
+        assert config.num_edges == 25
+        assert config.carbon_cap_kg == 0.0
+        assert config.horizon == 160  # unchanged
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_edges": 0},
+            {"horizon": 0},
+            {"carbon_cap_kg": -1.0},
+            {"workload_base_mean": 0.0},
+            {"switching_weight": -0.5},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(dataset="synthetic", **kwargs)
+
+
+class TestBuildScenario:
+    def test_shapes(self, small_scenario, small_config):
+        sc, cfg = small_scenario, small_config
+        assert len(sc.profiles) == cfg.num_models
+        assert sc.latencies.shape == (cfg.num_edges, cfg.num_models)
+        assert sc.download_delays.shape == (cfg.num_edges,)
+        assert sc.workload_means.shape == (cfg.num_edges, cfg.horizon)
+        assert sc.prices.horizon == cfg.horizon
+
+    def test_deterministic(self, small_config):
+        a = build_scenario(small_config)
+        b = build_scenario(small_config)
+        np.testing.assert_allclose(a.download_delays, b.download_delays)
+        np.testing.assert_allclose(a.prices.buy, b.prices.buy)
+        np.testing.assert_allclose(
+            a.profiles[0].loss_per_sample, b.profiles[0].loss_per_sample
+        )
+
+    def test_different_seed_changes_traces(self, small_config):
+        other = build_scenario(small_config.with_overrides(seed=99))
+        base = build_scenario(small_config)
+        assert not np.allclose(other.prices.buy, base.prices.buy)
+
+    def test_effective_switch_costs_scale_with_weight(self, small_config):
+        base = build_scenario(small_config)
+        heavy = build_scenario(small_config.with_overrides(switching_weight=4.0))
+        np.testing.assert_allclose(
+            heavy.effective_switch_costs(), 4.0 * base.effective_switch_costs()
+        )
+
+    def test_trade_bound_positive(self, small_scenario):
+        assert small_scenario.trade_bound > 0
+
+    def test_estimated_slot_emissions_reasonable(self, small_scenario):
+        est = small_scenario.estimated_slot_emissions()
+        assert est > 0
+        assert small_scenario.trade_bound == pytest.approx(
+            small_scenario.config.trade_bound_factor * est, rel=1e-6
+        )
+
+    def test_expected_losses_are_profile_means(self, small_scenario):
+        expected = [p.expected_loss for p in small_scenario.profiles]
+        np.testing.assert_allclose(small_scenario.expected_losses, expected)
+
+    def test_synthetic_has_no_pool(self, small_scenario):
+        assert small_scenario.x_pool is None
+
+    def test_mnist_scenario_has_pool_and_networks(self, mnist_scenario):
+        assert mnist_scenario.x_pool is not None
+        assert mnist_scenario.y_pool is not None
+        assert all(p.network is not None for p in mnist_scenario.profiles)
+
+    def test_mnist_zoo_loss_spread(self, mnist_scenario):
+        """The trained zoo must have genuinely different model qualities."""
+        losses = mnist_scenario.expected_losses
+        assert losses.max() - losses.min() > 0.05

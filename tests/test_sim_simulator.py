@@ -1,0 +1,181 @@
+"""Tests for the time-slotted simulator."""
+
+import numpy as np
+import pytest
+
+from repro.bandits import RandomSelection
+from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.offline import FixedSelection, NullTrading
+from repro.sim.simulator import Simulator
+from repro.utils.rng import RngFactory
+
+
+def make_ours_policies(scenario, seed=0):
+    factory = RngFactory(seed)
+    return [
+        OnlineModelSelection(
+            scenario.num_models,
+            scenario.horizon,
+            float(scenario.effective_switch_costs()[i]),
+            factory.get(f"sel-{i}"),
+        )
+        for i in range(scenario.num_edges)
+    ]
+
+
+class TestSimulatorBasics:
+    def test_result_shapes(self, small_scenario):
+        sim = Simulator(
+            small_scenario,
+            make_ours_policies(small_scenario),
+            OnlineCarbonTrading(),
+            run_seed=0,
+        )
+        result = sim.run()
+        t, i = small_scenario.horizon, small_scenario.num_edges
+        assert result.emissions.shape == (t,)
+        assert result.selections.shape == (t, i)
+        assert result.switches.shape == (t, i)
+
+    def test_first_slot_downloads_everywhere(self, small_scenario):
+        result = Simulator(
+            small_scenario,
+            make_ours_policies(small_scenario),
+            NullTrading(),
+            run_seed=1,
+        ).run()
+        assert result.switches[0].all()
+
+    def test_policy_count_mismatch_rejected(self, small_scenario):
+        with pytest.raises(ValueError, match="one selection policy per edge"):
+            Simulator(
+                small_scenario,
+                make_ours_policies(small_scenario)[:-1],
+                NullTrading(),
+            )
+
+    def test_model_count_mismatch_rejected(self, small_scenario):
+        bad = [
+            RandomSelection(small_scenario.num_models + 1, np.random.default_rng(0))
+            for _ in range(small_scenario.num_edges)
+        ]
+        with pytest.raises(ValueError, match="models"):
+            Simulator(small_scenario, bad, NullTrading())
+
+    def test_deterministic_given_seed(self, small_scenario):
+        def run_once():
+            return Simulator(
+                small_scenario,
+                make_ours_policies(small_scenario, seed=5),
+                OnlineCarbonTrading(),
+                run_seed=5,
+            ).run()
+
+        a, b = run_once(), run_once()
+        np.testing.assert_allclose(a.emissions, b.emissions)
+        np.testing.assert_array_equal(a.selections, b.selections)
+        np.testing.assert_allclose(a.trading_cost, b.trading_cost)
+
+
+class TestAccountingConsistency:
+    @pytest.fixture(scope="class")
+    def result(self, small_scenario):
+        return Simulator(
+            small_scenario,
+            make_ours_policies(small_scenario, seed=2),
+            OnlineCarbonTrading(),
+            run_seed=2,
+        ).run()
+
+    def test_trading_cost_matches_prices(self, result):
+        expected = result.bought * result.buy_prices - result.sold * result.sell_prices
+        np.testing.assert_allclose(result.trading_cost, expected)
+
+    def test_trades_within_bound(self, result, small_scenario):
+        assert np.all(result.bought <= small_scenario.trade_bound + 1e-9)
+        assert np.all(result.sold <= small_scenario.trade_bound + 1e-9)
+        assert np.all(result.bought >= 0)
+        assert np.all(result.sold >= 0)
+
+    def test_switching_cost_matches_switches(self, result, small_scenario):
+        effective = small_scenario.effective_switch_costs()
+        expected = (result.switches * effective[None, :]).sum(axis=1)
+        np.testing.assert_allclose(result.switching_cost, expected)
+
+    def test_compute_cost_matches_selected_latencies(self, result, small_scenario):
+        expected = np.zeros(result.horizon)
+        for t in range(result.horizon):
+            for i in range(result.num_edges):
+                expected[t] += small_scenario.latencies[i, result.selections[t, i]]
+        np.testing.assert_allclose(result.compute_cost, expected)
+
+    def test_expected_inference_matches_profiles(self, result, small_scenario):
+        means = small_scenario.expected_losses
+        expected = means[result.selections].sum(axis=1)
+        np.testing.assert_allclose(result.expected_inference_cost, expected)
+
+    def test_emissions_positive(self, result):
+        assert np.all(result.emissions > 0)
+
+    def test_accuracy_in_unit_interval(self, result):
+        assert np.nanmin(result.accuracy) >= 0.0
+        assert np.nanmax(result.accuracy) <= 1.0
+
+    def test_arrivals_at_least_one_per_edge(self, result):
+        assert np.all(result.arrivals >= result.num_edges)
+
+
+class TestCommonRandomNumbers:
+    def test_arrivals_identical_across_policies(self, small_scenario):
+        """Different policies must face identical workloads (CRN)."""
+        fixed = [
+            FixedSelection(small_scenario.num_models, 0)
+            for _ in range(small_scenario.num_edges)
+        ]
+        random_pols = [
+            RandomSelection(small_scenario.num_models, np.random.default_rng(i))
+            for i in range(small_scenario.num_edges)
+        ]
+        a = Simulator(small_scenario, fixed, NullTrading(), run_seed=7).run()
+        b = Simulator(small_scenario, random_pols, NullTrading(), run_seed=7).run()
+        np.testing.assert_allclose(a.arrivals, b.arrivals)
+
+    def test_same_policy_same_losses(self, small_scenario):
+        fixed = lambda: [  # noqa: E731
+            FixedSelection(small_scenario.num_models, 1)
+            for _ in range(small_scenario.num_edges)
+        ]
+        a = Simulator(small_scenario, fixed(), NullTrading(), run_seed=7).run()
+        b = Simulator(small_scenario, fixed(), NullTrading(), run_seed=7).run()
+        np.testing.assert_allclose(
+            a.realized_inference_loss, b.realized_inference_loss
+        )
+
+
+class TestLiveInference:
+    def test_lookup_equals_live_forward_pass(self, mnist_scenario):
+        """The memoized loss table must be bit-identical to live inference."""
+        fixed = lambda: [  # noqa: E731
+            FixedSelection(mnist_scenario.num_models, i % mnist_scenario.num_models)
+            for i in range(mnist_scenario.num_edges)
+        ]
+        lookup = Simulator(
+            mnist_scenario, fixed(), NullTrading(), run_seed=3, live_inference=False
+        ).run()
+        live = Simulator(
+            mnist_scenario, fixed(), NullTrading(), run_seed=3, live_inference=True
+        ).run()
+        np.testing.assert_allclose(
+            lookup.realized_inference_loss, live.realized_inference_loss, atol=1e-12
+        )
+
+    def test_live_inference_requires_pool(self, small_scenario):
+        fixed = [
+            FixedSelection(small_scenario.num_models, 0)
+            for _ in range(small_scenario.num_edges)
+        ]
+        sim = Simulator(
+            small_scenario, fixed, NullTrading(), run_seed=0, live_inference=True
+        )
+        with pytest.raises(ValueError):
+            sim.run()

@@ -1,0 +1,134 @@
+"""Empirical checks of the paper's theoretical guarantees (Theorems 1-3).
+
+These are statistical smoke tests on controlled synthetic bandit/trading
+instances: they verify the *rates* (sub-linear growth of regret, switching
+cost and fit) rather than constants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import build_schedule
+from repro.core.carbon_trading import OnlineCarbonTrading
+from repro.core.model_selection import OnlineModelSelection
+from repro.metrics.regret import power_law_slope
+from repro.policies.trading import TradingContext
+
+
+def bandit_regret(horizon: int, seed: int, switch_cost: float = 2.0) -> tuple[float, int]:
+    """Run Algorithm 1 on a fixed stochastic instance; return (regret, switches)."""
+    means = np.array([0.2, 0.5, 0.8, 1.1])
+    rng = np.random.default_rng(seed)
+    policy = OnlineModelSelection(4, horizon, switch_cost, np.random.default_rng(seed + 1))
+    total = 0.0
+    previous = -1
+    switches = 0
+    for t in range(horizon):
+        model = policy.select(t)
+        if model != previous:
+            switches += 1
+            previous = model
+        loss = float(np.clip(means[model] + 0.1 * rng.standard_normal(), 0, 2))
+        policy.observe(t, model, loss)
+        total += means[model]
+    best = means.min() * horizon
+    return total - best, switches
+
+
+class TestTheorem1:
+    HORIZONS = (200, 800, 3200)
+
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        regrets, switch_costs = [], []
+        for horizon in self.HORIZONS:
+            per_seed = [bandit_regret(horizon, seed=10 * s) for s in range(4)]
+            regrets.append(float(np.mean([r for r, _ in per_seed])))
+            switch_costs.append(float(np.mean([2.0 * k for _, k in per_seed])))
+        return regrets, switch_costs
+
+    def test_regret_plus_switching_sublinear(self, measurements):
+        regrets, switch_costs = measurements
+        combined = np.asarray(regrets) + np.asarray(switch_costs)
+        slope = power_law_slope(self.HORIZONS, combined)
+        assert slope < 0.85, f"regret+switching grows with exponent {slope:.2f}"
+
+    def test_switch_count_matches_block_bound(self):
+        for horizon in self.HORIZONS:
+            _, switches = bandit_regret(horizon, seed=3)
+            schedule = build_schedule(horizon, 2.0, 4)
+            assert switches <= schedule.num_blocks
+
+    def test_switching_cost_exponent_near_two_thirds(self, measurements):
+        """K_i = O(T^{2/3}); the measured exponent should be close."""
+        _, switch_costs = measurements
+        slope = power_law_slope(self.HORIZONS, switch_costs)
+        assert 0.4 < slope < 0.85
+
+
+def trading_run(horizon: int, seed: int) -> tuple[float, float]:
+    """Run Algorithm 2 on a synthetic emission stream; return (fit, regret_proxy)."""
+    rng = np.random.default_rng(seed)
+    gamma1, gamma2 = OnlineCarbonTrading.step_sizes_for_horizon(horizon)
+    policy = OnlineCarbonTrading(gamma1=gamma1, gamma2=gamma2)
+    cap = 0.25 * 20.0 * horizon  # cap covers a quarter of expected emissions
+    bought = sold = emitted = cost = 0.0
+    for t in range(horizon):
+        price = float(rng.uniform(5.9, 10.9))
+        ctx = TradingContext(
+            t=t, horizon=horizon, cap=cap,
+            buy_price=price, sell_price=0.9 * price,
+            prev_buy_price=price, prev_sell_price=0.9 * price,
+            prev_emissions=20.0, cumulative_emissions=emitted,
+            holdings=cap + bought - sold, mean_slot_emissions=20.0,
+            trade_bound=80.0,
+        )
+        decision = policy.decide(ctx)
+        emissions = float(rng.uniform(10, 30))
+        policy.observe(ctx, decision, emissions)
+        bought += decision.buy
+        sold += decision.sell
+        emitted += emissions
+        cost += decision.buy * price - decision.sell * 0.9 * price
+    fit = max(emitted - (cap + bought - sold), 0.0)
+    return fit, cost
+
+
+class TestTheorem2:
+    HORIZONS = (100, 400, 1600)
+
+    def test_fit_sublinear(self):
+        fits = []
+        for horizon in self.HORIZONS:
+            fits.append(float(np.mean([trading_run(horizon, s)[0] for s in range(4)])))
+        slope = power_law_slope(self.HORIZONS, fits)
+        assert slope < 0.95, f"fit grows with exponent {slope:.2f} (fits={fits})"
+
+    def test_fit_fraction_of_emissions_vanishes(self):
+        fractions = []
+        for horizon in self.HORIZONS:
+            fit, _ = trading_run(horizon, seed=1)
+            fractions.append(fit / (20.0 * horizon))
+        assert fractions[-1] < max(fractions[0], 0.05)
+
+
+class TestTheorem3:
+    def test_joint_regret_sublinear_in_simulation(self, small_config):
+        """Full-system regret vs Offline grows sub-linearly with T."""
+        from repro.experiments.runner import run_combo, run_offline
+        from repro.sim.scenario import build_scenario
+
+        horizons = (40, 160, 640)
+        regrets = []
+        for horizon in horizons:
+            config = small_config.with_overrides(horizon=horizon)
+            scenario = build_scenario(config)
+            weights = config.weights
+            per_seed = []
+            for seed in range(2):
+                ours = run_combo(scenario, "Ours", "Ours", seed).total_cost(weights)
+                offline = run_offline(scenario, seed).total_cost(weights)
+                per_seed.append(ours - offline)
+            regrets.append(float(np.mean(per_seed)))
+        slope = power_law_slope(horizons, regrets)
+        assert slope < 0.95, f"P0 regret exponent {slope:.2f} (regrets={regrets})"

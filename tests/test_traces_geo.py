@@ -1,0 +1,78 @@
+"""Tests for the geographic topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces.geo import EdgeTopology, Site, generate_topology
+
+
+class TestSite:
+    def test_distance_symmetry(self):
+        a = Site("a", -33.9, 151.2)
+        b = Site("b", -37.8, 144.9)
+        assert a.distance_km(b) == pytest.approx(b.distance_km(a))
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            Site("bad", 91.0, 0.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ValueError):
+            Site("bad", 0.0, 181.0)
+
+
+class TestEdgeTopology:
+    @pytest.fixture()
+    def topology(self):
+        cloud = Site("cloud", -20.0, 135.0)
+        edges = [Site("e0", -20.0, 135.0), Site("e1", -30.0, 145.0)]
+        return EdgeTopology(cloud, edges, base_delay_s=1.0, per_km_s=0.001)
+
+    def test_num_edges(self, topology):
+        assert topology.num_edges == 2
+
+    def test_colocated_edge_has_base_delay(self, topology):
+        delays = topology.download_delays()
+        assert delays[0] == pytest.approx(1.0)
+
+    def test_delay_monotone_in_distance(self, topology):
+        delays = topology.download_delays()
+        distances = topology.distances_km()
+        assert distances[1] > distances[0]
+        assert delays[1] > delays[0]
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeTopology(Site("c", 0, 0), [])
+
+    def test_negative_delay_params_rejected(self):
+        cloud = Site("c", 0, 0)
+        with pytest.raises(ValueError):
+            EdgeTopology(cloud, [cloud], base_delay_s=-1.0)
+
+
+class TestGenerateTopology:
+    def test_counts(self):
+        topo = generate_topology(7, np.random.default_rng(0))
+        assert topo.num_edges == 7
+
+    def test_sites_inside_australia_box(self):
+        topo = generate_topology(30, np.random.default_rng(1))
+        for site in [topo.cloud] + topo.edges:
+            assert -38.0 <= site.latitude <= -12.0
+            assert 114.0 <= site.longitude <= 153.0
+
+    def test_heterogeneous_delays(self):
+        topo = generate_topology(20, np.random.default_rng(2))
+        delays = topo.download_delays()
+        assert delays.std() > 0.1
+        assert np.all(delays >= topo.base_delay_s)
+
+    def test_deterministic_given_seed(self):
+        a = generate_topology(5, np.random.default_rng(3)).download_delays()
+        b = generate_topology(5, np.random.default_rng(3)).download_delays()
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_topology(0, np.random.default_rng(0))

@@ -1,0 +1,92 @@
+"""Tests for nonstationary traces: price regime shifts and weekend profiles."""
+
+import numpy as np
+import pytest
+
+from repro.traces.carbon_prices import CarbonPriceModel, RegimeShiftPriceModel
+from repro.traces.workload import SLOTS_PER_DAY, WorkloadModel
+
+
+class TestRegimeShiftPrices:
+    def test_band_jumps_at_shift(self):
+        model = RegimeShiftPriceModel(
+            before=CarbonPriceModel(low=5.9, high=10.9, sigma=0.1),
+            after=CarbonPriceModel(low=12.0, high=16.0, sigma=0.1),
+            shift_at=0.5,
+        )
+        series = model.generate(200, np.random.default_rng(0))
+        assert series.buy[:100].max() <= 10.9 + 1e-9
+        assert series.buy[100:].min() >= 12.0 - 1e-9
+
+    def test_mean_rises_with_default_regimes(self):
+        series = RegimeShiftPriceModel().generate(400, np.random.default_rng(1))
+        assert series.buy[200:].mean() > series.buy[:200].mean()
+
+    def test_sell_ratio_consistent(self):
+        series = RegimeShiftPriceModel().generate(100, np.random.default_rng(2))
+        np.testing.assert_allclose(series.sell, 0.9 * series.buy)
+
+    def test_mismatched_sell_ratio_rejected(self):
+        with pytest.raises(ValueError, match="sell ratio"):
+            RegimeShiftPriceModel(
+                before=CarbonPriceModel(sell_ratio=0.9),
+                after=CarbonPriceModel(sell_ratio=0.8),
+            )
+
+    def test_invalid_shift_rejected(self):
+        with pytest.raises(ValueError):
+            RegimeShiftPriceModel(shift_at=0.0)
+
+    def test_horizon_respected(self):
+        series = RegimeShiftPriceModel(shift_at=0.3).generate(77, np.random.default_rng(3))
+        assert series.horizon == 77
+
+    def test_forecaster_adapts_across_shift(self):
+        """The AR(1) forecaster must recover after the regime change."""
+        from repro.forecast.price_models import AR1Forecaster
+
+        series = RegimeShiftPriceModel().generate(400, np.random.default_rng(4))
+        forecaster = AR1Forecaster(forgetting=0.95)
+        errors = []
+        for t in range(series.horizon - 1):
+            forecaster.update(float(series.buy[t]))
+            errors.append(abs(forecaster.predict(1) - float(series.buy[t + 1])))
+        shortly_after = float(np.mean(errors[201:220]))
+        settled = float(np.mean(errors[300:]))
+        assert settled <= shortly_after + 0.3
+
+
+class TestWeekendWorkload:
+    def test_weekend_profile_single_peak(self):
+        model = WorkloadModel(noise_sigma=0.0)
+        weekday = model.generate(1, SLOTS_PER_DAY, np.random.default_rng(0), "W")[0]
+        weekend = model.generate(1, SLOTS_PER_DAY, np.random.default_rng(0), "E")[0]
+        assert not np.allclose(weekday, weekend)
+        # Weekend peak is flatter than the weekday evening peak.
+        assert weekend.max() < weekday.max()
+
+    def test_week_pattern_cycles(self):
+        model = WorkloadModel(noise_sigma=0.0)
+        horizon = 7 * SLOTS_PER_DAY
+        week = model.generate(1, horizon, np.random.default_rng(1), "WWWWWEE")[0]
+        monday = week[:SLOTS_PER_DAY]
+        saturday = week[5 * SLOTS_PER_DAY : 6 * SLOTS_PER_DAY]
+        sunday = week[6 * SLOTS_PER_DAY :]
+        assert not np.allclose(monday, saturday)
+        np.testing.assert_allclose(saturday, sunday)  # both weekend, no noise
+
+    def test_mean_volume_preserved(self):
+        model = WorkloadModel(noise_sigma=0.0, zipf_exponent=0.0)
+        weekday = model.generate(1, SLOTS_PER_DAY, np.random.default_rng(2), "W")
+        weekend = model.generate(1, SLOTS_PER_DAY, np.random.default_rng(2), "E")
+        assert weekday.mean() == pytest.approx(weekend.mean(), rel=1e-9)
+
+    def test_invalid_day_type_rejected(self):
+        with pytest.raises(ValueError, match="day_types"):
+            WorkloadModel().generate(1, 10, np.random.default_rng(0), "WX")
+
+    def test_default_is_all_weekdays(self):
+        model = WorkloadModel(noise_sigma=0.0)
+        default = model.generate(1, 100, np.random.default_rng(3))
+        weekdays = model.generate(1, 100, np.random.default_rng(3), "W")
+        np.testing.assert_allclose(default, weekdays)

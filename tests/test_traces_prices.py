@@ -1,0 +1,92 @@
+"""Tests for the carbon price trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.carbon_prices import CarbonPriceModel, PriceSeries, generate_prices
+
+
+class TestPriceSeries:
+    def test_horizon(self):
+        series = PriceSeries(buy=np.full(5, 8.0), sell=np.full(5, 7.0))
+        assert series.horizon == 5
+
+    def test_sell_above_buy_rejected(self):
+        with pytest.raises(ValueError):
+            PriceSeries(buy=np.array([8.0]), sell=np.array([9.0]))
+
+    def test_nonpositive_buy_rejected(self):
+        with pytest.raises(ValueError):
+            PriceSeries(buy=np.array([0.0]), sell=np.array([0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PriceSeries(buy=np.ones(3), sell=np.ones(4))
+
+
+class TestCarbonPriceModel:
+    def test_prices_in_paper_range(self):
+        series = CarbonPriceModel().generate(500, np.random.default_rng(0))
+        assert series.buy.min() >= 5.9
+        assert series.buy.max() <= 10.9
+
+    def test_sell_is_ninety_percent_of_buy(self):
+        series = CarbonPriceModel().generate(50, np.random.default_rng(1))
+        np.testing.assert_allclose(series.sell, 0.9 * series.buy)
+
+    def test_prices_fluctuate(self):
+        series = CarbonPriceModel().generate(200, np.random.default_rng(2))
+        assert series.buy.std() > 0.1
+
+    def test_temporal_correlation(self):
+        """Mean reversion implies positive autocorrelation at lag one."""
+        series = CarbonPriceModel().generate(2000, np.random.default_rng(3))
+        x = series.buy
+        corr = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert corr > 0.5
+
+    def test_deterministic_given_seed(self):
+        a = CarbonPriceModel().generate(30, np.random.default_rng(4))
+        b = CarbonPriceModel().generate(30, np.random.default_rng(4))
+        np.testing.assert_allclose(a.buy, b.buy)
+
+    def test_mean_price(self):
+        assert CarbonPriceModel().mean_price == pytest.approx((5.9 + 10.9) / 2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"low": 0.0},
+            {"high": 5.0},  # below default low
+            {"kappa": 1.5},
+            {"sell_ratio": 1.5},
+            {"sigma": -1.0},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            CarbonPriceModel(**kwargs)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            CarbonPriceModel().generate(0, np.random.default_rng(0))
+
+    @given(
+        sell_ratio=st.floats(0.1, 1.0),
+        sigma=st.floats(0.0, 2.0),
+        kappa=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_series_always_valid(self, sell_ratio, sigma, kappa):
+        model = CarbonPriceModel(sell_ratio=sell_ratio, sigma=sigma, kappa=kappa)
+        series = model.generate(40, np.random.default_rng(5))
+        assert np.all(series.buy >= model.low - 1e-12)
+        assert np.all(series.buy <= model.high + 1e-12)
+        assert np.all(series.sell <= series.buy + 1e-12)
+
+    def test_convenience_wrapper(self):
+        series = generate_prices(25, np.random.default_rng(6), sell_ratio=0.8)
+        assert series.horizon == 25
+        np.testing.assert_allclose(series.sell, 0.8 * series.buy)

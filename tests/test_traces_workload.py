@@ -1,0 +1,76 @@
+"""Tests for the commuter workload trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces.workload import SLOTS_PER_DAY, WorkloadModel, generate_workload
+
+
+class TestWorkloadModel:
+    def test_shape(self):
+        means = WorkloadModel().generate(5, 160, np.random.default_rng(0))
+        assert means.shape == (5, 160)
+
+    def test_positive(self):
+        means = WorkloadModel().generate(3, 100, np.random.default_rng(1))
+        assert np.all(means > 0)
+
+    def test_station_scales_decrease_with_rank(self):
+        scales = WorkloadModel().station_scales(10)
+        assert np.all(np.diff(scales) < 0)
+        assert scales[0] == pytest.approx(1.0)
+
+    def test_zero_zipf_gives_equal_stations(self):
+        scales = WorkloadModel(zipf_exponent=0.0).station_scales(5)
+        np.testing.assert_allclose(scales, np.ones(5))
+
+    def test_busier_stations_carry_more_traffic(self):
+        means = WorkloadModel().generate(10, 160, np.random.default_rng(2))
+        totals = means.sum(axis=1)
+        assert totals[0] > totals[-1]
+
+    def test_diurnal_double_peak(self):
+        """Morning and evening peaks should both exceed the midday trough."""
+        model = WorkloadModel(noise_sigma=0.0)
+        means = model.generate(1, SLOTS_PER_DAY, np.random.default_rng(3))[0]
+        hours = 5.0 + 20.0 * (np.arange(SLOTS_PER_DAY) + 0.5) / SLOTS_PER_DAY
+        morning = means[(hours > 7.5) & (hours < 9.5)].max()
+        midday = means[(hours > 11.5) & (hours < 14.5)].min()
+        evening = means[(hours > 16.5) & (hours < 19.0)].max()
+        assert morning > 1.5 * midday
+        assert evening > 1.5 * midday
+
+    def test_two_days_differ_with_noise(self):
+        means = WorkloadModel().generate(1, 2 * SLOTS_PER_DAY, np.random.default_rng(4))[0]
+        day1, day2 = means[:SLOTS_PER_DAY], means[SLOTS_PER_DAY:]
+        assert not np.allclose(day1, day2)
+        # ... but are strongly correlated (same diurnal profile).
+        assert np.corrcoef(day1, day2)[0, 1] > 0.8
+
+    def test_noiseless_days_repeat_exactly(self):
+        model = WorkloadModel(noise_sigma=0.0)
+        means = model.generate(1, 2 * SLOTS_PER_DAY, np.random.default_rng(5))[0]
+        np.testing.assert_allclose(means[:SLOTS_PER_DAY], means[SLOTS_PER_DAY:])
+
+    def test_base_mean_scales_volume(self):
+        small = WorkloadModel(base_mean=10.0).generate(2, 40, np.random.default_rng(6))
+        large = WorkloadModel(base_mean=100.0).generate(2, 40, np.random.default_rng(6))
+        assert large.mean() == pytest.approx(10 * small.mean(), rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"base_mean": 0}, {"zipf_exponent": -1}, {"noise_sigma": -0.1}]
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadModel(**kwargs)
+
+    def test_invalid_generate_args(self):
+        model = WorkloadModel()
+        with pytest.raises(ValueError):
+            model.generate(0, 10, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.generate(2, 0, np.random.default_rng(0))
+
+    def test_convenience_wrapper(self):
+        means = generate_workload(2, 20, np.random.default_rng(7), base_mean=5.0)
+        assert means.shape == (2, 20)

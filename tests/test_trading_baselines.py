@@ -1,0 +1,154 @@
+"""Tests for the baseline trading policies."""
+
+import numpy as np
+import pytest
+
+from repro.policies.trading import TradeDecision, TradingContext
+from repro.trading import LyapunovTrading, RandomTrading, ThresholdTrading
+
+
+def make_context(t=0, buy=8.0, sell=7.2, mean_emissions=10.0, bound=50.0, cap=100.0, horizon=100):
+    return TradingContext(
+        t=t,
+        horizon=horizon,
+        cap=cap,
+        buy_price=buy,
+        sell_price=sell,
+        prev_buy_price=buy,
+        prev_sell_price=sell,
+        prev_emissions=mean_emissions,
+        cumulative_emissions=mean_emissions * max(t, 1),
+        holdings=cap,
+        mean_slot_emissions=mean_emissions,
+        trade_bound=bound,
+    )
+
+
+class TestTradingContext:
+    def test_cap_per_slot(self):
+        assert make_context(cap=200.0, horizon=50).cap_per_slot == pytest.approx(4.0)
+
+    def test_deficit(self):
+        ctx = make_context(t=20, mean_emissions=10.0, cap=100.0)
+        assert ctx.deficit == pytest.approx(100.0)
+
+    def test_invalid_slot(self):
+        with pytest.raises(ValueError):
+            make_context(t=100, horizon=100)
+
+    def test_negative_trade_rejected(self):
+        with pytest.raises(ValueError):
+            TradeDecision(buy=-1.0, sell=0.0)
+
+
+class TestRandomTrading:
+    def test_within_bounds(self):
+        policy = RandomTrading(np.random.default_rng(0), intensity=0.5)
+        for t in range(50):
+            decision = policy.decide(make_context(t=t))
+            assert 0.0 <= decision.buy <= 25.0
+            assert 0.0 <= decision.sell <= 25.0
+
+    def test_price_independent(self):
+        """Same RNG state yields the same trade at any price."""
+        a = RandomTrading(np.random.default_rng(1)).decide(make_context(buy=6.0))
+        b = RandomTrading(np.random.default_rng(1)).decide(make_context(buy=10.0))
+        assert a.buy == b.buy
+
+    def test_invalid_intensity(self):
+        with pytest.raises(ValueError):
+            RandomTrading(np.random.default_rng(0), intensity=1.5)
+
+
+class TestThresholdTrading:
+    def test_buys_below_threshold(self):
+        policy = ThresholdTrading(buy_threshold=8.4, sell_threshold=7.56)
+        decision = policy.decide(make_context(buy=7.0, sell=6.3))
+        assert decision.buy > 0
+        assert decision.sell == 0.0
+
+    def test_sells_above_threshold(self):
+        policy = ThresholdTrading(buy_threshold=8.4, sell_threshold=7.56)
+        decision = policy.decide(make_context(buy=10.0, sell=9.0))
+        assert decision.buy == 0.0
+        assert decision.sell > 0
+
+    def test_idle_between_thresholds(self):
+        policy = ThresholdTrading(buy_threshold=7.0, sell_threshold=8.0)
+        decision = policy.decide(make_context(buy=7.5, sell=6.75))
+        assert decision.buy == 0.0
+        assert decision.sell == 0.0
+
+    def test_fixed_quantity_used(self):
+        policy = ThresholdTrading(buy_threshold=9.0, sell_threshold=99.0, quantity=3.0)
+        decision = policy.decide(make_context(buy=8.0))
+        assert decision.buy == pytest.approx(3.0)
+
+    def test_quantity_clipped_to_bound(self):
+        policy = ThresholdTrading(buy_threshold=9.0, sell_threshold=99.0, quantity=500.0)
+        decision = policy.decide(make_context(buy=8.0, bound=50.0))
+        assert decision.buy == pytest.approx(50.0)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            ThresholdTrading(buy_threshold=0.0, sell_threshold=1.0)
+
+
+class TestLyapunovTrading:
+    def test_queue_starts_empty_no_buying(self):
+        policy = LyapunovTrading(v=20.0)
+        decision = policy.decide(make_context())
+        assert decision.buy == 0.0
+        # Empty queue is below V * sell price: selling is attractive.
+        assert decision.sell > 0.0
+
+    def test_queue_accumulates_uncovered_emissions(self):
+        policy = LyapunovTrading(v=20.0)
+        ctx = make_context(cap=0.0)
+        policy.observe(ctx, TradeDecision(0.0, 0.0), emissions=30.0)
+        assert policy.queue == pytest.approx(30.0)
+
+    def test_buys_when_queue_exceeds_price_weight(self):
+        policy = LyapunovTrading(v=1.0, trade_fraction=0.5)
+        ctx = make_context(cap=0.0, buy=8.0)
+        policy.observe(ctx, TradeDecision(0.0, 0.0), emissions=50.0)  # queue 50 > 8
+        decision = policy.decide(make_context(t=1, cap=0.0, buy=8.0))
+        assert decision.buy == pytest.approx(0.5 * 50.0)
+        assert decision.sell == 0.0
+
+    def test_queue_never_negative(self):
+        policy = LyapunovTrading(v=20.0)
+        ctx = make_context(cap=1000.0, horizon=10)
+        policy.observe(ctx, TradeDecision(0.0, 0.0), emissions=0.0)
+        assert policy.queue == 0.0
+
+    def test_queue_controls_long_run_violation(self):
+        """Over many slots, the queue drives purchases to cover emissions."""
+        policy = LyapunovTrading(v=5.0, trade_fraction=0.5)
+        rng = np.random.default_rng(2)
+        cap, horizon = 100.0, 500
+        bought = sold = emitted = 0.0
+        for t in range(horizon):
+            price = float(rng.uniform(5.9, 10.9))
+            ctx = TradingContext(
+                t=t, horizon=horizon, cap=cap,
+                buy_price=price, sell_price=0.9 * price,
+                prev_buy_price=price, prev_sell_price=0.9 * price,
+                prev_emissions=20.0, cumulative_emissions=emitted,
+                holdings=cap + bought - sold, mean_slot_emissions=20.0,
+                trade_bound=60.0,
+            )
+            decision = policy.decide(ctx)
+            emissions = float(rng.uniform(10, 30))
+            policy.observe(ctx, decision, emissions)
+            bought += decision.buy
+            sold += decision.sell
+            emitted += emissions
+        violation = max(emitted - (cap + bought - sold), 0.0)
+        assert violation < 0.1 * emitted
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LyapunovTrading(v=0.0)
+        with pytest.raises(ValueError):
+            LyapunovTrading(trade_fraction=1.5)

@@ -1,0 +1,124 @@
+"""Tests for repro.utils.mathutils (incl. property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.mathutils import (
+    clip_to_simplex,
+    cummax,
+    haversine_km,
+    moving_average,
+    normalize,
+    positive_part,
+    softmax,
+)
+
+finite_vectors = arrays(
+    dtype=float,
+    shape=st.integers(1, 20),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestPositivePart:
+    def test_scalar(self):
+        assert positive_part(-3.0) == 0.0
+        assert positive_part(2.0) == 2.0
+
+    def test_array(self):
+        np.testing.assert_allclose(positive_part(np.array([-1.0, 0.5])), [0.0, 0.5])
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        np.testing.assert_allclose(normalize(np.array([1.0, 3.0])).sum(), 1.0)
+
+    def test_zero_vector_becomes_uniform(self):
+        np.testing.assert_allclose(normalize(np.zeros(4)), np.full(4, 0.25))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        z = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        np.testing.assert_allclose(softmax(z, axis=1).sum(axis=1), [1.0, 1.0])
+
+    def test_shift_invariance(self):
+        z = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0))
+
+    def test_large_logits_stable(self):
+        out = softmax(np.array([1e4, 0.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(1.0)
+
+
+class TestClipToSimplex:
+    def test_already_on_simplex_unchanged(self):
+        p = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(clip_to_simplex(p), p, atol=1e-12)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            clip_to_simplex(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            clip_to_simplex(np.array([]))
+
+    @given(finite_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_projection_properties(self, v):
+        p = clip_to_simplex(v)
+        assert np.all(p >= -1e-12)
+        assert p.sum() == pytest.approx(1.0, abs=1e-8)
+
+    @given(finite_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_projection_is_idempotent(self, v):
+        p = clip_to_simplex(v)
+        np.testing.assert_allclose(clip_to_simplex(p), p, atol=1e-8)
+
+
+class TestCummax:
+    def test_running_maximum(self):
+        np.testing.assert_allclose(
+            cummax(np.array([1.0, 3.0, 2.0, 5.0])), [1.0, 3.0, 3.0, 5.0]
+        )
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(moving_average(x, 1), x)
+
+    def test_ramp_up(self):
+        out = moving_average(np.array([2.0, 4.0, 6.0]), 2)
+        np.testing.assert_allclose(out, [2.0, 3.0, 5.0])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.array([1.0]), 0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(10.0, 20.0, 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_known_distance_equator_degree(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        assert haversine_km(0.0, 0.0, 0.0, 1.0) == pytest.approx(111.19, rel=1e-3)
+
+    def test_symmetry(self):
+        d1 = haversine_km(-33.86, 151.21, -37.81, 144.96)  # Sydney-Melbourne
+        d2 = haversine_km(-37.81, 144.96, -33.86, 151.21)
+        assert d1 == pytest.approx(d2)
+        assert 700 < d1 < 720  # ~713 km
+
+    def test_vectorized(self):
+        lats = np.array([0.0, 0.0])
+        out = haversine_km(lats, np.array([0.0, 0.0]), lats, np.array([1.0, 2.0]))
+        assert out.shape == (2,)
+        assert out[1] > out[0]

@@ -1,0 +1,83 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(value, "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    @pytest.mark.parametrize("value", [-0.1, float("nan")])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_nonnegative(value, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestCheckFinite:
+    def test_passes_through(self):
+        out = check_finite([1, 2, 3], "x")
+        assert out.dtype == float
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite([1.0, np.nan], "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite([np.inf], "x")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        p = check_probability_vector([0.2, 0.3, 0.5], "p")
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_probability_vector([-0.1, 1.1], "p")
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector([0.2, 0.2], "p")
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_probability_vector([[0.5, 0.5]], "p")
+
+    def test_renormalizes_tiny_drift(self):
+        p = check_probability_vector([0.5 + 1e-9, 0.5], "p")
+        assert p.sum() == pytest.approx(1.0, abs=1e-12)
