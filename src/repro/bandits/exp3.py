@@ -33,7 +33,9 @@ class Exp3Selection(SelectionPolicy):
     def _probabilities(self) -> np.ndarray:
         eta = np.sqrt(np.log(self.num_models) / (self.num_models * max(self._t, 1)))
         logits = -eta * (self._cumulative - self._cumulative.min())
-        return normalize(np.exp(logits))
+        # logits <= 0 by the min-shift; the clip floor only rounds weights
+        # below ~1e-304 to exp(-700) and keeps the exponent overflow-safe.
+        return normalize(np.exp(np.clip(logits, -700.0, 0.0)))
 
     def select(self, t: int) -> int:
         self._t += 1

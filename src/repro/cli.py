@@ -7,6 +7,7 @@ Examples::
         --save-json run.json
     python -m repro.cli zoo --dataset mnist
     python -m repro.cli experiment fig10 fig11 --full
+    python -m repro.cli lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -61,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run paper-figure experiments")
     exp.add_argument("figures", nargs="*", help="e.g. fig10 fig11 (default: all)")
     exp.add_argument("--full", action="store_true", help="paper-scale settings")
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static-analysis gate (exit 1 on findings)"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories (default: the repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", metavar="CODES", default=None,
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rule codes and exit")
 
     return parser
 
@@ -137,6 +149,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -146,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_zoo(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -26,6 +26,7 @@ from repro.core.blocks import BlockSchedule, build_schedule
 from repro.core.estimators import ImportanceWeightedEstimator
 from repro.core.tsallis import tsallis_inf_probabilities
 from repro.policies.selection import SelectionPolicy
+from repro.utils.validation import check_simplex
 
 __all__ = ["OnlineModelSelection"]
 
@@ -149,7 +150,10 @@ class OnlineModelSelection(SelectionPolicy):
         has arrived, the standard delayed-bandit semantics.
         """
         eta = float(self._schedule.etas[block])
-        probabilities = tsallis_inf_probabilities(self._estimator.cumulative, eta)
+        probabilities = check_simplex(
+            tsallis_inf_probabilities(self._estimator.cumulative, eta),
+            f"block {block} sampling distribution",
+        )
         model = int(self._rng.choice(self.num_models, p=probabilities))
         self._blocks[block] = _BlockRecord(
             model=model,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.validation import check_finite, check_positive
+from repro.utils.validation import check_finite, check_positive, check_simplex
 
 __all__ = ["tsallis_inf_probabilities"]
 
@@ -81,4 +81,4 @@ def tsallis_inf_probabilities(cumulative_losses: np.ndarray, eta: float) -> np.n
     total = p.sum()
     if not np.isfinite(total) or total <= 0:
         raise ArithmeticError("Tsallis OMD normalization failed")
-    return p / total
+    return check_simplex(p / total, "tsallis_inf_probabilities")

@@ -1,0 +1,44 @@
+"""reprolint — AST-based reproducibility & numerical-safety linter.
+
+This reproduction's claims (Theorem 1-3 regret/fit bounds, figure-level
+agreement with the paper) are only checkable when every run is seed-exact
+and every numerical invariant holds.  reprolint enforces that discipline
+statically: a visitor framework over the Python AST, a registry of rules
+with stable ``RPL001``... codes, per-line ``# noqa: RPLxxx`` suppression,
+and text/JSON reporters.  The whole package gates itself through
+``tests/test_lint_self.py``, which requires ``repro-lint src/repro`` to
+report zero findings.
+
+Quick use::
+
+    from repro.lint import lint_paths
+    findings = lint_paths(["src/repro"])      # [] when clean
+
+    $ python -m repro.lint src/repro          # exit 0 clean / 1 findings
+"""
+
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import Rule, all_rules, register, registered_codes
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "registered_codes",
+    "render_json",
+    "render_text",
+]

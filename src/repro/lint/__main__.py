@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — run reprolint with the CLI exit-code contract."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.lint.engine import Finding
+from repro.lint.rules import all_rules
+
+__all__ = ["render_json", "render_text"]
+
+#: JSON schema version; bump when the payload shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
+    """GCC-style ``path:line:col: CODE message`` lines plus a summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_code = Counter(finding.code for finding in findings)
+        breakdown = ", ".join(
+            f"{code} x{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(
+            f"reprolint: {len(findings)} finding(s) in {checked_files} "
+            f"file(s) [{breakdown}]"
+        )
+    else:
+        lines.append(f"reprolint: 0 findings in {checked_files} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
+    """A stable JSON document: schema version, rule set, findings, summary."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "rules": [
+            {"code": rule.code, "summary": rule.summary} for rule in all_rules()
+        ],
+        "findings": [finding.as_dict() for finding in findings],
+        "summary": {
+            "checked_files": checked_files,
+            "total_findings": len(findings),
+            "findings_by_code": dict(
+                sorted(Counter(f.code for f in findings).items())
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,550 @@
+"""The reprolint rule registry.
+
+Each rule has a stable code (``RPL001``...), a one-line summary, and a
+``check(context)`` method yielding :class:`~repro.lint.engine.Finding`
+objects.  Rules are registered with :func:`register` so reporters, the CLI,
+and the self-gate test all enumerate the same set.
+
+The rules encode this reproduction's failure modes: Algorithm 1's
+Tsallis-INF sampling and Algorithm 2's primal-dual updates are verifiable
+against the paper's Theorem 1-3 bounds only if every run is seed-exact and
+every simplex/estimator invariant holds, so randomness must flow through
+named ``np.random.Generator`` streams, clock reads must not leak into
+simulated time, and hot-path numerics must be guarded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+
+__all__ = [
+    "DunderAllDriftRule",
+    "FloatEqualityRule",
+    "GlobalRandomStateRule",
+    "HOT_PATH_DIRS",
+    "MutableDefaultRule",
+    "PRINT_ALLOWED",
+    "PrintInLibraryRule",
+    "Rule",
+    "SilentExceptionRule",
+    "UnguardedHotPathNumericsRule",
+    "UnseededDefaultRngRule",
+    "UnvalidatedArrayParamRule",
+    "WallClockRule",
+    "all_rules",
+    "dotted_name",
+    "register",
+    "registered_codes",
+]
+
+#: Directories whose modules form the numerical hot path (Algorithms 1-2).
+HOT_PATH_DIRS = ("core", "bandits", "trading")
+
+#: Directories/modules allowed to write to stdout (user-facing surfaces).
+PRINT_ALLOWED = ("experiments", "lint", "cli", "__main__")
+
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def register(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to the global registry (code-unique)."""
+    if not cls.code.startswith("RPL"):
+        raise ValueError(f"rule code must start with 'RPL', got {cls.code!r}")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list["Rule"]:
+    """One fresh instance of every registered rule, sorted by code."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def registered_codes() -> list[str]:
+    """The sorted stable codes of every registered rule."""
+    return sorted(_REGISTRY)
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``summary`` and yield findings."""
+
+    code: str = "RPL000"
+    summary: str = ""
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file; default walks every AST node."""
+        for node in ast.walk(context.tree):
+            yield from self.visit(node, context)
+
+    def visit(self, node: ast.AST, context: FileContext) -> Iterator[Finding]:
+        """Per-node hook for ``check``'s default walk; override either."""
+        return iter(())
+
+    def finding(self, context: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Resolve ``a.b.c`` attribute chains to the string ``"a.b.c"``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_name(node: ast.Call) -> str | None:
+    return dotted_name(node.func)
+
+
+# Module-level numpy legacy RandomState functions and stdlib ``random``
+# sampling functions — both mutate hidden global state.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+        "normal", "standard_normal", "beta", "binomial", "exponential",
+        "gamma", "geometric", "gumbel", "laplace", "lognormal", "poisson",
+        "get_state", "set_state", "random_integers", "randrange", "choices",
+        "betavariate", "gauss", "expovariate", "triangular", "vonmisesvariate",
+    }
+)
+
+
+@register
+class GlobalRandomStateRule(Rule):
+    """RPL001 — calls that draw from hidden global RNG state."""
+
+    code = "RPL001"
+    summary = (
+        "global random state (np.random.* / random.*) breaks seed "
+        "reproducibility; thread a np.random.Generator instead"
+    )
+
+    def visit(self, node: ast.AST, context: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name is None:
+                return
+            parts = name.split(".")
+            if (
+                len(parts) >= 2
+                and parts[-2] == "random"
+                and parts[-1] in _GLOBAL_RANDOM_FNS
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"call to {name}() uses hidden global RNG state; "
+                    "draw from an explicit np.random.Generator stream",
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name in _GLOBAL_RANDOM_FNS
+                )
+                if bad:
+                    yield self.finding(
+                        context,
+                        node,
+                        "importing global-state samplers from the stdlib "
+                        f"random module ({', '.join(bad)}); use "
+                        "np.random.Generator streams",
+                    )
+
+
+@register
+class UnseededDefaultRngRule(Rule):
+    """RPL002 — ``default_rng()`` with no seed in library code."""
+
+    code = "RPL002"
+    summary = (
+        "default_rng() without a seed/SeedSequence is nondeterministic; "
+        "accept a Generator parameter or thread a seed"
+    )
+
+    def visit(self, node: ast.AST, context: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        name = _call_name(node)
+        if name is None or name.split(".")[-1] != "default_rng":
+            return
+        if not node.args and not node.keywords:
+            yield self.finding(
+                context,
+                node,
+                "default_rng() without arguments seeds from OS entropy; "
+                "pass a seed/SeedSequence or accept a Generator parameter",
+            )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RPL003 — ``==`` / ``!=`` against float literals."""
+
+    code = "RPL003"
+    summary = (
+        "float equality comparison; use an explicit tolerance "
+        "(math.isclose / np.isclose) or an ordering test"
+    )
+
+    def visit(self, node: ast.AST, context: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Compare):
+            return
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (operands[index], operands[index + 1])
+            if any(
+                isinstance(side, ast.Constant) and isinstance(side.value, float)
+                for side in pair
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "equality comparison against a float literal is "
+                    "rounding-fragile; compare with a tolerance or restate "
+                    "as an ordering test",
+                )
+
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RPL004 — mutable default argument values."""
+
+    code = "RPL004"
+    summary = "mutable default argument is shared across calls; default to None"
+
+    def visit(self, node: ast.AST, context: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_FACTORIES
+            )
+            if mutable:
+                yield self.finding(
+                    context,
+                    default,
+                    f"mutable default argument in {node.name}() is evaluated "
+                    "once and shared across calls; default to None and "
+                    "construct inside the body",
+                )
+
+
+_STABILIZERS = frozenset({"clip", "min", "max", "minimum", "maximum", "where"})
+
+
+def _has_stabilizer(node: ast.AST) -> bool:
+    """Whether a subtree contains a range-limiting call (clip/min/max/...)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is not None and name.split(".")[-1] in _STABILIZERS:
+                return True
+    return False
+
+
+_ZERO_REDUCERS = frozenset({"sum", "len", "count_nonzero", "prod"})
+
+
+@register
+class UnguardedHotPathNumericsRule(Rule):
+    """RPL005 — unguarded ``exp`` / risky division in hot-path modules."""
+
+    code = "RPL005"
+    summary = (
+        "hot-path (core/bandits/trading) exp without clip/max-shift, or "
+        "division by a bare reduction that can be zero"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if not context.in_directory(*HOT_PATH_DIRS):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if (
+                    name is not None
+                    and name.split(".")[-1] == "exp"
+                    and name.split(".")[0] in {"np", "numpy", "math"}
+                    and node.args
+                    and not _has_stabilizer(node.args[0])
+                ):
+                    yield self.finding(
+                        context,
+                        node,
+                        "np.exp on an unbounded argument can overflow and "
+                        "poison the simplex; clip or max-shift the exponent "
+                        "first",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                den = node.right
+                if isinstance(den, ast.Call):
+                    name = _call_name(den)
+                    if (
+                        name is not None
+                        and name.split(".")[-1] in _ZERO_REDUCERS
+                        and not _has_stabilizer(node.right)
+                    ):
+                        yield self.finding(
+                            context,
+                            node,
+                            f"division by {name}(...) can divide by zero on "
+                            "empty/degenerate input; bound it with max(...) "
+                            "or validate first",
+                        )
+
+
+def _annotation_text(annotation: ast.AST | None) -> str:
+    if annotation is None:
+        return ""
+    try:
+        return ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse failure is cosmetic only
+        return ""
+
+
+_ARRAY_MARKERS = ("ndarray", "ArrayLike")
+
+
+@register
+class UnvalidatedArrayParamRule(Rule):
+    """RPL006 — public ``core/`` callables taking arrays without check_*."""
+
+    code = "RPL006"
+    summary = (
+        "public core/ function accepts an ndarray parameter but never calls "
+        "a check_* validator"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if not context.in_directory("core"):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            args = node.args
+            annotated = [
+                arg.arg
+                for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+                if any(
+                    marker in _annotation_text(arg.annotation)
+                    for marker in _ARRAY_MARKERS
+                )
+            ]
+            if not annotated:
+                continue
+            calls_validator = any(
+                isinstance(sub, ast.Call)
+                and (name := dotted_name(sub.func)) is not None
+                and name.split(".")[-1].startswith("check_")
+                for sub in ast.walk(node)
+            )
+            if not calls_validator:
+                yield self.finding(
+                    context,
+                    node,
+                    f"{node.name}() accepts array parameter(s) "
+                    f"{', '.join(annotated)} but never calls a check_* "
+                    "validator (repro.utils.validation)",
+                )
+
+
+@register
+class DunderAllDriftRule(Rule):
+    """RPL007 — ``__all__`` out of sync with the module's public names."""
+
+    code = "RPL007"
+    summary = (
+        "__all__ lists an unbound name, or a public top-level def/class is "
+        "missing from __all__"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        module = context.tree
+        all_node: ast.AST | None = None
+        declared: list[str] | None = None
+        for stmt in module.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    all_node = stmt
+                    if isinstance(value, (ast.List, ast.Tuple)):
+                        declared = [
+                            elt.value
+                            for elt in value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        ]
+        if all_node is None or declared is None:
+            return
+
+        bound: set[str] = set()
+        public_defs: dict[str, ast.AST] = {}
+        for stmt in module.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+                if not stmt.name.startswith("_"):
+                    public_defs[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    bound.add(stmt.target.id)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        return  # star imports defeat static analysis
+                    bound.add(alias.asname or alias.name.split(".")[0])
+        bound.add("__version__")
+
+        for name in declared:
+            if name not in bound:
+                yield self.finding(
+                    context,
+                    all_node,
+                    f"__all__ lists {name!r} which is not defined or "
+                    "imported at module top level",
+                )
+        declared_set = set(declared)
+        for name, node in sorted(public_defs.items()):
+            if name not in declared_set:
+                yield self.finding(
+                    context,
+                    node,
+                    f"public top-level name {name!r} is missing from "
+                    "__all__; export it or rename with a leading underscore",
+                )
+
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """RPL008 — wall-clock reads leaking into simulated time."""
+
+    code = "RPL008"
+    summary = (
+        "time.time()/datetime.now() makes runs time-dependent; simulated "
+        "time must come from the slot index (perf_counter is fine for "
+        "duration measurement)"
+    )
+
+    def visit(self, node: ast.AST, context: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        name = _call_name(node)
+        if name in _WALL_CLOCK_CALLS:
+            yield self.finding(
+                context,
+                node,
+                f"{name}() reads the wall clock, making runs "
+                "nondeterministic; derive simulated time from the slot "
+                "index (use time.perf_counter only to measure durations)",
+            )
+
+
+@register
+class SilentExceptionRule(Rule):
+    """RPL009 — bare excepts and silently swallowed broad exceptions."""
+
+    code = "RPL009"
+    summary = "bare except, or broad except whose body is just pass"
+
+    def visit(self, node: ast.AST, context: FileContext) -> Iterator[Finding]:
+        if not isinstance(node, ast.ExceptHandler):
+            return
+        if node.type is None:
+            yield self.finding(
+                context,
+                node,
+                "bare except catches SystemExit/KeyboardInterrupt too; "
+                "name the exceptions you expect",
+            )
+            return
+        broad = dotted_name(node.type) in {"Exception", "BaseException"}
+        swallows = all(isinstance(stmt, ast.Pass) for stmt in node.body)
+        if broad and swallows:
+            yield self.finding(
+                context,
+                node,
+                "broad exception silently swallowed; numerical failures in "
+                "this codebase must surface, not vanish",
+            )
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """RPL010 — stray ``print`` in library (non-CLI, non-experiment) code."""
+
+    code = "RPL010"
+    summary = (
+        "print() in library code pollutes experiment output; raise, return, "
+        "or report through the experiments/reporting layer"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if context.stem in PRINT_ALLOWED or context.in_directory(*PRINT_ALLOWED):
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "print() in library code; route output through the "
+                    "reporting layer or a returned value",
+                )

@@ -34,7 +34,7 @@ def quantize_tensor(tensor: np.ndarray, bits: int) -> np.ndarray:
         raise ValueError(f"bits must be in [1, 16], got {bits}")
     arr = np.asarray(tensor, dtype=float)
     max_abs = float(np.max(np.abs(arr))) if arr.size else 0.0
-    if max_abs == 0.0:
+    if max_abs <= 0.0:
         return arr.copy()
     levels = 2 ** (bits - 1) - 1 if bits > 1 else 1
     scale = max_abs / levels

@@ -8,7 +8,7 @@ from repro.policies.selection import SelectionPolicy
 from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
 from repro.utils.validation import check_finite
 
-__all__ = ["best_fixed_models", "FixedSelection", "PrecomputedTrading"]
+__all__ = ["best_fixed_models", "FixedSelection", "NullTrading", "PrecomputedTrading"]
 
 
 def best_fixed_models(expected_losses: np.ndarray, latencies: np.ndarray) -> np.ndarray:

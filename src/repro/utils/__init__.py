@@ -7,6 +7,7 @@ from repro.utils.validation import (
     check_nonnegative,
     check_positive,
     check_probability_vector,
+    check_simplex,
 )
 from repro.utils.mathutils import (
     clip_to_simplex,
@@ -26,6 +27,7 @@ __all__ = [
     "check_nonnegative",
     "check_positive",
     "check_probability_vector",
+    "check_simplex",
     "clip_to_simplex",
     "cummax",
     "haversine_km",

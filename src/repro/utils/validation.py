@@ -12,6 +12,7 @@ __all__ = [
     "check_nonnegative",
     "check_positive",
     "check_probability_vector",
+    "check_simplex",
 ]
 
 
@@ -61,3 +62,29 @@ def check_probability_vector(p: Any, name: str, *, atol: float = 1e-8) -> np.nda
     if abs(total - 1.0) > max(atol, 1e-6):
         raise ValueError(f"{name} must sum to 1, got {total!r}")
     return np.clip(arr, 0.0, None) / max(total, 1e-300)
+
+
+def check_simplex(p: np.ndarray, name: str = "p", *, atol: float = 1e-9) -> np.ndarray:
+    """Runtime contract: assert ``p`` already lies on the probability simplex.
+
+    Unlike :func:`check_probability_vector` (which sanitizes caller *input*,
+    coercing and renormalizing), this is a postcondition check for
+    distributions *we computed* — Algorithm 1's Tsallis-OMD solutions must
+    land on the simplex to machine precision, so nothing is repaired: the
+    array is returned unchanged, or an ``ArithmeticError`` names the broken
+    invariant.
+    """
+    arr = np.asarray(p, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ArithmeticError(
+            f"{name} must be a non-empty probability vector, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ArithmeticError(f"{name} contains non-finite probabilities")
+    low = float(arr.min())
+    if low < -atol:
+        raise ArithmeticError(f"{name} has negative probability mass: min={low!r}")
+    total = float(arr.sum())
+    if abs(total - 1.0) > max(atol * arr.size, atol):
+        raise ArithmeticError(f"{name} must sum to 1, got {total!r}")
+    return arr

@@ -1,7 +1,13 @@
 """Tests for the command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -91,6 +97,72 @@ class TestExperimentCommand:
     def test_unknown_figure_exits(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestLintCommand:
+    """Exit-code contract: 0 clean, 1 findings, 2 usage/IO errors."""
+
+    CLEAN = "def double(x):\n    return 2 * x\n"
+    DIRTY = "import time\nstamp = time.time()\n"
+
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(self.CLEAN)
+        assert main(["lint", str(target)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        assert main(["lint", str(target)]) == 1
+        assert "RPL008" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "absent.py")]) == 2
+
+    def test_unknown_select_exits_two(self, capsys, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(self.CLEAN)
+        assert main(["lint", "--select", "RPL999", str(target)]) == 2
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        assert main(["lint", "--format", "json", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total_findings"] == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPL001" in out and "RPL008" in out
+
+    def test_python_dash_m_contract(self, tmp_path):
+        """``python -m repro.lint`` exits nonzero on findings, zero when clean."""
+        src_root = Path(repro.__file__).parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        clean = tmp_path / "clean.py"
+        clean.write_text(self.CLEAN)
+
+        run = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(dirty)],
+            capture_output=True, text=True, env=env,
+        )
+        assert run.returncode == 1
+        assert "RPL008" in run.stdout
+
+        run = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(clean)],
+            capture_output=True, text=True, env=env,
+        )
+        assert run.returncode == 0
 
 
 class TestZooCommand:

@@ -1,0 +1,231 @@
+"""Per-rule fixture tests for the reprolint rule engine.
+
+Every rule is exercised three ways: a snippet that must trigger it, a
+clean rewrite that must not, and the triggering snippet silenced by an
+inline ``# noqa: RPLxxx``.  Reporter output contracts (text rendering and
+the JSON schema) are pinned at the end.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import lint_source, registered_codes
+from repro.lint.engine import Finding, collect_noqa
+from repro.lint.reporters import render_json, render_text
+
+# (rule code, virtual path, triggering snippet, clean snippet)
+RULE_CASES = [
+    (
+        "RPL001",
+        "repro/sim/module.py",
+        "import numpy as np\nx = np.random.rand(3)\n",
+        "def draw(rng):\n    return rng.random(3)\n",
+    ),
+    (
+        "RPL001",
+        "repro/sim/module.py",
+        "import random\nrandom.seed(0)\n",
+        "import secrets\ntoken = secrets.token_hex(4)\n",
+    ),
+    (
+        "RPL002",
+        "repro/sim/module.py",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "import numpy as np\nrng = np.random.default_rng(1234)\n",
+    ),
+    (
+        "RPL003",
+        "repro/nn/module.py",
+        "def is_zero(x):\n    return x == 0.0\n",
+        "def is_zero(x):\n    return abs(x) < 1e-12\n",
+    ),
+    (
+        "RPL004",
+        "repro/sim/module.py",
+        "def collect(items=[]):\n    return items\n",
+        "def collect(items=None):\n    return [] if items is None else items\n",
+    ),
+    (
+        "RPL005",
+        "repro/core/module.py",
+        "import numpy as np\ndef weights(z):\n    return np.exp(z)\n",
+        "import numpy as np\ndef weights(z):\n    return np.exp(np.clip(z, -50.0, 0.0))\n",
+    ),
+    (
+        "RPL005",
+        "repro/bandits/module.py",
+        "def mean(total, arr):\n    return total / arr.sum()\n",
+        "def mean(total, arr):\n    return total / max(arr.sum(), 1e-12)\n",
+    ),
+    (
+        "RPL006",
+        "repro/core/module.py",
+        "import numpy as np\n"
+        "def fold(losses: np.ndarray) -> float:\n"
+        "    return float(losses.sum())\n",
+        "import numpy as np\n"
+        "from repro.utils.validation import check_finite\n"
+        "def fold(losses: np.ndarray) -> float:\n"
+        "    arr = check_finite(losses, 'losses')\n"
+        "    return float(arr.sum())\n",
+    ),
+    (
+        "RPL007",
+        "repro/sim/module.py",
+        "__all__ = ['ghost']\n",
+        "__all__ = ['real']\ndef real():\n    return 1\n",
+    ),
+    (
+        "RPL007",
+        "repro/sim/module.py",
+        "__all__ = ['listed']\n"
+        "def listed():\n    return 1\n"
+        "def unlisted():\n    return 2\n",
+        "__all__ = ['listed', 'unlisted']\n"
+        "def listed():\n    return 1\n"
+        "def unlisted():\n    return 2\n",
+    ),
+    (
+        "RPL008",
+        "repro/sim/module.py",
+        "import time\nstamp = time.time()\n",
+        "import time\nelapsed = time.perf_counter()\n",
+    ),
+    (
+        "RPL009",
+        "repro/sim/module.py",
+        "try:\n    x = 1\nexcept Exception:\n    pass\n",
+        "try:\n    x = 1\nexcept ValueError:\n    raise\n",
+    ),
+    (
+        "RPL010",
+        "repro/sim/module.py",
+        "print('progress')\n",
+        "message = 'progress'\n",
+    ),
+]
+
+CASE_IDS = [f"{code}-{i}" for i, (code, *_rest) in enumerate(RULE_CASES)]
+
+
+@pytest.mark.parametrize("code,path,bad,good", RULE_CASES, ids=CASE_IDS)
+class TestRuleFixtures:
+    def test_flags_violation(self, code, path, bad, good):
+        findings = lint_source(bad, path=path, select=[code])
+        assert findings, f"{code} missed its fixture violation"
+        assert {f.code for f in findings} == {code}
+
+    def test_clean_code_passes(self, code, path, bad, good):
+        assert lint_source(good, path=path, select=[code]) == []
+
+    def test_noqa_suppresses(self, code, path, bad, good):
+        findings = lint_source(bad, path=path, select=[code])
+        lines = bad.splitlines()
+        for line_no in sorted({f.line for f in findings}, reverse=True):
+            lines[line_no - 1] += f"  # noqa: {code} -- fixture suppression"
+        silenced = "\n".join(lines) + "\n"
+        assert lint_source(silenced, path=path, select=[code]) == []
+
+
+class TestScoping:
+    def test_hot_path_rule_ignores_cold_modules(self):
+        src = "import numpy as np\ndef weights(z):\n    return np.exp(z)\n"
+        assert lint_source(src, path="repro/nn/module.py", select=["RPL005"]) == []
+
+    def test_core_validator_rule_ignores_other_packages(self):
+        src = (
+            "import numpy as np\n"
+            "def fold(losses: np.ndarray) -> float:\n"
+            "    return float(losses.sum())\n"
+        )
+        assert lint_source(src, path="repro/metrics/module.py", select=["RPL006"]) == []
+
+    def test_private_core_function_not_required_to_validate(self):
+        src = (
+            "import numpy as np\n"
+            "def _fold(losses: np.ndarray) -> float:\n"
+            "    return float(losses.sum())\n"
+        )
+        assert lint_source(src, path="repro/core/module.py", select=["RPL006"]) == []
+
+    def test_print_allowed_in_experiments(self):
+        assert (
+            lint_source("print('hi')\n", path="repro/experiments/fig.py", select=["RPL010"])
+            == []
+        )
+
+
+class TestSuppressionMachinery:
+    def test_blanket_noqa_suppresses_everything(self):
+        src = "import time\nstamp = time.time()  # noqa\n"
+        assert lint_source(src, path="repro/sim/module.py") == []
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        src = "import time\nstamp = time.time()  # noqa: RPL003\n"
+        findings = lint_source(src, path="repro/sim/module.py")
+        assert [f.code for f in findings] == ["RPL008"]
+
+    def test_skip_file_directive(self):
+        src = "# reprolint: skip-file\nimport time\nstamp = time.time()\n"
+        assert lint_source(src, path="repro/sim/module.py") == []
+
+    def test_collect_noqa_parses_codes_and_reasons(self):
+        suppressions, skip = collect_noqa(
+            "x = 1  # noqa: RPL001, RPL003 -- reason text\n"
+        )
+        assert not skip
+        assert suppressions[1] == frozenset({"RPL001", "RPL003"})
+
+
+class TestEngineContracts:
+    def test_syntax_error_becomes_rpl000_finding(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert len(findings) == 1
+        assert findings[0].code == "RPL000"
+
+    def test_unknown_select_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule codes"):
+            lint_source("x = 1\n", select=["RPL999"])
+
+    def test_finding_render_format(self):
+        finding = Finding(path="a.py", line=3, col=4, code="RPL001", message="msg")
+        assert finding.render() == "a.py:3:4: RPL001 msg"
+
+    def test_findings_sorted_by_location(self):
+        src = "import time\na = time.time()\nb = 0.0\nc = b == 0.0\nd = time.time()\n"
+        findings = lint_source(src, path="repro/sim/module.py")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+class TestReporters:
+    def _sample_findings(self):
+        src = "import time\nstamp = time.time()\n"
+        return lint_source(src, path="repro/sim/module.py")
+
+    def test_text_reporter_mentions_counts(self):
+        report = render_text(self._sample_findings(), checked_files=1)
+        assert "RPL008" in report
+        assert "1 finding(s) in 1 file(s)" in report
+
+    def test_text_reporter_clean_summary(self):
+        assert render_text([], checked_files=4) == "reprolint: 0 findings in 4 file(s)"
+
+    def test_json_schema(self):
+        payload = json.loads(render_json(self._sample_findings(), checked_files=1))
+        assert payload["schema_version"] == 1
+        assert {rule["code"] for rule in payload["rules"]} == set(registered_codes())
+        assert all(
+            set(rule) == {"code", "summary"} for rule in payload["rules"]
+        )
+        assert payload["summary"]["total_findings"] == len(payload["findings"])
+        assert payload["summary"]["checked_files"] == 1
+        assert payload["summary"]["findings_by_code"] == {"RPL008": 1}
+        for finding in payload["findings"]:
+            assert set(finding) == {"path", "line", "col", "code", "message"}
+
+    def test_json_schema_when_clean(self):
+        payload = json.loads(render_json([], checked_files=96))
+        assert payload["findings"] == []
+        assert payload["summary"]["total_findings"] == 0
+        assert len(payload["rules"]) >= 8

@@ -1,0 +1,42 @@
+"""The reprolint self-gate: the whole package must lint clean.
+
+This is the tier-1 enforcement layer of the static-analysis subsystem — any
+new global-RNG call, float-equality comparison, ``__all__`` drift, or
+unguarded hot-path numeric introduced anywhere in ``src/repro`` fails this
+test immediately, keeping the tree green by construction.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import lint_paths, registered_codes
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+def test_package_lints_clean():
+    findings = lint_paths([PACKAGE_DIR])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"reprolint findings in src/repro:\n{rendered}"
+
+
+def test_at_least_eight_rules_registered():
+    codes = registered_codes()
+    assert len(codes) >= 8
+    assert codes == sorted(set(codes)), "rule codes must be unique and sorted"
+    assert all(code.startswith("RPL") for code in codes)
+
+
+def test_required_rule_codes_present():
+    required = {f"RPL{i:03d}" for i in range(1, 9)}
+    assert required <= set(registered_codes())
+
+
+def test_package_files_actually_scanned():
+    # Guard against the walker silently scanning nothing (e.g. a path typo
+    # would make test_package_lints_clean vacuously green).
+    from repro.lint import iter_python_files
+
+    files = list(iter_python_files([PACKAGE_DIR]))
+    assert len(files) > 50
+    assert any(f.name == "tsallis.py" for f in files)

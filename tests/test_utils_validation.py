@@ -9,6 +9,7 @@ from repro.utils.validation import (
     check_nonnegative,
     check_positive,
     check_probability_vector,
+    check_simplex,
 )
 
 
@@ -81,3 +82,41 @@ class TestCheckProbabilityVector:
     def test_renormalizes_tiny_drift(self):
         p = check_probability_vector([0.5 + 1e-9, 0.5], "p")
         assert p.sum() == pytest.approx(1.0, abs=1e-12)
+
+
+class TestCheckSimplex:
+    """The runtime postcondition contract used by Algorithm 1's sampler."""
+
+    def test_returns_input_unchanged(self):
+        p = np.array([0.25, 0.25, 0.5])
+        out = check_simplex(p, "p")
+        np.testing.assert_array_equal(out, p)
+
+    def test_accepts_machine_precision_drift(self):
+        p = np.array([1.0 / 3.0] * 3)
+        check_simplex(p, "p")  # sums to 1 only up to float rounding
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ArithmeticError, match="negative"):
+            check_simplex(np.array([-0.1, 1.1]), "p")
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ArithmeticError, match="sum"):
+            check_simplex(np.array([0.4, 0.4]), "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ArithmeticError, match="non-finite"):
+            check_simplex(np.array([np.nan, 1.0]), "p")
+
+    def test_rejects_empty_and_matrix(self):
+        with pytest.raises(ArithmeticError):
+            check_simplex(np.array([]), "p")
+        with pytest.raises(ArithmeticError):
+            check_simplex(np.array([[0.5, 0.5]]), "p")
+
+    def test_does_not_renormalize(self):
+        # Contrast with check_probability_vector: drift within tolerance is
+        # passed through, not repaired.
+        p = np.array([0.5 + 1e-12, 0.5])
+        out = check_simplex(p, "p")
+        assert out[0] == p[0]
