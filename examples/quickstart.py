@@ -1,44 +1,34 @@
-"""Quickstart: carbon-neutral edge AI inference in ~40 lines.
+"""Quickstart: carbon-neutral edge AI inference in a few calls.
 
 Builds the paper's default scenario (10 edges, a two-day horizon of 160
 fifteen-minute slots, 6 models, EU-permit-style allowance prices), runs the
-paper's two online algorithms jointly, and prints the cost breakdown, the
-carbon-neutrality status, and the comparison against the offline optimum.
+paper's two online algorithms jointly through the one-call ``repro.run``
+API, and prints the cost breakdown, the carbon-neutrality status, and the
+comparison against the offline optimum.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import OnlineCarbonTrading, OnlineModelSelection
+import repro
 from repro.experiments.runner import run_offline
 from repro.metrics import summarize_run
-from repro.sim import ScenarioConfig, Simulator, build_scenario
-from repro.utils.rng import RngFactory
+from repro.sim import ScenarioConfig, build_scenario
 
 
 def main() -> None:
     # 1. Describe the system (synthetic profiles keep this instant; use
-    #    dataset="mnist" for the trained numpy model zoo).
+    #    dataset="mnist" for the trained numpy model zoo).  Building the
+    #    scenario once lets the offline comparison below reuse it.
     config = ScenarioConfig(dataset="synthetic", num_edges=10, horizon=160)
     scenario = build_scenario(config)
 
-    # 2. One Algorithm-1 policy per edge (block lengths adapt to each edge's
-    #    model-download delay u_i), plus one Algorithm-2 trading policy.
-    rng = RngFactory(seed=42)
-    selection = [
-        OnlineModelSelection(
-            num_models=scenario.num_models,
-            horizon=scenario.horizon,
-            switch_cost=float(scenario.effective_switch_costs()[i]),
-            rng=rng.get(f"edge-{i}"),
-        )
-        for i in range(scenario.num_edges)
-    ]
-    trading = OnlineCarbonTrading()
+    # 2. Simulate the full horizon: "Ours" resolves to one Algorithm-1
+    #    policy per edge plus the Algorithm-2 trading policy, calibrated to
+    #    the scenario by the repro.policies registry.
+    result = repro.run(scenario, selection="Ours", trading="Ours", seed=42,
+                       label="Ours")
 
-    # 3. Simulate the full horizon.
-    result = Simulator(scenario, selection, trading, run_seed=42, label="Ours").run()
-
-    # 4. Inspect the outcome.
+    # 3. Inspect the outcome.
     summary = summarize_run(result, config.weights)
     print("=== Ours (Algorithm 1 + Algorithm 2) ===")
     print(f"total cost        : {summary.total_cost:10.1f}")
@@ -52,7 +42,7 @@ def main() -> None:
           f"({100 * summary.final_fit / summary.emissions:.1f}% of emissions)")
     print(f"stream accuracy   : {summary.mean_accuracy:10.3f}")
 
-    # 5. Compare against the clairvoyant offline optimum.
+    # 4. Compare against the clairvoyant offline optimum.
     offline = run_offline(scenario, seed=42)
     offline_cost = offline.total_cost(config.weights)
     print("\n=== Offline optimum (hindsight) ===")

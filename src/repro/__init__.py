@@ -10,10 +10,16 @@ Public API highlights:
 * :class:`repro.sim.ScenarioConfig` / :func:`repro.sim.build_scenario` /
   :class:`repro.sim.Simulator` — the trace-driven cloud-edge evaluation
   engine.
+* :func:`repro.run` — one-call scenario + registry-named policies + simulate.
+* :mod:`repro.policies` — policy interfaces and the name registry
+  (``@register_selection`` / ``@register_trading``).
+* :mod:`repro.obs` — structured simulation tracing (:class:`repro.obs.Tracer`).
 * :mod:`repro.experiments` — one module per paper figure.
 """
 
+from repro.api import run
 from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.obs import Tracer
 from repro.sim import (
     CostWeights,
     Scenario,
@@ -23,7 +29,7 @@ from repro.sim import (
     build_scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OnlineModelSelection",
@@ -33,6 +39,8 @@ __all__ = [
     "ScenarioConfig",
     "SimulationResult",
     "Simulator",
+    "Tracer",
     "build_scenario",
+    "run",
     "__version__",
 ]

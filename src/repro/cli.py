@@ -5,6 +5,8 @@ Examples::
     python -m repro.cli simulate --selection Ours --trading Ours --edges 10
     python -m repro.cli simulate --selection UCB --trading LY --seed 3 \
         --save-json run.json
+    python -m repro.cli trace --selection Ours --trading Ours > events.jsonl
+    python -m repro.cli trace --output run.jsonl --summary
     python -m repro.cli zoo --dataset mnist
     python -m repro.cli experiment fig10 fig11 --full
     python -m repro.cli lint src/repro --format json
@@ -13,6 +15,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.reporting import format_table
@@ -28,6 +31,17 @@ from repro.sim import ScenarioConfig, build_scenario
 __all__ = ["build_parser", "main"]
 
 
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    """Scenario/run options shared by ``simulate`` and ``trace``."""
+    parser.add_argument("--dataset", choices=("synthetic", "mnist", "cifar10"),
+                        default="synthetic")
+    parser.add_argument("--edges", type=int, default=10)
+    parser.add_argument("--horizon", type=int, default=160)
+    parser.add_argument("--cap", type=float, default=500.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--switching-weight", type=float, default=1.0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -39,17 +53,24 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="run one policy combination")
     sim.add_argument("--selection", choices=SELECTION_NAMES, default="Ours")
     sim.add_argument("--trading", choices=TRADING_NAMES + ("Offline",), default="Ours")
-    sim.add_argument("--dataset", choices=("synthetic", "mnist", "cifar10"),
-                     default="synthetic")
-    sim.add_argument("--edges", type=int, default=10)
-    sim.add_argument("--horizon", type=int, default=160)
-    sim.add_argument("--cap", type=float, default=500.0)
-    sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--switching-weight", type=float, default=1.0)
+    _add_scenario_options(sim)
     sim.add_argument("--save-json", metavar="PATH", default=None,
                      help="write the full per-slot result as JSON")
     sim.add_argument("--save-npz", metavar="PATH", default=None,
                      help="write the full per-slot result as compressed NPZ")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one combination and emit its structured event log (JSONL)",
+    )
+    trace.add_argument("--selection", choices=SELECTION_NAMES, default="Ours")
+    trace.add_argument("--trading", choices=TRADING_NAMES, default="Ours")
+    _add_scenario_options(trace)
+    trace.add_argument("--output", metavar="PATH", default=None,
+                       help="write events to this JSONL file "
+                            "(default: stream to stdout)")
+    trace.add_argument("--summary", action="store_true",
+                       help="print per-type event counts after the run")
 
     zoo = sub.add_parser("zoo", help="train and describe a model zoo")
     zoo.add_argument("--dataset", choices=("mnist", "cifar10"), default="mnist")
@@ -101,6 +122,44 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.sim.io import save_result_npz
 
         print(f"saved NPZ  -> {save_result_npz(result, args.save_npz)}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import JsonlSink, Tracer
+
+    config = ScenarioConfig(
+        dataset=args.dataset,
+        num_edges=args.edges,
+        horizon=args.horizon,
+        carbon_cap_kg=args.cap,
+        switching_weight=args.switching_weight,
+    )
+    scenario = build_scenario(config)
+    sink = JsonlSink(args.output if args.output else sys.stdout)
+    tracer = Tracer([sink])
+    try:
+        result = run_combo(
+            scenario, args.selection, args.trading, args.seed, tracer=tracer
+        )
+        tracer.close()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``repro trace | head``) closed the
+        # stream; that is a normal way to end a streaming run.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    counts = tracer.event_counts()
+    # When streaming, stdout is the event log — keep the summary off it.
+    report = sys.stdout if args.output else sys.stderr
+    print(
+        f"traced {result.label}: {sink.events_written} events"
+        + (f" -> {args.output}" if args.output else ""),
+        file=report,
+    )
+    if args.summary:
+        for name in sorted(counts):
+            print(f"  {name:<16} {counts[name]}", file=report)
     return 0
 
 
@@ -166,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "zoo":
         return _cmd_zoo(args)
     if args.command == "experiment":

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.events import DualUpdateEvent
 from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
 from repro.utils.validation import check_nonnegative, check_positive
 
@@ -111,6 +112,11 @@ class OnlineCarbonTrading(TradingPolicy):
         self._prev_buy = decision.buy
         self._prev_sell = decision.sell
         self._lambda_history.append(self._lambda)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                DualUpdateEvent(t=context.t, dual=self._lambda, constraint=float(g))
+            )
 
     @staticmethod
     def step_sizes_for_horizon(

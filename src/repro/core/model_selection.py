@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.blocks import BlockSchedule, build_schedule
 from repro.core.estimators import ImportanceWeightedEstimator
 from repro.core.tsallis import tsallis_inf_probabilities
+from repro.obs.events import BlockBoundaryEvent
 from repro.policies.selection import SelectionPolicy
 from repro.utils.validation import check_simplex
 
@@ -116,7 +117,7 @@ class OnlineModelSelection(SelectionPolicy):
                     f"slots must be visited in order: at block {block}, "
                     f"expected {self._latest_block + 1}"
                 )
-            self._open_block(block)
+            self._open_block(block, t)
         model = self._blocks[block].model
         self._selection_counts[model] += 1
         return model
@@ -142,7 +143,7 @@ class OnlineModelSelection(SelectionPolicy):
         if record.observed == record.length:
             self._close_block(record)
 
-    def _open_block(self, block: int) -> None:
+    def _open_block(self, block: int, t: int) -> None:
         """Lines 3-5: compute the OMD distribution and sample the block model.
 
         Under delayed feedback the cumulative estimates may still miss
@@ -155,12 +156,25 @@ class OnlineModelSelection(SelectionPolicy):
             f"block {block} sampling distribution",
         )
         model = int(self._rng.choice(self.num_models, p=probabilities))
+        length = int(self._schedule.lengths[block])
         self._blocks[block] = _BlockRecord(
             model=model,
             probabilities=probabilities,
-            length=int(self._schedule.lengths[block]),
+            length=length,
         )
         self._latest_block = block
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                BlockBoundaryEvent(
+                    t=t,
+                    edge=self.trace_edge,
+                    block=block,
+                    length=length,
+                    eta=eta,
+                    model=model,
+                )
+            )
 
     def _close_block(self, record: _BlockRecord) -> None:
         """Lines 8-9: fold the complete block loss into the estimator."""

@@ -1,19 +1,16 @@
-"""Policy factories and run orchestration shared by all experiments."""
+"""Run orchestration shared by all experiments.
+
+Policy construction is delegated to the :mod:`repro.policies` registry
+(``make_selection_policies`` / ``make_trading_policy`` are re-exported here
+for backward compatibility, as are the ``SELECTION_NAMES`` /
+``TRADING_NAMES`` views).  What remains in this module is run orchestration:
+one combination (:func:`run_combo`), seed sweeps (:func:`run_many`), and the
+paper's two-pass offline reference (:func:`run_offline`).
+"""
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.bandits import (
-    EpsilonGreedySelection,
-    Exp3Selection,
-    GreedySelection,
-    RandomSelection,
-    TsallisInfSelection,
-    UCB1Selection,
-    UCB2Selection,
-)
-from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.obs.tracer import Tracer
 from repro.offline import (
     FixedSelection,
     NullTrading,
@@ -21,14 +18,15 @@ from repro.offline import (
     best_fixed_models,
     solve_offline_trading,
 )
-from repro.policies.selection import SelectionPolicy
-from repro.policies.trading import TradingPolicy
+from repro.policies import (
+    SELECTION_NAMES,
+    TRADING_NAMES,
+    make_selection_policies,
+    make_trading_policy,
+)
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
 from repro.sim.simulator import Simulator
-from repro.trading import LyapunovTrading, RandomTrading, ThresholdTrading
-from repro.traces.carbon_prices import CarbonPriceModel
-from repro.utils.rng import RngFactory
 
 __all__ = [
     "SELECTION_NAMES",
@@ -40,68 +38,6 @@ __all__ = [
     "run_offline",
 ]
 
-SELECTION_NAMES = ("Ours", "Ran", "Greedy", "TINF", "UCB", "UCB1", "EG", "EXP3")
-TRADING_NAMES = ("Ours", "Forecast", "Ran", "TH", "LY", "Null")
-
-
-def make_selection_policies(
-    name: str, scenario: Scenario, rng_factory: RngFactory
-) -> list[SelectionPolicy]:
-    """One per-edge selection policy of the named family."""
-    n, t = scenario.num_models, scenario.horizon
-    switch_costs = scenario.effective_switch_costs()
-    policies: list[SelectionPolicy] = []
-    for i in range(scenario.num_edges):
-        rng = rng_factory.get(f"selection-{i}")
-        if name == "Ours":
-            policies.append(OnlineModelSelection(n, t, float(switch_costs[i]), rng))
-        elif name == "Ran":
-            policies.append(RandomSelection(n, rng))
-        elif name == "Greedy":
-            policies.append(GreedySelection(n, scenario.energy.phi_kwh))
-        elif name == "TINF":
-            policies.append(TsallisInfSelection(n, t, rng))
-        elif name == "UCB":
-            policies.append(UCB2Selection(n))
-        elif name == "UCB1":
-            policies.append(UCB1Selection(n))
-        elif name == "EG":
-            policies.append(EpsilonGreedySelection(n, rng))
-        elif name == "EXP3":
-            policies.append(Exp3Selection(n, rng))
-        else:
-            raise ValueError(
-                f"unknown selection policy {name!r}; expected one of {SELECTION_NAMES}"
-            )
-    return policies
-
-
-def make_trading_policy(
-    name: str, scenario: Scenario, rng_factory: RngFactory
-) -> TradingPolicy:
-    """The named trading policy, calibrated to the scenario."""
-    if name == "Ours":
-        gamma1, gamma2 = OnlineCarbonTrading.step_sizes_for_horizon(scenario.horizon)
-        return OnlineCarbonTrading(gamma1=gamma1, gamma2=gamma2)
-    if name == "Forecast":
-        from repro.forecast.trading import ForecastCarbonTrading
-
-        gamma1, gamma2 = OnlineCarbonTrading.step_sizes_for_horizon(scenario.horizon)
-        return ForecastCarbonTrading(gamma1=gamma1, gamma2=gamma2)
-    if name == "Ran":
-        return RandomTrading(rng_factory.get("trading"))
-    if name == "TH":
-        model = CarbonPriceModel()
-        return ThresholdTrading(
-            buy_threshold=model.mean_price,
-            sell_threshold=model.sell_ratio * model.mean_price,
-        )
-    if name == "LY":
-        return LyapunovTrading(v=20.0)
-    if name == "Null":
-        return NullTrading()
-    raise ValueError(f"unknown trading policy {name!r}; expected one of {TRADING_NAMES}")
-
 
 def run_combo(
     scenario: Scenario,
@@ -109,19 +45,17 @@ def run_combo(
     trading: str,
     seed: int,
     label: str | None = None,
+    tracer: Tracer | None = None,
 ) -> SimulationResult:
     """Simulate one (selection, trading) combination on ``scenario``."""
-    rng_factory = RngFactory(seed).child(f"{selection}-{trading}")
-    policies = make_selection_policies(selection, scenario, rng_factory)
-    trader = make_trading_policy(trading, scenario, rng_factory)
-    simulator = Simulator(
+    return Simulator.from_names(
         scenario,
-        policies,
-        trader,
-        run_seed=seed,
-        label=label if label is not None else f"{selection}-{trading}",
-    )
-    return simulator.run()
+        selection=selection,
+        trading=trading,
+        seed=seed,
+        label=label,
+        tracer=tracer,
+    ).run()
 
 
 def run_many(

@@ -26,9 +26,16 @@ from repro.lint.engine import (
     lint_source,
 )
 from repro.lint.reporters import render_json, render_text
-from repro.lint.rules import Rule, all_rules, register, registered_codes
+from repro.lint.rules import (
+    DEFAULT_PATH_RULES,
+    Rule,
+    all_rules,
+    register,
+    registered_codes,
+)
 
 __all__ = [
+    "DEFAULT_PATH_RULES",
     "FileContext",
     "Finding",
     "Rule",

@@ -22,7 +22,7 @@ from pathlib import Path
 
 from repro.lint.engine import iter_python_files, lint_file
 from repro.lint.reporters import render_json, render_text
-from repro.lint.rules import all_rules
+from repro.lint.rules import DEFAULT_PATH_RULES, all_rules
 
 __all__ = ["build_parser", "main", "run"]
 
@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered rule codes and exit",
     )
+    parser.add_argument(
+        "--no-path-rules",
+        action="store_true",
+        help="ignore the default per-path waivers (e.g. examples/ may print)",
+    )
     return parser
 
 
@@ -72,13 +77,22 @@ def run(
     *,
     output_format: str = "text",
     select: list[str] | None = None,
+    path_rules: dict[str, frozenset[str]] | None = None,
 ) -> tuple[str, int]:
-    """Lint ``paths``; return ``(report, exit_code)`` per the CLI contract."""
+    """Lint ``paths``; return ``(report, exit_code)`` per the CLI contract.
+
+    ``path_rules`` defaults to :data:`repro.lint.rules.DEFAULT_PATH_RULES`
+    (pass ``{}`` to disable the per-path waivers entirely).
+    """
+    if path_rules is None:
+        path_rules = DEFAULT_PATH_RULES
     try:
         files = list(iter_python_files(paths))
         findings = []
         for target in files:
-            findings.extend(lint_file(target, select=select))
+            findings.extend(
+                lint_file(target, select=select, path_rules=path_rules)
+            )
     except (FileNotFoundError, ValueError, OSError) as exc:
         return f"repro-lint: error: {exc}", 2
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
@@ -98,7 +112,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     paths = args.paths or _default_paths()
     select = args.select.split(",") if args.select else None
-    report, code = run(paths, output_format=args.format, select=select)
+    report, code = run(
+        paths,
+        output_format=args.format,
+        select=select,
+        path_rules={} if args.no_path_rules else None,
+    )
     stream = sys.stderr if code == 2 else sys.stdout
     print(report, file=stream)
     return code

@@ -13,6 +13,12 @@ Suppression syntax (checked per physical line, like flake8):
 
 Both forms may carry a trailing free-text reason after ``--``, e.g.
 ``# noqa: RPL003 -- exact sentinel comparison``.
+
+Beyond line-level ``noqa``, whole path classes can waive specific rules via
+*per-path rules*: a mapping of path component (a directory name or module
+stem) to the rule codes waived there, e.g. ``{"examples": {"RPL010"}}`` —
+examples are user-facing scripts, so their prints are by design.  The
+default configuration lives in :data:`repro.lint.rules.DEFAULT_PATH_RULES`.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 __all__ = [
     "FileContext",
@@ -171,13 +177,31 @@ def _select_rules(select: Iterable[str] | None):
     return [rule for rule in rules if rule.code in wanted]
 
 
+def _path_waivers(
+    context: FileContext, path_rules: Mapping[str, Iterable[str]] | None
+) -> frozenset[str]:
+    """Rule codes waived for this file by the per-path configuration."""
+    if not path_rules:
+        return frozenset()
+    waived: set[str] = set()
+    for part, codes in path_rules.items():
+        if context.stem == part or context.in_directory(part):
+            waived.update(code.strip().upper() for code in codes)
+    return frozenset(waived)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     *,
     select: Iterable[str] | None = None,
+    path_rules: Mapping[str, Iterable[str]] | None = None,
 ) -> list[Finding]:
     """Lint one in-memory source blob; ``path`` steers path-scoped rules.
+
+    ``path_rules`` maps a path component (directory name or module stem) to
+    rule codes waived for files under it — configuration-level suppression,
+    as opposed to line-level ``noqa``.
 
     Syntax errors are reported as a single pseudo-finding with code
     ``RPL000`` rather than raised, so a broken file cannot crash a run
@@ -202,27 +226,40 @@ def lint_source(
     context = FileContext(
         path=path, source=source, tree=tree, parts=_context_parts(path)
     )
+    waived = _path_waivers(context, path_rules)
     findings: list[Finding] = []
     for rule in rules:
+        if rule.code in waived:
+            continue
         findings.extend(rule.check(context))
     findings = [f for f in findings if not _is_suppressed(f, suppressions)]
     findings.sort(key=lambda f: (f.line, f.col, f.code))
     return findings
 
 
-def lint_file(path: str | Path, *, select: Iterable[str] | None = None) -> list[Finding]:
+def lint_file(
+    path: str | Path,
+    *,
+    select: Iterable[str] | None = None,
+    path_rules: Mapping[str, Iterable[str]] | None = None,
+) -> list[Finding]:
     """Lint one file on disk."""
     target = Path(path)
     source = target.read_text(encoding="utf-8")
-    return lint_source(source, path=str(target), select=select)
+    return lint_source(
+        source, path=str(target), select=select, path_rules=path_rules
+    )
 
 
 def lint_paths(
-    paths: Sequence[str | Path], *, select: Iterable[str] | None = None
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    path_rules: Mapping[str, Iterable[str]] | None = None,
 ) -> list[Finding]:
     """Lint every Python file under ``paths``; findings sorted by location."""
     findings: list[Finding] = []
     for target in iter_python_files(paths):
-        findings.extend(lint_file(target, select=select))
+        findings.extend(lint_file(target, select=select, path_rules=path_rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings

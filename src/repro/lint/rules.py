@@ -21,6 +21,7 @@ from typing import Iterator
 from repro.lint.engine import FileContext, Finding
 
 __all__ = [
+    "DEFAULT_PATH_RULES",
     "DunderAllDriftRule",
     "FloatEqualityRule",
     "GlobalRandomStateRule",
@@ -45,6 +46,14 @@ HOT_PATH_DIRS = ("core", "bandits", "trading")
 
 #: Directories/modules allowed to write to stdout (user-facing surfaces).
 PRINT_ALLOWED = ("experiments", "lint", "cli", "__main__")
+
+#: Per-path rule waivers applied by default (directory/stem -> rule codes).
+#: ``examples/`` scripts print their results by design — that is their
+#: entire user interface — so RPL010 is waived there by configuration
+#: instead of per-line ``noqa`` noise; every other rule still applies.
+DEFAULT_PATH_RULES: dict[str, frozenset[str]] = {
+    "examples": frozenset({"RPL010"}),
+}
 
 _REGISTRY: dict[str, type["Rule"]] = {}
 

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.events import EmissionEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.utils.validation import check_nonnegative
 
 __all__ = ["LedgerSnapshot", "AllowanceLedger"]
@@ -47,11 +49,16 @@ class LedgerSnapshot:
 class AllowanceLedger:
     """Records per-slot emissions and trades; answers neutrality queries."""
 
-    def __init__(self, initial_cap: float) -> None:
+    def __init__(self, initial_cap: float, *, tracer: Tracer | None = None) -> None:
         self._cap = check_nonnegative(initial_cap, "initial_cap")
         self._emissions: list[float] = []
         self._bought: list[float] = []
         self._sold: list[float] = []
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        # Running totals for event emission only; snapshot() keeps its
+        # np.sum reductions so reported aggregates are unchanged.
+        self._running_emissions = 0.0
+        self._running_net_purchase = 0.0
 
     @property
     def initial_cap(self) -> float:
@@ -71,6 +78,20 @@ class AllowanceLedger:
         self._emissions.append(float(emissions))
         self._bought.append(float(bought))
         self._sold.append(float(sold))
+        self._running_emissions += float(emissions)
+        self._running_net_purchase += float(bought) - float(sold)
+        tracer = self._tracer
+        if tracer.enabled:
+            holdings = self._cap + self._running_net_purchase
+            tracer.emit(
+                EmissionEvent(
+                    t=len(self._emissions) - 1,
+                    emissions_kg=float(emissions),
+                    cumulative_kg=self._running_emissions,
+                    holdings_kg=holdings,
+                    violation_kg=max(self._running_emissions - holdings, 0.0),
+                )
+            )
 
     def snapshot(self) -> LedgerSnapshot:
         """Current cumulative state."""

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.events import TradeEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.traces.carbon_prices import PriceSeries
 from repro.utils.validation import check_nonnegative
 
@@ -38,9 +40,10 @@ class Trade:
 class CarbonMarket:
     """Wraps a :class:`PriceSeries` and records executed trades."""
 
-    def __init__(self, prices: PriceSeries) -> None:
+    def __init__(self, prices: PriceSeries, *, tracer: Tracer | None = None) -> None:
         self._prices = prices
         self._trades: list[Trade] = []
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def prices(self) -> PriceSeries:
@@ -80,6 +83,18 @@ class CarbonMarket:
             sell_price=self.sell_price(t),
         )
         self._trades.append(trade)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                TradeEvent(
+                    t=t,
+                    buy=trade.bought,
+                    sell=trade.sold,
+                    buy_price=trade.buy_price,
+                    sell_price=trade.sell_price,
+                    cost=trade.cost,
+                )
+            )
         return trade
 
     def total_cost(self) -> float:

@@ -1,0 +1,57 @@
+"""Structured simulation observability: events, tracer, sinks, metrics.
+
+The subsystem makes the simulator's per-slot dynamics inspectable while a
+run is in flight: the control loop emits typed events (slot starts, model
+switches, Algorithm-1 block boundaries, trades, Algorithm-2 dual updates,
+realized emissions) through a :class:`Tracer` into pluggable sinks, with a
+no-op default whose cost on the hot path is one attribute read per site.
+
+Typical use::
+
+    from repro.obs import InMemorySink, Tracer
+
+    sink = InMemorySink()
+    result = repro.run(config, selection="Ours", trading="Ours",
+                       tracer=Tracer([sink]))
+    switches = sink.of_type("model_switch")
+
+or from the command line: ``repro trace --selection Ours --trading Ours``.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    BlockBoundaryEvent,
+    DualUpdateEvent,
+    EmissionEvent,
+    Event,
+    ModelSwitchEvent,
+    SlotStartEvent,
+    TradeEvent,
+    event_from_dict,
+    register_event,
+)
+from repro.obs.metrics import Counter, Timer
+from repro.obs.sinks import InMemorySink, JsonlSink, read_events
+from repro.obs.tracer import NULL_TRACER, EventSink, NullTracer, Tracer
+
+__all__ = [
+    "BlockBoundaryEvent",
+    "Counter",
+    "DualUpdateEvent",
+    "EVENT_TYPES",
+    "EmissionEvent",
+    "Event",
+    "EventSink",
+    "InMemorySink",
+    "JsonlSink",
+    "ModelSwitchEvent",
+    "NULL_TRACER",
+    "NullTracer",
+    "SlotStartEvent",
+    "Timer",
+    "TradeEvent",
+    "Tracer",
+    "event_from_dict",
+    "read_events",
+    "register_event",
+]

@@ -1,0 +1,161 @@
+"""Typed structured events emitted by the instrumented simulation stack.
+
+Each event type is a frozen dataclass recording one per-slot transition of
+the paper's control loop: slot starts, Algorithm-1 block boundaries and
+model switches, Algorithm-2 dual updates, allowance trades, and realized
+emissions.  Events are plain data — JSON-serializable via :meth:`Event.as_dict`
+and reconstructible via :func:`event_from_dict` — so a JSONL trace of a run
+round-trips losslessly.
+
+The module is dependency-free (stdlib only): producers convert numpy
+scalars to builtin ``int``/``float`` before constructing events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import ClassVar
+
+__all__ = [
+    "BlockBoundaryEvent",
+    "DualUpdateEvent",
+    "EVENT_TYPES",
+    "EmissionEvent",
+    "Event",
+    "ModelSwitchEvent",
+    "SlotStartEvent",
+    "TradeEvent",
+    "event_from_dict",
+    "register_event",
+]
+
+#: Registry of event type tag -> event class, populated by ``register_event``.
+EVENT_TYPES: dict[str, type["Event"]] = {}
+
+
+def register_event(cls: type["Event"]) -> type["Event"]:
+    """Class decorator adding an event class to :data:`EVENT_TYPES` (tag-unique)."""
+    if cls.type in EVENT_TYPES:
+        raise ValueError(f"duplicate event type tag {cls.type!r}")
+    EVENT_TYPES[cls.type] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: one structured record anchored at time slot ``t``."""
+
+    t: int
+
+    #: Stable wire tag written to the ``"type"`` key of the JSON form.
+    type: ClassVar[str] = "event"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready mapping: the fields plus the ``"type"`` tag."""
+        return {"type": self.type, **asdict(self)}
+
+
+@register_event
+@dataclass(frozen=True)
+class SlotStartEvent(Event):
+    """Top of the simulator main loop: slot ``t`` of ``horizon`` begins."""
+
+    horizon: int = 0
+
+    type: ClassVar[str] = "slot_start"
+
+
+@register_event
+@dataclass(frozen=True)
+class ModelSwitchEvent(Event):
+    """An edge downloads a different model than it hosted last slot.
+
+    ``previous_model`` is ``-1`` on the first slot (nothing was hosted yet);
+    ``switch_cost`` is the edge's effective download delay ``u_i``.
+    """
+
+    edge: int = 0
+    previous_model: int = -1
+    model: int = 0
+    switch_cost: float = 0.0
+
+    type: ClassVar[str] = "model_switch"
+
+
+@register_event
+@dataclass(frozen=True)
+class BlockBoundaryEvent(Event):
+    """Algorithm 1 opens a new block: OMD resample at a block boundary.
+
+    ``length`` is the block's slot count, ``eta`` its Tsallis-INF learning
+    rate, and ``model`` the model sampled to host for the whole block.
+    """
+
+    edge: int = 0
+    block: int = 0
+    length: int = 0
+    eta: float = 0.0
+    model: int = 0
+
+    type: ClassVar[str] = "block_boundary"
+
+
+@register_event
+@dataclass(frozen=True)
+class TradeEvent(Event):
+    """The market executed an allowance order (possibly of zero volume).
+
+    ``cost`` is the paper's ``z^t c^t - w^t r^t`` (negative = net revenue).
+    """
+
+    buy: float = 0.0
+    sell: float = 0.0
+    buy_price: float = 0.0
+    sell_price: float = 0.0
+    cost: float = 0.0
+
+    type: ClassVar[str] = "trade"
+
+
+@register_event
+@dataclass(frozen=True)
+class DualUpdateEvent(Event):
+    """Algorithm 2's dual ascent ran: lambda after absorbing slot ``t``.
+
+    ``constraint`` is the realized per-slot constraint value
+    ``g^t = e^t - R/T - z^t + w^t`` the ascent moved along.
+    """
+
+    dual: float = 0.0
+    constraint: float = 0.0
+
+    type: ClassVar[str] = "dual_update"
+
+
+@register_event
+@dataclass(frozen=True)
+class EmissionEvent(Event):
+    """The ledger recorded slot ``t``'s realized emissions.
+
+    ``holdings_kg`` is ``R + sum z - sum w`` after the slot's trade;
+    ``violation_kg`` is the running positive part of (emissions - holdings),
+    i.e. the paper's fit measured at this prefix.
+    """
+
+    emissions_kg: float = 0.0
+    cumulative_kg: float = 0.0
+    holdings_kg: float = 0.0
+    violation_kg: float = 0.0
+
+    type: ClassVar[str] = "emission"
+
+
+def event_from_dict(payload: dict[str, object]) -> Event:
+    """Reconstruct an event from its :meth:`Event.as_dict` form."""
+    fields = dict(payload)
+    tag = fields.pop("type", None)
+    if not isinstance(tag, str) or tag not in EVENT_TYPES:
+        raise ValueError(
+            f"unknown event type {tag!r}; expected one of {sorted(EVENT_TYPES)}"
+        )
+    return EVENT_TYPES[tag](**fields)

@@ -1,0 +1,83 @@
+"""Lightweight counters and timers for hot-path profiling.
+
+Both are monotonic-clock based (``time.perf_counter`` — never the wall
+clock, which reprolint RPL008 bans from library code) and allocation-free
+on the measurement path, so they are safe to leave permanently attached to
+the simulator's inner loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Counter", "Timer"]
+
+
+class Counter:
+    """A named monotonically increasing integer counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1); negative increments are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative, got {amount}")
+        self._value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Timer:
+    """A named accumulating duration timer (monotonic clock).
+
+    Use as a context manager around the timed region; re-entrant use is not
+    supported (one region at a time per timer)::
+
+        with tracer.timer("slot"):
+            ...  # timed work
+
+    ``total_seconds`` and ``count`` accumulate across entries, so the mean
+    per-entry latency is always available.
+    """
+
+    __slots__ = ("name", "total_seconds", "count", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_seconds = 0.0
+        self.count = 0
+        self._started: float | None = None
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average duration per completed entry (0.0 before any entry)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        if self._started is not None:
+            raise RuntimeError(f"timer {self.name!r} is already running")
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self._started is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"timer {self.name!r} was never started")
+        self.total_seconds += time.perf_counter() - self._started
+        self.count += 1
+        self._started = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Timer({self.name!r}, total={self.total_seconds:.6f}s, "
+            f"count={self.count})"
+        )

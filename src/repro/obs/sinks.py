@@ -1,0 +1,97 @@
+"""Event sinks: where the tracer's structured events go.
+
+Two built-ins cover the common cases — :class:`InMemorySink` for tests and
+programmatic inspection, :class:`JsonlSink` for streaming one JSON object
+per line to a file or an already-open stream (stdout included).  Anything
+with ``write(event)`` / ``close()`` methods can serve as a sink.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.obs.events import Event, event_from_dict
+
+__all__ = ["InMemorySink", "JsonlSink", "read_events"]
+
+
+def _json_default(value: object) -> object:
+    """Coerce numpy scalars (anything with ``.item()``) to builtin types."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"event field of type {type(value).__name__} is not JSON-serializable")
+
+
+class InMemorySink:
+    """Collects events in a list; supports per-type counting."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def write(self, event: Event) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def close(self) -> None:
+        """No resources to release."""
+
+    def counts_by_type(self) -> dict[str, int]:
+        """Number of collected events per type tag."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.type] = counts.get(event.type, 0) + 1
+        return counts
+
+    def of_type(self, tag: str) -> list[Event]:
+        """All collected events whose type tag equals ``tag``."""
+        return [event for event in self.events if event.type == tag]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+
+class JsonlSink:
+    """Writes each event as one JSON object per line.
+
+    ``target`` may be a path (the sink opens and owns the file, closing it
+    on :meth:`close`) or an already-open text stream such as ``sys.stdout``
+    (left open — the caller owns it).
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._handle: IO[str] = Path(target).open("w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.events_written = 0
+
+    def write(self, event: Event) -> None:
+        """Serialize one event as a JSON line."""
+        self._handle.write(json.dumps(event.as_dict(), default=_json_default))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush, and close the handle if this sink opened it."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+def read_events(path: str | Path) -> list[Event]:
+    """Load a JSONL event log back into typed events (blank lines skipped)."""
+    events: list[Event] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events

@@ -1,6 +1,37 @@
-"""Abstract policy interfaces shared by the paper's algorithms and baselines."""
+"""Policy interfaces and the registry-based construction API.
 
+The abstract interfaces (:class:`SelectionPolicy`, :class:`TradingPolicy`)
+are shared by the paper's algorithms and every baseline.  Construction goes
+through the name registry: ``make_selection_policies("Ours", ...)`` /
+``make_trading_policy("LY", ...)`` build calibrated instances, and new
+families plug in with ``@register_selection`` / ``@register_trading`` (see
+``examples/custom_policy.py``).
+"""
+
+from repro.policies.registry import (
+    SELECTION_NAMES,
+    TRADING_NAMES,
+    make_selection_policies,
+    make_trading_policy,
+    register_selection,
+    register_trading,
+    selection_names,
+    trading_names,
+)
 from repro.policies.selection import SelectionPolicy
 from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
 
-__all__ = ["SelectionPolicy", "TradingPolicy", "TradingContext", "TradeDecision"]
+__all__ = [
+    "SELECTION_NAMES",
+    "SelectionPolicy",
+    "TRADING_NAMES",
+    "TradeDecision",
+    "TradingContext",
+    "TradingPolicy",
+    "make_selection_policies",
+    "make_trading_policy",
+    "register_selection",
+    "register_trading",
+    "selection_names",
+    "trading_names",
+]

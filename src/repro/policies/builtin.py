@@ -1,0 +1,176 @@
+"""The paper's built-in policy families, registered by name.
+
+These builders are the experiment roster of Section V: the paper's
+Algorithms 1/2 ("Ours") plus every baseline the figures compare against.
+They were moved here from ``repro.experiments.runner`` so that the
+registry — not an if/elif chain — is the single source of policy names.
+
+RNG stream names (``selection-{i}``, ``trading``) are part of the
+reproducibility contract: they must not change, or seeded runs would
+diverge from previously recorded results.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bandits import (
+    EpsilonGreedySelection,
+    Exp3Selection,
+    GreedySelection,
+    RandomSelection,
+    TsallisInfSelection,
+    UCB1Selection,
+    UCB2Selection,
+)
+from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.offline import NullTrading
+from repro.policies.registry import register_selection, register_trading
+from repro.trading import LyapunovTrading, RandomTrading, ThresholdTrading
+from repro.traces.carbon_prices import CarbonPriceModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.policies.selection import SelectionPolicy
+    from repro.policies.trading import TradingPolicy
+    from repro.sim.scenario import Scenario
+    from repro.utils.rng import RngFactory
+
+__all__: list[str] = []
+
+
+def _edge_rngs(scenario: "Scenario", rng_factory: "RngFactory"):
+    """The per-edge RNG streams every selection builder draws from."""
+    return [
+        rng_factory.get(f"selection-{i}") for i in range(scenario.num_edges)
+    ]
+
+
+@register_selection("Ours")
+def _build_ours_selection(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "list[SelectionPolicy]":
+    switch_costs = scenario.effective_switch_costs()
+    return [
+        OnlineModelSelection(
+            scenario.num_models,
+            scenario.horizon,
+            float(switch_costs[i]),
+            rng,
+        )
+        for i, rng in enumerate(_edge_rngs(scenario, rng_factory))
+    ]
+
+
+@register_selection("Ran")
+def _build_random_selection(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "list[SelectionPolicy]":
+    return [
+        RandomSelection(scenario.num_models, rng)
+        for rng in _edge_rngs(scenario, rng_factory)
+    ]
+
+
+@register_selection("Greedy")
+def _build_greedy_selection(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "list[SelectionPolicy]":
+    return [
+        GreedySelection(scenario.num_models, scenario.energy.phi_kwh)
+        for _ in range(scenario.num_edges)
+    ]
+
+
+@register_selection("TINF")
+def _build_tsallis_selection(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "list[SelectionPolicy]":
+    return [
+        TsallisInfSelection(scenario.num_models, scenario.horizon, rng)
+        for rng in _edge_rngs(scenario, rng_factory)
+    ]
+
+
+@register_selection("UCB")
+def _build_ucb2_selection(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "list[SelectionPolicy]":
+    return [UCB2Selection(scenario.num_models) for _ in range(scenario.num_edges)]
+
+
+@register_selection("UCB1")
+def _build_ucb1_selection(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "list[SelectionPolicy]":
+    return [UCB1Selection(scenario.num_models) for _ in range(scenario.num_edges)]
+
+
+@register_selection("EG")
+def _build_epsilon_greedy_selection(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "list[SelectionPolicy]":
+    return [
+        EpsilonGreedySelection(scenario.num_models, rng)
+        for rng in _edge_rngs(scenario, rng_factory)
+    ]
+
+
+@register_selection("EXP3")
+def _build_exp3_selection(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "list[SelectionPolicy]":
+    return [
+        Exp3Selection(scenario.num_models, rng)
+        for rng in _edge_rngs(scenario, rng_factory)
+    ]
+
+
+@register_trading("Ours")
+def _build_ours_trading(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "TradingPolicy":
+    gamma1, gamma2 = OnlineCarbonTrading.step_sizes_for_horizon(scenario.horizon)
+    return OnlineCarbonTrading(gamma1=gamma1, gamma2=gamma2)
+
+
+@register_trading("Forecast")
+def _build_forecast_trading(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "TradingPolicy":
+    # Imported lazily: the forecast extension is optional on the hot path.
+    from repro.forecast.trading import ForecastCarbonTrading
+
+    gamma1, gamma2 = OnlineCarbonTrading.step_sizes_for_horizon(scenario.horizon)
+    return ForecastCarbonTrading(gamma1=gamma1, gamma2=gamma2)
+
+
+@register_trading("Ran")
+def _build_random_trading(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "TradingPolicy":
+    return RandomTrading(rng_factory.get("trading"))
+
+
+@register_trading("TH")
+def _build_threshold_trading(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "TradingPolicy":
+    model = CarbonPriceModel()
+    return ThresholdTrading(
+        buy_threshold=model.mean_price,
+        sell_threshold=model.sell_ratio * model.mean_price,
+    )
+
+
+@register_trading("LY")
+def _build_lyapunov_trading(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "TradingPolicy":
+    return LyapunovTrading(v=20.0)
+
+
+@register_trading("Null")
+def _build_null_trading(
+    scenario: "Scenario", rng_factory: "RngFactory"
+) -> "TradingPolicy":
+    return NullTrading()

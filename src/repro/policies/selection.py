@@ -9,6 +9,8 @@ loss is revealed.
 
 from __future__ import annotations
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 __all__ = ["SelectionPolicy"]
 
 
@@ -18,10 +20,21 @@ class SelectionPolicy:
     #: short identifier used in experiment tables (e.g. "Ran", "UCB").
     name: str = "base"
 
+    #: event bus receiving this policy's structured events (no-op default).
+    tracer: Tracer = NULL_TRACER
+
+    #: edge index stamped into emitted events (set by ``bind_tracer``).
+    trace_edge: int = 0
+
     def __init__(self, num_models: int) -> None:
         if num_models <= 0:
             raise ValueError(f"num_models must be positive, got {num_models}")
         self.num_models = num_models
+
+    def bind_tracer(self, tracer: Tracer, edge: int = 0) -> None:
+        """Attach the event bus (and this policy's edge index for events)."""
+        self.tracer = tracer
+        self.trace_edge = edge
 
     def select(self, t: int) -> int:
         """Return the model index to host at slot ``t``."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 __all__ = ["TradeDecision", "TradingContext", "TradingPolicy"]
 
 
@@ -70,6 +72,13 @@ class TradingPolicy:
 
     #: short identifier used in experiment tables (e.g. "TH", "LY").
     name: str = "base"
+
+    #: event bus receiving this policy's structured events (no-op default).
+    tracer: Tracer = NULL_TRACER
+
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach the event bus this policy should emit through."""
+        self.tracer = tracer
 
     def decide(self, context: TradingContext) -> TradeDecision:
         """Choose the quantities to buy and sell at slot ``context.t``."""

@@ -30,6 +30,8 @@ from repro.data.streams import ArrivalProcess
 from repro.market.ledger import AllowanceLedger
 from repro.market.market import CarbonMarket
 from repro.nn.losses import squared_label_loss
+from repro.obs.events import ModelSwitchEvent, SlotStartEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.policies.selection import SelectionPolicy
 from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
 from repro.sim.results import SimulationResult
@@ -40,17 +42,25 @@ __all__ = ["Simulator"]
 
 
 class Simulator:
-    """Runs one (selection policies, trading policy) combination."""
+    """Runs one (selection policies, trading policy) combination.
+
+    Everything after the three structural arguments is keyword-only; pass a
+    :class:`~repro.obs.tracer.Tracer` to stream structured per-slot events
+    (the default no-op tracer keeps the hot path uninstrumented in effect).
+    For name-based construction see :meth:`from_names`.
+    """
 
     def __init__(
         self,
         scenario: Scenario,
         selection_policies: list[SelectionPolicy],
         trading_policy: TradingPolicy,
+        *,
         run_seed: int = 0,
         label: str = "run",
         live_inference: bool = False,
         label_delay: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         if len(selection_policies) != scenario.num_edges:
             raise ValueError(
@@ -72,6 +82,48 @@ class Simulator:
         self.live_inference = live_inference
         self.label_delay = label_delay
         self._rng = RngFactory(run_seed).child("simulator")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            for i, policy in enumerate(self.selection_policies):
+                policy.bind_tracer(tracer, edge=i)
+            trading_policy.bind_tracer(tracer)
+
+    @classmethod
+    def from_names(
+        cls,
+        scenario: Scenario,
+        selection: str = "Ours",
+        trading: str = "Ours",
+        *,
+        seed: int = 0,
+        label: str | None = None,
+        live_inference: bool = False,
+        label_delay: int = 0,
+        tracer: Tracer | None = None,
+    ) -> "Simulator":
+        """Build a simulator from registered policy-family names.
+
+        Names resolve through the :mod:`repro.policies` registry, so custom
+        families registered with ``@register_selection`` /
+        ``@register_trading`` work here too.  The RNG stream layout matches
+        :func:`repro.experiments.runner.run_combo`, so a given
+        ``(selection, trading, seed)`` triple is bit-identical either way.
+        """
+        from repro.policies import make_selection_policies, make_trading_policy
+
+        rng_factory = RngFactory(seed).child(f"{selection}-{trading}")
+        policies = make_selection_policies(selection, scenario, rng_factory)
+        trader = make_trading_policy(trading, scenario, rng_factory)
+        return cls(
+            scenario,
+            policies,
+            trader,
+            run_seed=seed,
+            label=label if label is not None else f"{selection}-{trading}",
+            live_inference=live_inference,
+            label_delay=label_delay,
+            tracer=tracer,
+        )
 
     def run(self) -> SimulationResult:
         """Simulate the full horizon and return per-slot records."""
@@ -88,8 +140,10 @@ class Simulator:
         data_rngs = [self._rng.get(f"data-{i}") for i in range(num_edges)]
         class_indices = self._class_index_map()
 
-        market = CarbonMarket(scenario.prices)
-        ledger = AllowanceLedger(cfg.carbon_cap_kg)
+        tracer = self.tracer
+        tracing = tracer.enabled
+        market = CarbonMarket(scenario.prices, tracer=tracer)
+        ledger = AllowanceLedger(cfg.carbon_cap_kg, tracer=tracer)
 
         expected_inference = np.zeros(horizon)
         realized_loss = np.zeros(horizon)
@@ -111,6 +165,8 @@ class Simulator:
         pending_feedback: list[tuple[int, int, int, float]] = []
 
         for t in range(horizon):
+            if tracing:
+                tracer.emit(SlotStartEvent(t=t, horizon=horizon))
             slot_emissions = 0.0
             slot_correct = 0.0
             slot_arrivals = 0
@@ -118,6 +174,16 @@ class Simulator:
                 policy = self.selection_policies[i]
                 model = policy.select(t)
                 switched = model != previous_model[i]
+                if switched and tracing:
+                    tracer.emit(
+                        ModelSwitchEvent(
+                            t=t,
+                            edge=i,
+                            previous_model=int(previous_model[i]),
+                            model=int(model),
+                            switch_cost=float(effective_u[i]),
+                        )
+                    )
                 previous_model[i] = model
                 selections[t, i] = model
                 switches[t, i] = switched

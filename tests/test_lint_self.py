@@ -9,15 +9,32 @@ test immediately, keeping the tree green by construction.
 from pathlib import Path
 
 import repro
-from repro.lint import lint_paths, registered_codes
+from repro.lint import DEFAULT_PATH_RULES, lint_paths, registered_codes
 
 PACKAGE_DIR = Path(repro.__file__).parent
+EXAMPLES_DIR = PACKAGE_DIR.parent.parent / "examples"
 
 
 def test_package_lints_clean():
     findings = lint_paths([PACKAGE_DIR])
     rendered = "\n".join(f.render() for f in findings)
     assert findings == [], f"reprolint findings in src/repro:\n{rendered}"
+
+
+def test_examples_lint_clean_under_path_rules():
+    # Examples are user-facing scripts: prints (RPL010) are waived there by
+    # the default per-path configuration, everything else still applies.
+    findings = lint_paths([EXAMPLES_DIR], path_rules=DEFAULT_PATH_RULES)
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"reprolint findings in examples/:\n{rendered}"
+
+
+def test_examples_waiver_is_print_only():
+    # The waiver must stay narrow: without path rules the examples may only
+    # trip the print rule — any other finding is a real defect.
+    findings = lint_paths([EXAMPLES_DIR], path_rules={})
+    assert findings, "examples print, so the un-waived run must find RPL010"
+    assert {f.code for f in findings} == {"RPL010"}
 
 
 def test_at_least_eight_rules_registered():

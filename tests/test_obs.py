@@ -1,0 +1,181 @@
+"""Tests for repro.obs: events, sinks, tracer, metrics, and instrumentation.
+
+The contract under test: every event round-trips through JSONL bit-exactly,
+the no-op tracer is inert (and rejects sinks), and the instrumented
+simulator's event stream agrees with the aggregates the simulation itself
+reports — e.g. the number of ``model_switch`` events equals the switch
+tally in the :class:`SimulationResult`.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    NULL_TRACER,
+    BlockBoundaryEvent,
+    Counter,
+    DualUpdateEvent,
+    EmissionEvent,
+    InMemorySink,
+    JsonlSink,
+    ModelSwitchEvent,
+    NullTracer,
+    SlotStartEvent,
+    Timer,
+    TradeEvent,
+    Tracer,
+    event_from_dict,
+    read_events,
+)
+from repro.sim import ScenarioConfig, Simulator, build_scenario
+
+ALL_EVENTS = [
+    SlotStartEvent(t=0, horizon=160),
+    ModelSwitchEvent(t=3, edge=1, previous_model=-1, model=4, switch_cost=2.5),
+    BlockBoundaryEvent(t=8, edge=0, block=2, length=4, eta=0.5, model=1),
+    TradeEvent(t=5, buy=1.25, sell=0.0, buy_price=80.0, sell_price=72.0, cost=100.0),
+    DualUpdateEvent(t=5, dual=0.125, constraint=-3.0),
+    EmissionEvent(t=5, emissions_kg=4.0, cumulative_kg=20.0, holdings_kg=18.0, violation_kg=2.0),
+]
+
+
+class TestEvents:
+    def test_registry_covers_all_six_types(self):
+        assert set(EVENT_TYPES) == {
+            "slot_start",
+            "model_switch",
+            "block_boundary",
+            "trade",
+            "dual_update",
+            "emission",
+        }
+
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.type)
+    def test_dict_round_trip(self, event):
+        payload = event.as_dict()
+        assert payload["type"] == event.type
+        assert event_from_dict(json.loads(json.dumps(payload))) == event
+
+    def test_unknown_type_lists_known_tags(self):
+        with pytest.raises(ValueError, match="slot_start"):
+            event_from_dict({"type": "warp_drive", "t": 0})
+
+
+class TestSinks:
+    def test_jsonl_round_trip_via_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for event in ALL_EVENTS:
+            sink.write(event)
+        sink.close()
+        assert sink.events_written == len(ALL_EVENTS)
+        assert read_events(path) == ALL_EVENTS
+
+    def test_jsonl_stream_stays_open(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.write(ALL_EVENTS[0])
+        sink.close()
+        assert not stream.closed  # caller owns the stream
+        assert json.loads(stream.getvalue())["type"] == "slot_start"
+
+    def test_in_memory_sink_counts(self):
+        sink = InMemorySink()
+        for event in ALL_EVENTS:
+            sink.write(event)
+        assert len(sink) == len(ALL_EVENTS)
+        assert sink.counts_by_type()["trade"] == 1
+        assert sink.of_type("emission") == [ALL_EVENTS[-1]]
+
+
+class TestTracer:
+    def test_fan_out_and_counts(self):
+        first, second = InMemorySink(), InMemorySink()
+        tracer = Tracer([first, second])
+        tracer.emit(ALL_EVENTS[0])
+        tracer.emit(ALL_EVENTS[1])
+        assert len(first) == len(second) == 2
+        assert tracer.event_counts() == {"slot_start": 1, "model_switch": 1}
+
+    def test_counters_and_timers_snapshot(self):
+        tracer = Tracer()
+        tracer.counter("slots").increment(3)
+        with tracer.timer("run"):
+            pass
+        snapshot = tracer.metrics_snapshot()
+        assert snapshot["counters"]["slots"] == 3
+        assert snapshot["timers"]["run"] >= 0.0
+        assert tracer.timer("run").count == 1
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(ALL_EVENTS[0])  # silently dropped
+        assert NULL_TRACER.event_counts() == {}
+        with pytest.raises(TypeError):
+            NullTracer().add_sink(InMemorySink())
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter("n")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.increment(-1)
+
+    def test_timer(self):
+        timer = Timer("t")
+        with timer:
+            pass
+        assert timer.count == 1
+        assert timer.total_seconds >= 0.0
+        assert timer.mean_seconds == timer.total_seconds
+
+
+class TestInstrumentedSimulation:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        scenario = build_scenario(
+            ScenarioConfig(dataset="synthetic", num_edges=4, horizon=48)
+        )
+        sink = InMemorySink()
+        simulator = Simulator.from_names(
+            scenario, "Ours", "Ours", seed=11, tracer=Tracer([sink])
+        )
+        return simulator.run(), sink, scenario
+
+    def test_every_event_type_emitted(self, traced_run):
+        _, sink, _ = traced_run
+        assert set(sink.counts_by_type()) == set(EVENT_TYPES)
+
+    def test_slot_start_per_slot(self, traced_run):
+        _, sink, scenario = traced_run
+        assert sink.counts_by_type()["slot_start"] == scenario.horizon
+
+    def test_model_switch_events_match_switch_tally(self, traced_run):
+        result, sink, _ = traced_run
+        assert sink.counts_by_type()["model_switch"] == result.total_switches()
+
+    def test_emission_events_match_recorded_emissions(self, traced_run):
+        result, sink, scenario = traced_run
+        emissions = sink.of_type("emission")
+        assert len(emissions) == scenario.horizon
+        assert emissions[-1].cumulative_kg == pytest.approx(
+            float(result.emissions.sum())
+        )
+
+    def test_tracing_does_not_change_results(self):
+        scenario = build_scenario(
+            ScenarioConfig(dataset="synthetic", num_edges=4, horizon=48)
+        )
+        plain = Simulator.from_names(scenario, "Ours", "Ours", seed=11).run()
+        traced = Simulator.from_names(
+            scenario, "Ours", "Ours", seed=11, tracer=Tracer([InMemorySink()])
+        ).run()
+        assert (plain.selections == traced.selections).all()
+        assert (plain.trading_cost == traced.trading_cost).all()
+        assert float(plain.emissions.sum()) == float(traced.emissions.sum())
