@@ -7,8 +7,10 @@ Examples::
         --save-json run.json
     python -m repro.cli trace --selection Ours --trading Ours > events.jsonl
     python -m repro.cli trace --output run.jsonl --summary
+    python -m repro.cli trace --edge 0 --summary --output edge0.jsonl
     python -m repro.cli zoo --dataset mnist
     python -m repro.cli experiment fig10 fig11 --full
+    python -m repro.cli experiment fig03 fig04 --workers 4 --cache .repro_cache
     python -m repro.cli lint src/repro --format json
 """
 
@@ -71,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: stream to stdout)")
     trace.add_argument("--summary", action="store_true",
                        help="print per-type event counts after the run")
+    trace.add_argument("--edge", type=int, default=None, metavar="I",
+                       help="keep only per-edge events (model switches, "
+                            "block boundaries) of edge I")
 
     zoo = sub.add_parser("zoo", help="train and describe a model zoo")
     zoo.add_argument("--dataset", choices=("mnist", "cifar10"), default="mnist")
@@ -83,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run paper-figure experiments")
     exp.add_argument("figures", nargs="*", help="e.g. fig10 fig11 (default: all)")
     exp.add_argument("--full", action="store_true", help="paper-scale settings")
+    exp.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="process-pool size for seed sweeps (1 = serial)")
+    exp.add_argument("--cache", metavar="DIR", default=None,
+                     help="result-cache directory (default: .repro_cache)")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="disable the result cache entirely")
 
     lint = sub.add_parser(
         "lint", help="run the reprolint static-analysis gate (exit 1 on findings)"
@@ -126,7 +137,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs import JsonlSink, Tracer
+    from repro.obs import EdgeFilterSink, JsonlSink, Tracer
 
     config = ScenarioConfig(
         dataset=args.dataset,
@@ -137,7 +148,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     scenario = build_scenario(config)
     sink = JsonlSink(args.output if args.output else sys.stdout)
-    tracer = Tracer([sink])
+    tracer_sink = sink if args.edge is None else EdgeFilterSink(sink, args.edge)
+    tracer = Tracer([tracer_sink])
     try:
         result = run_combo(
             scenario, args.selection, args.trading, args.seed, tracer=tracer
@@ -149,11 +161,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
-    counts = tracer.event_counts()
+    if args.edge is None:
+        counts = tracer.event_counts()
+    else:
+        counts = tracer_sink.forwarded_counts
     # When streaming, stdout is the event log — keep the summary off it.
     report = sys.stdout if args.output else sys.stderr
+    scope = "" if args.edge is None else f" (edge {args.edge})"
     print(
-        f"traced {result.label}: {sink.events_written} events"
+        f"traced {result.label}: {sink.events_written} events{scope}"
         + (f" -> {args.output}" if args.output else ""),
         file=report,
     )
@@ -204,6 +220,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     argv = list(args.figures)
     if args.full:
         argv.append("--full")
+    argv += ["--workers", str(args.workers)]
+    if args.cache is not None:
+        argv += ["--cache", args.cache]
+    if args.no_cache:
+        argv.append("--no-cache")
     run_all_main(argv)
     return 0
 

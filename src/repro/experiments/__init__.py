@@ -6,8 +6,22 @@ everything and prints the tables recorded in EXPERIMENTS.md.  ``fast=True``
 runs a reduced-size configuration (synthetic profiles, fewer seeds) suitable
 for CI and benchmarks; ``fast=False`` reproduces the paper-scale settings
 with the trained model zoos.
+
+Seed sweeps route through the :class:`~repro.experiments.engine.SweepEngine`
+(``--workers N`` parallelism plus an on-disk
+:class:`~repro.experiments.cache.ResultCache`), with results bit-identical
+to serial uncached runs.
 """
 
+from repro.experiments.cache import ResultCache, cell_key, scenario_fingerprint
+from repro.experiments.engine import (
+    SweepCell,
+    SweepEngine,
+    SweepStats,
+    get_default_engine,
+    set_default_engine,
+    use_engine,
+)
 from repro.experiments.settings import (
     PAPER_COMBOS,
     PLOT_COMBOS,
@@ -25,11 +39,20 @@ from repro.experiments.runner import (
 __all__ = [
     "PAPER_COMBOS",
     "PLOT_COMBOS",
+    "ResultCache",
+    "SweepCell",
+    "SweepEngine",
+    "SweepStats",
+    "cell_key",
     "default_config",
     "default_seeds",
+    "get_default_engine",
     "make_selection_policies",
     "make_trading_policy",
     "run_combo",
     "run_many",
     "run_offline",
+    "scenario_fingerprint",
+    "set_default_engine",
+    "use_engine",
 ]

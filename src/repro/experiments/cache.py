@@ -1,0 +1,191 @@
+"""Content-addressed on-disk cache for sweep results.
+
+A sweep *cell* is one ``(scenario, selection, trading, seed)`` simulation.
+Its cache key (:func:`cell_key`) is the SHA-256 of a canonical JSON
+serialization of everything the run's output depends on:
+
+* the scenario fingerprint (:func:`scenario_fingerprint`) — every config
+  field plus digests of the *materialized* arrays (latencies, delays,
+  prices, workload, profiles, data pools), so scenarios assembled around
+  custom profiles via ``build_scenario_with_profiles`` key correctly too;
+* the selection/trading policy names and the run label;
+* the run seed;
+* the repo result-schema version (:data:`repro.sim.io.FORMAT_VERSION`).
+
+The value is the result serialized via :mod:`repro.sim.io`, wrapped with an
+integrity digest.  Loads verify the digest and the key before returning
+anything, so corrupted or truncated entries are detected, reported as
+misses, and recomputed — never served.  Stores are atomic (write to a
+temporary file, then ``os.replace``), so a crashed writer cannot leave a
+half-written entry that a verifying reader would trust.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.io import FORMAT_VERSION, result_from_dict, result_to_dict
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "ResultCache",
+    "cell_key",
+    "scenario_fingerprint",
+]
+
+
+def _array_digest(array: np.ndarray | None) -> str | None:
+    """Stable fingerprint of an array: dtype, shape, and raw-byte SHA-256."""
+    if array is None:
+        return None
+    arr = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(arr.dtype).encode("utf-8"))
+    digest.update(str(arr.shape).encode("utf-8"))
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def scenario_fingerprint(scenario: Scenario) -> dict:
+    """JSON-ready mapping pinning down every exogenous input of a scenario.
+
+    Config fields are embedded verbatim; materialized arrays are embedded as
+    digests.  Two scenarios with equal fingerprints present identical inputs
+    to the simulator, hence (given policy names and a seed) identical runs.
+    """
+    config = dataclasses.asdict(scenario.config)
+    energy = scenario.energy
+    return {
+        "config": config,
+        "latencies": _array_digest(scenario.latencies),
+        "download_delays": _array_digest(scenario.download_delays),
+        "buy_prices": _array_digest(scenario.prices.buy),
+        "sell_prices": _array_digest(scenario.prices.sell),
+        "workload_means": _array_digest(scenario.workload_means),
+        "trade_bound": float(scenario.trade_bound),
+        "energy": {
+            "phi_kwh": _array_digest(energy.phi_kwh),
+            "theta_kwh_per_byte": _array_digest(energy.theta_kwh_per_byte),
+            "model_sizes_bytes": _array_digest(energy.model_sizes_bytes),
+            "rho_kg_per_kwh": float(energy.rho_kg_per_kwh),
+            "requests_per_arrival": float(energy.requests_per_arrival),
+        },
+        "profiles": [
+            {
+                "name": p.name,
+                "size_bytes": float(p.size_bytes),
+                "loss_per_sample": _array_digest(p.loss_per_sample),
+                "correct_per_sample": _array_digest(p.correct_per_sample),
+            }
+            for p in scenario.profiles
+        ],
+        "edge_class_weights": _array_digest(scenario.edge_class_weights),
+        "x_pool": _array_digest(scenario.x_pool),
+        "y_pool": _array_digest(scenario.y_pool),
+    }
+
+
+def cell_key(
+    scenario: Scenario,
+    selection: str,
+    trading: str,
+    seed: int,
+    label: str | None = None,
+) -> str:
+    """The content-addressed cache key of one sweep cell (SHA-256 hex)."""
+    payload = {
+        "schema_version": FORMAT_VERSION,
+        "scenario": scenario_fingerprint(scenario),
+        "selection": str(selection),
+        "trading": str(trading),
+        "seed": int(seed),
+        "label": label,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk store mapping cell keys to serialized simulation results.
+
+    Entries live under ``directory/<key[:2]>/<key>.json`` (sharded by key
+    prefix to keep directories small).  ``hits`` / ``misses`` / ``stores``
+    count this instance's traffic; corrupted loads count as misses.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> SimulationResult | None:
+        """The cached result for ``key``, or ``None`` on miss/corruption.
+
+        An entry is served only if it parses as JSON, carries the expected
+        key, and its payload's canonical bytes match the stored integrity
+        digest; anything else — truncation, bit flips, tampering, schema
+        drift — is a miss, and the caller recomputes.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry["key"] != key:
+                raise ValueError("cache entry key mismatch")
+            payload = entry["payload"]
+            canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            if digest != entry["payload_sha256"]:
+                raise ValueError("cache entry integrity digest mismatch")
+            result = result_from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            # Corrupted/truncated/foreign entry: treat as a miss so the
+            # caller recomputes and overwrites it with a good one.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> Path:
+        """Atomically persist ``result`` under ``key``; returns the path."""
+        payload = result_to_dict(result)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        entry = json.dumps(
+            {"key": key, "payload_sha256": digest, "payload": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(entry, encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

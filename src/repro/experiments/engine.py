@@ -1,0 +1,227 @@
+"""The parallel seed-sweep engine behind every figure experiment.
+
+A figure experiment is a sweep: many independent ``(selection, trading,
+seed)`` cells simulated on a shared scenario and averaged.  The cells share
+no state — each run derives all of its randomness from its own seed — so
+they parallelize perfectly, and :class:`SweepEngine` fans them out over a
+``ProcessPoolExecutor`` while preserving the *strongest* determinism
+contract the simulator supports: results come back in cell order and are
+bit-identical to a serial run, regardless of worker count, completion
+order, or whether a cell was served from the on-disk
+:class:`~repro.experiments.cache.ResultCache`.
+
+``workers=1`` (the default) never constructs a pool: cells execute
+in-process, serially, exactly as the pre-engine ``run_many`` did.
+
+The module-level *default engine* is what ``repro.experiments.runner.
+run_many`` routes through when no engine is passed explicitly, so the CLI
+(``repro experiment --workers N --cache DIR``) can reconfigure every figure
+experiment at once via :func:`use_engine` without touching their signatures.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.experiments.cache import ResultCache, cell_key
+from repro.policies import selection_names, trading_names
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "SweepCell",
+    "SweepEngine",
+    "SweepStats",
+    "get_default_engine",
+    "set_default_engine",
+    "use_engine",
+]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a (selection, trading, seed) combination."""
+
+    selection: str
+    trading: str
+    seed: int
+    label: str | None = None
+
+
+@dataclass
+class SweepStats:
+    """Tally of how an engine's cells were satisfied (cumulative)."""
+
+    cells: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+
+    def add(self, other: "SweepStats") -> None:
+        """Fold another tally into this one."""
+        self.cells += other.cells
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.cache_stores += other.cache_stores
+
+
+def _execute_cell(scenario: Scenario, cell: SweepCell) -> SimulationResult:
+    """Run one cell (module-level so worker processes can unpickle it)."""
+    from repro.experiments.runner import run_combo
+
+    return run_combo(
+        scenario, cell.selection, cell.trading, cell.seed, label=cell.label
+    )
+
+
+class SweepEngine:
+    """Executes sweep cells, optionally in parallel and through a cache.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` runs every cell in-process with no pool;
+        ``N > 1`` fans cells out over a ``ProcessPoolExecutor``.  Either
+        way, results are returned in cell order and are bit-identical.
+    cache:
+        Optional :class:`~repro.experiments.cache.ResultCache`.  Cells whose
+        key is present (and intact) are loaded instead of simulated; misses
+        are simulated and stored.
+    """
+
+    def __init__(self, workers: int = 1, cache: ResultCache | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.cache = cache
+        self.stats = SweepStats()
+
+    def run_cells(
+        self, scenario: Scenario, cells: Sequence[SweepCell]
+    ) -> list[SimulationResult]:
+        """Simulate (or load) every cell; results align with ``cells``."""
+        cells = list(cells)
+        if not cells:
+            return []
+        self._validate(cells)
+        batch = SweepStats(cells=len(cells))
+        results: list[SimulationResult | None] = [None] * len(cells)
+
+        pending: list[int] = []
+        keys: dict[int, str] = {}
+        if self.cache is not None:
+            for index, cell in enumerate(cells):
+                key = cell_key(
+                    scenario, cell.selection, cell.trading, cell.seed, cell.label
+                )
+                keys[index] = key
+                cached = self.cache.load(key)
+                if cached is not None:
+                    results[index] = cached
+                    batch.cache_hits += 1
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(cells)))
+
+        if pending:
+            if self.workers == 1:
+                for index in pending:
+                    results[index] = _execute_cell(scenario, cells[index])
+            else:
+                self._run_pool(scenario, cells, pending, results)
+            batch.executed += len(pending)
+            if self.cache is not None:
+                for index in pending:
+                    result = results[index]
+                    assert result is not None  # filled by the branch above
+                    self.cache.store(keys[index], result)
+                    batch.cache_stores += 1
+
+        self.stats.add(batch)
+        return [result for result in results if result is not None]
+
+    def run_many(
+        self,
+        scenario: Scenario,
+        selection: str,
+        trading: str,
+        seeds: Sequence[int],
+        label: str | None = None,
+    ) -> list[SimulationResult]:
+        """One cell per seed for a fixed combination (``run_many`` shape)."""
+        if not seeds:
+            raise ValueError("need at least one seed")
+        cells = [SweepCell(selection, trading, int(s), label) for s in seeds]
+        return self.run_cells(scenario, cells)
+
+    def _run_pool(
+        self,
+        scenario: Scenario,
+        cells: Sequence[SweepCell],
+        pending: Sequence[int],
+        results: list[SimulationResult | None],
+    ) -> None:
+        """Fan pending cells over a process pool; fill ``results`` in place."""
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_execute_cell, scenario, cells[index]): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results[futures[future]] = future.result()
+
+    def _validate(self, cells: Sequence[SweepCell]) -> None:
+        """Reject unknown policy names before any fork/simulation starts."""
+        known_selection = set(selection_names())
+        known_trading = set(trading_names())
+        for cell in cells:
+            if cell.selection not in known_selection:
+                raise ValueError(
+                    f"unknown selection policy {cell.selection!r}; expected "
+                    f"one of {tuple(sorted(known_selection))}"
+                )
+            if cell.trading not in known_trading:
+                raise ValueError(
+                    f"unknown trading policy {cell.trading!r}; expected one "
+                    f"of {tuple(sorted(known_trading))}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = "on" if self.cache is not None else "off"
+        return f"SweepEngine(workers={self.workers}, cache={cache})"
+
+
+#: Engine used by ``run_many`` when none is passed: serial, uncached —
+#: exactly the pre-engine behavior.
+_DEFAULT_ENGINE = SweepEngine()
+
+
+def get_default_engine() -> SweepEngine:
+    """The engine ``run_many`` uses when no explicit engine is given."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: SweepEngine) -> SweepEngine:
+    """Replace the default engine; returns the previous one."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous
+
+
+@contextmanager
+def use_engine(engine: SweepEngine) -> Iterator[SweepEngine]:
+    """Scope ``engine`` as the default for the duration of a ``with`` block."""
+    previous = set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)

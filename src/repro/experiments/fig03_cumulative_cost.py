@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.engine import SweepEngine
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_many, run_offline
 from repro.experiments.settings import PLOT_COMBOS, default_config, default_seeds
@@ -44,6 +45,7 @@ def run(
     fast: bool = True,
     seeds: list[int] | None = None,
     combos: tuple[tuple[str, str], ...] | None = None,
+    engine: SweepEngine | None = None,
 ) -> Fig03Result:
     """Execute the Fig. 3 experiment."""
     config = default_config(fast)
@@ -53,10 +55,10 @@ def run(
     weights = config.weights
 
     series: dict[str, np.ndarray] = {}
-    ours = run_many(scenario, "Ours", "Ours", seeds, label="Ours")
+    ours = run_many(scenario, "Ours", "Ours", seeds, label="Ours", engine=engine)
     series["Ours"] = np.mean([r.cumulative_cost(weights) for r in ours], axis=0)
     for sel, trade in combos:
-        results = run_many(scenario, sel, trade, seeds)
+        results = run_many(scenario, sel, trade, seeds, engine=engine)
         series[f"{sel}-{trade}"] = np.mean(
             [r.cumulative_cost(weights) for r in results], axis=0
         )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.engine import SweepEngine
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_many
 from repro.experiments.settings import default_config, default_seeds
@@ -38,7 +39,11 @@ class Fig09Result:
         return float(np.corrcoef(self.arrivals, series)[0, 1])
 
 
-def run(fast: bool = True, seeds: list[int] | None = None) -> Fig09Result:
+def run(
+    fast: bool = True,
+    seeds: list[int] | None = None,
+    engine: SweepEngine | None = None,
+) -> Fig09Result:
     """Execute the Fig. 9 experiment."""
     config = default_config(fast)
     scenario = build_scenario(config)
@@ -49,7 +54,7 @@ def run(fast: bool = True, seeds: list[int] | None = None) -> Fig09Result:
     unit_costs: dict[str, float] = {}
     for sel, trade in ALGORITHMS:
         label = "Ours" if sel == trade == "Ours" else f"{sel}-{trade}"
-        results = run_many(scenario, sel, trade, seeds, label=label)
+        results = run_many(scenario, sel, trade, seeds, label=label, engine=engine)
         net_purchases[label] = np.mean(
             [r.net_purchase_series() for r in results], axis=0
         )

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.engine import SweepEngine
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_combo, run_offline
+from repro.experiments.runner import run_many, run_offline
 from repro.experiments.settings import default_config, default_seeds
 from repro.sim.scenario import build_scenario
 
@@ -57,29 +58,31 @@ def run(
     seeds: list[int] | None = None,
     horizons: tuple[int, ...] | None = None,
     combos: tuple[tuple[str, str], ...] | None = None,
+    engine: SweepEngine | None = None,
 ) -> Fig10Result:
     """Execute the Fig. 10 sweep."""
     seeds = default_seeds(fast) if seeds is None else seeds
     horizons = (FAST_HORIZONS if fast else PAPER_HORIZONS) if horizons is None else horizons
     combos = SWEEP_COMBOS if combos is None else combos
 
-    labels = ["Ours"] + [f"{s}-{t}" for s, t in combos]
-    regrets: dict[str, list[float]] = {label: [] for label in labels}
+    all_combos = [("Ours", ("Ours", "Ours"))] + [
+        (f"{s}-{t}", (s, t)) for s, t in combos
+    ]
+    regrets: dict[str, list[float]] = {label: [] for label, _ in all_combos}
     for horizon in horizons:
         config = default_config(fast, horizon=horizon)
         scenario = build_scenario(config)
         weights = config.weights
-        per_algo: dict[str, list[float]] = {label: [] for label in labels}
-        for seed in seeds:
-            offline_cost = run_offline(scenario, seed).total_cost(weights)
-            ours = run_combo(scenario, "Ours", "Ours", seed, label="Ours")
-            per_algo["Ours"].append(ours.total_cost(weights) - offline_cost)
-            for sel, trade in combos:
-                label = f"{sel}-{trade}"
-                result = run_combo(scenario, sel, trade, seed, label=label)
-                per_algo[label].append(result.total_cost(weights) - offline_cost)
-        for label in labels:
-            regrets[label].append(float(np.mean(per_algo[label])))
+        offline_costs = [
+            run_offline(scenario, seed).total_cost(weights) for seed in seeds
+        ]
+        for label, (sel, trade) in all_combos:
+            results = run_many(scenario, sel, trade, seeds, label=label, engine=engine)
+            gaps = [
+                result.total_cost(weights) - offline
+                for result, offline in zip(results, offline_costs)
+            ]
+            regrets[label].append(float(np.mean(gaps)))
     return Fig10Result(horizons=tuple(horizons), regrets=regrets)
 
 

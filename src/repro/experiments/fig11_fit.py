@@ -11,8 +11,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.engine import SweepEngine
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_combo
+from repro.experiments.runner import run_many
 from repro.experiments.settings import default_config, default_seeds
 from repro.sim.scenario import build_scenario
 
@@ -54,27 +55,23 @@ def run(
     seeds: list[int] | None = None,
     horizons: tuple[int, ...] | None = None,
     combos: tuple[tuple[str, str], ...] | None = None,
+    engine: SweepEngine | None = None,
 ) -> Fig11Result:
     """Execute the Fig. 11 sweep."""
     seeds = default_seeds(fast) if seeds is None else seeds
     horizons = (FAST_HORIZONS if fast else PAPER_HORIZONS) if horizons is None else horizons
     combos = SWEEP_COMBOS if combos is None else combos
 
-    labels = ["Ours"] + [f"{s}-{t}" for s, t in combos]
-    fits: dict[str, list[float]] = {label: [] for label in labels}
+    all_combos = [("Ours", ("Ours", "Ours"))] + [
+        (f"{s}-{t}", (s, t)) for s, t in combos
+    ]
+    fits: dict[str, list[float]] = {label: [] for label, _ in all_combos}
     for horizon in horizons:
         config = default_config(fast, horizon=horizon)
         scenario = build_scenario(config)
-        per_algo: dict[str, list[float]] = {label: [] for label in labels}
-        for seed in seeds:
-            ours = run_combo(scenario, "Ours", "Ours", seed, label="Ours")
-            per_algo["Ours"].append(ours.final_fit())
-            for sel, trade in combos:
-                label = f"{sel}-{trade}"
-                result = run_combo(scenario, sel, trade, seed, label=label)
-                per_algo[label].append(result.final_fit())
-        for label in labels:
-            fits[label].append(float(np.mean(per_algo[label])))
+        for label, (sel, trade) in all_combos:
+            results = run_many(scenario, sel, trade, seeds, label=label, engine=engine)
+            fits[label].append(float(np.mean([r.final_fit() for r in results])))
     return Fig11Result(horizons=tuple(horizons), fits=fits)
 
 

@@ -7,7 +7,12 @@ lower, with the same ordering of algorithms.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.experiments import fig12_accuracy_mnist as _fig12
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.engine import SweepEngine
 
 __all__ = ["Fig13Result", "run", "format_result", "main"]
 
@@ -16,7 +21,11 @@ Fig13Result = _fig12.Fig12Result
 TITLE = "Fig. 13 — inference accuracy per slot (CIFAR-10-like)"
 
 
-def run(fast: bool = True, seeds: list[int] | None = None) -> Fig13Result:
+def run(
+    fast: bool = True,
+    seeds: list[int] | None = None,
+    engine: "SweepEngine | None" = None,
+) -> Fig13Result:
     """Execute the CIFAR accuracy experiment.
 
     ``fast=True`` uses synthetic profiles with a different scenario seed (so
@@ -34,16 +43,16 @@ def run(fast: bool = True, seeds: list[int] | None = None) -> Fig13Result:
         scenario = build_scenario(config)
         seeds = default_seeds(True) if seeds is None else seeds
         accuracy = {}
-        ours = run_many(scenario, "Ours", "Ours", seeds, label="Ours")
+        ours = run_many(scenario, "Ours", "Ours", seeds, label="Ours", engine=engine)
         accuracy["Ours"] = np.mean([r.accuracy for r in ours], axis=0)
         for sel, trade in _fig12.ACCURACY_ALGOS:
             label = f"{sel}-{trade}"
-            results = run_many(scenario, sel, trade, seeds, label=label)
+            results = run_many(scenario, sel, trade, seeds, label=label, engine=engine)
             accuracy[label] = np.mean([r.accuracy for r in results], axis=0)
         offline = [run_offline(scenario, s) for s in seeds]
         accuracy["Offline"] = np.mean([r.accuracy for r in offline], axis=0)
         return Fig13Result(horizon=config.horizon, accuracy=accuracy)
-    return _fig12.run(fast=False, seeds=seeds, dataset="cifar10")
+    return _fig12.run(fast=False, seeds=seeds, dataset="cifar10", engine=engine)
 
 
 def format_result(result: Fig13Result) -> str:

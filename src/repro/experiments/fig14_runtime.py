@@ -6,18 +6,21 @@ the 15-minute slot length.  We time the algorithms' own decision/update
 calls directly (excluding simulator bookkeeping): Algorithm 1's cost grows
 linearly with the number of edges, Algorithm 2's stays flat (its decision
 space is two scalars regardless of system size).
+
+Timing goes through :meth:`repro.obs.Tracer.timer` — each slot is one entry
+of an accumulating :class:`~repro.obs.metrics.Timer`, so the reported
+per-slot seconds are the timer's ``mean_seconds`` and the raw totals stay
+inspectable via ``tracer.metrics_snapshot()``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.core import OnlineCarbonTrading, OnlineModelSelection
 from repro.experiments.reporting import format_table
 from repro.experiments.settings import default_config
+from repro.obs import Timer, Tracer
 from repro.policies.trading import TradeDecision, TradingContext
 from repro.sim.scenario import build_scenario
 from repro.utils.rng import RngFactory
@@ -41,7 +44,7 @@ class Fig14Result:
         return self.alg1_seconds_per_slot[-1] > self.alg1_seconds_per_slot[0]
 
 
-def _time_algorithm1(num_edges: int, horizon: int, fast: bool) -> float:
+def _time_algorithm1(num_edges: int, horizon: int, fast: bool, timer: Timer) -> float:
     """Seconds per slot spent in Algorithm 1 select/observe across edges."""
     config = default_config(fast, num_edges=num_edges, horizon=horizon)
     scenario = build_scenario(config)
@@ -57,16 +60,15 @@ def _time_algorithm1(num_edges: int, horizon: int, fast: bool) -> float:
     ]
     loss_rng = rng_factory.get("losses")
     losses = loss_rng.uniform(0.0, 2.0, size=(horizon, num_edges))
-    start = time.perf_counter()
     for t in range(horizon):
-        for i, policy in enumerate(policies):
-            model = policy.select(t)
-            policy.observe(t, model, float(losses[t, i]))
-    elapsed = time.perf_counter() - start
-    return elapsed / horizon
+        with timer:
+            for i, policy in enumerate(policies):
+                model = policy.select(t)
+                policy.observe(t, model, float(losses[t, i]))
+    return timer.mean_seconds
 
 
-def _time_algorithm2(num_edges: int, horizon: int, fast: bool) -> float:
+def _time_algorithm2(num_edges: int, horizon: int, fast: bool, timer: Timer) -> float:
     """Seconds per slot spent in Algorithm 2 decide/observe."""
     config = default_config(fast, num_edges=num_edges, horizon=horizon)
     scenario = build_scenario(config)
@@ -75,7 +77,6 @@ def _time_algorithm2(num_edges: int, horizon: int, fast: bool) -> float:
     emissions = emissions_rng.uniform(
         0.0, 2.0 * scenario.estimated_slot_emissions(), size=horizon
     )
-    start = time.perf_counter()
     for t in range(horizon):
         context = TradingContext(
             t=t,
@@ -91,26 +92,38 @@ def _time_algorithm2(num_edges: int, horizon: int, fast: bool) -> float:
             mean_slot_emissions=float(emissions[: max(t, 1)].mean()),
             trade_bound=scenario.trade_bound,
         )
-        decision = policy.decide(context)
-        decision = TradeDecision(
-            buy=min(decision.buy, scenario.trade_bound),
-            sell=min(decision.sell, scenario.trade_bound),
-        )
-        policy.observe(context, decision, float(emissions[t]))
-    elapsed = time.perf_counter() - start
-    return elapsed / horizon
+        with timer:
+            decision = policy.decide(context)
+            decision = TradeDecision(
+                buy=min(decision.buy, scenario.trade_bound),
+                sell=min(decision.sell, scenario.trade_bound),
+            )
+            policy.observe(context, decision, float(emissions[t]))
+    return timer.mean_seconds
 
 
 def run(
     fast: bool = True,
     edge_counts: tuple[int, ...] | None = None,
     horizon: int | None = None,
+    tracer: Tracer | None = None,
 ) -> Fig14Result:
-    """Execute the runtime measurement."""
+    """Execute the runtime measurement.
+
+    Pass a ``tracer`` to keep the per-(algorithm, edge-count) timers — named
+    ``alg1/I=<n>`` and ``alg2/I=<n>`` — for inspection after the run.
+    """
     edge_counts = (FAST_EDGE_COUNTS if fast else PAPER_EDGE_COUNTS) if edge_counts is None else edge_counts
     horizon = (80 if fast else 160) if horizon is None else horizon
-    alg1 = [_time_algorithm1(i, horizon, fast) for i in edge_counts]
-    alg2 = [_time_algorithm2(i, horizon, fast) for i in edge_counts]
+    tracer = Tracer() if tracer is None else tracer
+    alg1 = [
+        _time_algorithm1(i, horizon, fast, tracer.timer(f"alg1/I={i}"))
+        for i in edge_counts
+    ]
+    alg2 = [
+        _time_algorithm2(i, horizon, fast, tracer.timer(f"alg2/I={i}"))
+        for i in edge_counts
+    ]
     return Fig14Result(
         edge_counts=tuple(edge_counts),
         alg1_seconds_per_slot=alg1,

@@ -6,10 +6,19 @@ Usage::
     python -m repro.experiments.run_all --full   # paper-scale (slow)
     python -m repro.experiments.run_all fig04 fig10   # a subset
     python -m repro.experiments.run_all --ext    # also the extension studies
+    python -m repro.experiments.run_all --workers 4   # parallel seed sweeps
+
+Seed sweeps route through a :class:`~repro.experiments.engine.SweepEngine`:
+``--workers N`` fans cells over a process pool, and completed cells land in
+an on-disk result cache (default ``.repro_cache/``; relocate with
+``--cache DIR`` or disable with ``--no-cache``) so repeated runs skip
+simulation entirely.  Parallel and cached runs are bit-identical to serial
+ones — every cell derives all randomness from its own seed.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -30,8 +39,17 @@ from repro.experiments import (
     fig13_accuracy_cifar,
     fig14_runtime,
 )
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import SweepEngine, use_engine
 
-__all__ = ["EXPERIMENTS", "EXTENSIONS", "main"]
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "EXPERIMENTS",
+    "EXTENSIONS",
+    "build_parser",
+    "main",
+    "make_engine",
+]
 
 EXPERIMENTS = {
     "fig03": fig03_cumulative_cost,
@@ -55,27 +73,68 @@ EXTENSIONS = {
     "ext_heterogeneity": ext_heterogeneity,
 }
 
+#: Where sweep results land unless ``--cache DIR`` / ``--no-cache`` says otherwise.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the experiment suite."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run_all",
+        description="run the paper-figure experiments",
+    )
+    parser.add_argument("figures", nargs="*",
+                        help="e.g. fig10 fig11 (default: all paper figures)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale settings (slow)")
+    parser.add_argument("--ext", action="store_true",
+                        help="also run the extension studies")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool size for seed sweeps (1 = serial)")
+    parser.add_argument("--cache", metavar="DIR", default=DEFAULT_CACHE_DIR,
+                        help="result-cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache entirely")
+    return parser
+
+
+def make_engine(args: argparse.Namespace) -> SweepEngine:
+    """The engine described by parsed ``--workers``/``--cache`` options."""
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    cache = None if args.no_cache else ResultCache(args.cache)
+    return SweepEngine(workers=args.workers, cache=cache)
+
 
 def main(argv: list[str] | None = None) -> None:
     """Run the selected (default: all) experiments and print tables."""
-    args = sys.argv[1:] if argv is None else argv
-    fast = "--full" not in args
+    args = build_parser().parse_args(sys.argv[1:] if argv is None else argv)
+    fast = not args.full
     registry = {**EXPERIMENTS, **EXTENSIONS}
-    selected = [a for a in args if not a.startswith("--")]
+    selected = list(args.figures)
     if not selected:
         selected = list(EXPERIMENTS)
-        if "--ext" in args:
+        if args.ext:
             selected += list(EXTENSIONS)
     unknown = [name for name in selected if name not in registry]
     if unknown:
         raise SystemExit(f"unknown experiments: {unknown}; known: {sorted(registry)}")
+    engine = make_engine(args)
     mode = "fast" if fast else "paper-scale"
-    print(f"Running {len(selected)} experiments ({mode} mode)\n")
-    for name in selected:
-        module = registry[name]
-        start = time.perf_counter()
-        module.main(fast=fast)
-        print(f"[{name} finished in {time.perf_counter() - start:.1f}s]\n")
+    print(f"Running {len(selected)} experiments ({mode} mode, "
+          f"workers={engine.workers}, "
+          f"cache={'off' if engine.cache is None else engine.cache.directory})\n")
+    with use_engine(engine):
+        for name in selected:
+            module = registry[name]
+            start = time.perf_counter()
+            module.main(fast=fast)
+            print(f"[{name} finished in {time.perf_counter() - start:.1f}s]\n")
+    stats = engine.stats
+    if stats.cells:
+        print(f"sweep cells: {stats.cells} total, {stats.executed} executed, "
+              f"{stats.cache_hits} cache hits")
 
 
 if __name__ == "__main__":

@@ -6,9 +6,17 @@ for backward compatibility, as are the ``SELECTION_NAMES`` /
 ``TRADING_NAMES`` views).  What remains in this module is run orchestration:
 one combination (:func:`run_combo`), seed sweeps (:func:`run_many`), and the
 paper's two-pass offline reference (:func:`run_offline`).
+
+Seed sweeps route through :class:`~repro.experiments.engine.SweepEngine`:
+pass one explicitly, or configure the process-wide default (see
+:func:`repro.experiments.engine.use_engine`) to parallelize and cache every
+figure experiment at once.  The default engine is serial and uncached, so
+``run_many`` without an engine behaves exactly as it always has.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.obs.tracer import Tracer
 from repro.offline import (
@@ -27,6 +35,9 @@ from repro.policies import (
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
 from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.experiments.engine import SweepEngine
 
 __all__ = [
     "SELECTION_NAMES",
@@ -64,11 +75,23 @@ def run_many(
     trading: str,
     seeds: list[int],
     label: str | None = None,
+    engine: "SweepEngine | None" = None,
 ) -> list[SimulationResult]:
-    """Run a combination once per seed (common random numbers per seed)."""
+    """Run a combination once per seed (common random numbers per seed).
+
+    Execution goes through ``engine`` (default: the process-wide default
+    engine — serial and uncached unless reconfigured), so callers get
+    parallelism and result caching without changing this call site.  The
+    returned list aligns with ``seeds`` and is bit-identical across worker
+    counts and cache hits.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    return [run_combo(scenario, selection, trading, s, label=label) for s in seeds]
+    from repro.experiments.engine import get_default_engine
+
+    if engine is None:
+        engine = get_default_engine()
+    return engine.run_many(scenario, selection, trading, seeds, label=label)
 
 
 def run_offline(scenario: Scenario, seed: int) -> SimulationResult:

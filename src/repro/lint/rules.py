@@ -48,11 +48,13 @@ HOT_PATH_DIRS = ("core", "bandits", "trading")
 PRINT_ALLOWED = ("experiments", "lint", "cli", "__main__")
 
 #: Per-path rule waivers applied by default (directory/stem -> rule codes).
-#: ``examples/`` scripts print their results by design — that is their
-#: entire user interface — so RPL010 is waived there by configuration
-#: instead of per-line ``noqa`` noise; every other rule still applies.
+#: ``examples/`` scripts and ``benchmarks/`` harnesses print their results
+#: by design — that is their entire user interface — so RPL010 is waived
+#: there by configuration instead of per-line ``noqa`` noise; every other
+#: rule still applies.
 DEFAULT_PATH_RULES: dict[str, frozenset[str]] = {
     "examples": frozenset({"RPL010"}),
+    "benchmarks": frozenset({"RPL010"}),
 }
 
 _REGISTRY: dict[str, type["Rule"]] = {}

@@ -31,7 +31,7 @@ from repro.obs.events import (
     register_event,
 )
 from repro.obs.metrics import Counter, Timer
-from repro.obs.sinks import InMemorySink, JsonlSink, read_events
+from repro.obs.sinks import EdgeFilterSink, InMemorySink, JsonlSink, read_events
 from repro.obs.tracer import NULL_TRACER, EventSink, NullTracer, Tracer
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "Counter",
     "DualUpdateEvent",
     "EVENT_TYPES",
+    "EdgeFilterSink",
     "EmissionEvent",
     "Event",
     "EventSink",

@@ -2,19 +2,24 @@
 
 Two built-ins cover the common cases — :class:`InMemorySink` for tests and
 programmatic inspection, :class:`JsonlSink` for streaming one JSON object
-per line to a file or an already-open stream (stdout included).  Anything
-with ``write(event)`` / ``close()`` methods can serve as a sink.
+per line to a file or an already-open stream (stdout included).
+:class:`EdgeFilterSink` wraps any sink and forwards only the events anchored
+at one edge (``repro trace --edge I`` uses it).  Anything with
+``write(event)`` / ``close()`` methods can serve as a sink.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import IO, Iterator
+from typing import IO, TYPE_CHECKING, Iterator
 
 from repro.obs.events import Event, event_from_dict
 
-__all__ = ["InMemorySink", "JsonlSink", "read_events"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import EventSink
+
+__all__ = ["EdgeFilterSink", "InMemorySink", "JsonlSink", "read_events"]
 
 
 def _json_default(value: object) -> object:
@@ -84,6 +89,37 @@ class JsonlSink:
         self._handle.flush()
         if self._owns_handle:
             self._handle.close()
+
+
+class EdgeFilterSink:
+    """Forwards only the events anchored at one edge to an inner sink.
+
+    Only per-edge events (those with an ``edge`` field — model switches and
+    block boundaries) can match; system-wide events such as slot starts,
+    trades, dual updates, and emissions carry no edge and are dropped.
+    ``events_seen`` counts everything offered, ``events_forwarded`` what
+    passed the filter.
+    """
+
+    def __init__(self, inner: "EventSink", edge: int) -> None:
+        self.inner = inner
+        self.edge = int(edge)
+        self.events_seen = 0
+        self.events_forwarded = 0
+        self.forwarded_counts: dict[str, int] = {}
+
+    def write(self, event: Event) -> None:
+        """Forward ``event`` iff it is anchored at the configured edge."""
+        self.events_seen += 1
+        if getattr(event, "edge", None) == self.edge:
+            self.events_forwarded += 1
+            counts = self.forwarded_counts
+            counts[event.type] = counts.get(event.type, 0) + 1
+            self.inner.write(event)
+
+    def close(self) -> None:
+        """Close the wrapped sink."""
+        self.inner.close()
 
 
 def read_events(path: str | Path) -> list[Event]:

@@ -5,12 +5,18 @@ Two formats:
 * JSON — human-inspectable, arrays as lists (``save_result_json``).
 * NPZ — compact binary via ``numpy.savez_compressed`` (``save_result_npz``).
 
-Both round-trip every field of :class:`SimulationResult` exactly.
+Both round-trip every field of :class:`SimulationResult` exactly: arrays are
+listified with ``tolist()`` and Python's shortest-round-trip float repr, so
+JSON text reconstructs bit-identical float64 values.  That exactness is what
+:func:`canonical_result_json` / :func:`result_digest` build on — a canonical
+byte form (sorted keys, no whitespace) whose SHA-256 is a stable fingerprint
+of a run, used by the golden-digest tests and the sweep-result cache.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 
@@ -19,6 +25,9 @@ import numpy as np
 from repro.sim.results import SimulationResult
 
 __all__ = [
+    "FORMAT_VERSION",
+    "canonical_result_json",
+    "result_digest",
     "result_to_dict",
     "result_from_dict",
     "save_result_json",
@@ -28,7 +37,15 @@ __all__ = [
 ]
 
 _SCALAR_FIELDS = ("label", "horizon", "num_edges", "carbon_cap")
-_FORMAT_VERSION = 1
+
+#: Version tag of the serialized result schema.  Bump when
+#: :class:`SimulationResult` gains/loses fields or changes their meaning —
+#: loaders reject other versions, and the sweep cache keys include it so
+#: stale entries can never be served across schema changes.
+FORMAT_VERSION = 1
+
+# Backward-compatible alias (pre-engine private name).
+_FORMAT_VERSION = FORMAT_VERSION
 
 
 def result_to_dict(result: SimulationResult) -> dict:
@@ -62,6 +79,21 @@ def result_from_dict(payload: dict) -> SimulationResult:
         else:
             kwargs[field.name] = np.asarray(value, dtype=float)
     return SimulationResult(**kwargs)
+
+
+def canonical_result_json(result: SimulationResult) -> str:
+    """The canonical JSON text of a result: sorted keys, no whitespace.
+
+    Two results are bit-identical (same label, same float64 arrays) iff
+    their canonical JSON strings are equal, which makes this the byte form
+    that :func:`result_digest` hashes and the sweep cache verifies.
+    """
+    return json.dumps(result_to_dict(result), sort_keys=True, separators=(",", ":"))
+
+
+def result_digest(result: SimulationResult) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``result``."""
+    return hashlib.sha256(canonical_result_json(result).encode("utf-8")).hexdigest()
 
 
 def save_result_json(result: SimulationResult, path: str | Path) -> Path:

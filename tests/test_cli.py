@@ -88,15 +88,90 @@ class TestSimulateCommand:
         assert code == 0
 
 
+class TestTraceCommand:
+    def run_trace(self, tmp_path, *extra):
+        target = tmp_path / "events.jsonl"
+        code = main(
+            ["trace", "--edges", "3", "--horizon", "16",
+             "--output", str(target), "--summary", *extra]
+        )
+        assert code == 0
+        return target
+
+    def test_unfiltered_trace_has_all_event_types(self, capsys, tmp_path):
+        from repro.obs import read_events
+
+        target = self.run_trace(tmp_path)
+        types = {event.type for event in read_events(target)}
+        assert "slot_start" in types and "model_switch" in types
+
+    def test_edge_filter_keeps_only_that_edge(self, capsys, tmp_path):
+        from repro.obs import read_events
+
+        target = self.run_trace(tmp_path, "--edge", "1")
+        events = read_events(target)
+        assert events, "edge 1 must produce at least its first model download"
+        assert all(getattr(event, "edge", None) == 1 for event in events)
+        out = capsys.readouterr().out
+        assert "(edge 1)" in out
+
+    def test_edge_filter_summary_counts_filtered_events(self, capsys, tmp_path):
+        from repro.obs import read_events
+
+        target = self.run_trace(tmp_path, "--edge", "0")
+        events = read_events(target)
+        out = capsys.readouterr().out
+        # The summary must describe the filtered stream, not the full run.
+        assert f"traced Ours-Ours: {len(events)} events (edge 0)" in out
+        assert "slot_start" not in out, "edgeless event types must not be listed"
+
+    def test_edge_filter_empty_match(self, capsys, tmp_path):
+        target = self.run_trace(tmp_path, "--edge", "99")
+        assert target.read_text() == ""
+        out = capsys.readouterr().out
+        assert "0 events (edge 99)" in out
+
+    def test_filtered_stream_round_trips_as_jsonl(self, capsys, tmp_path):
+        import json
+
+        target = self.run_trace(tmp_path, "--edge", "2")
+        for line in target.read_text().splitlines():
+            payload = json.loads(line)
+            assert payload["edge"] == 2
+            assert payload["type"] in ("model_switch", "block_boundary")
+
+
 class TestExperimentCommand:
     def test_runs_named_figure(self, capsys):
-        code = main(["experiment", "fig14"])
+        code = main(["experiment", "fig14", "--no-cache"])
         assert code == 0
         assert "Fig. 14" in capsys.readouterr().out
 
     def test_unknown_figure_exits(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+    def test_workers_and_cache_flags_thread_through(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["experiment", "fig03", "--workers", "2", "--cache", str(cache_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert "0 cache hits" in out
+        assert any(cache_dir.glob("*/*.json")), "sweep results must be cached"
+
+        code = main(
+            ["experiment", "fig03", "--workers", "2", "--cache", str(cache_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out, "second run must be served from the cache"
+
+    def test_invalid_worker_count_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig14", "--workers", "0", "--no-cache"])
 
 
 class TestLintCommand:

@@ -259,3 +259,20 @@ class TestFig14:
 
     def test_format(self, result):
         assert "Fig. 14" in fig14_runtime.format_result(result)
+
+    def test_runtimes_come_from_tracer_timers(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        result = fig14_runtime.run(
+            fast=True, edge_counts=(2, 4), horizon=20, tracer=tracer
+        )
+        timers = tracer.metrics_snapshot()["timers"]
+        assert set(timers) == {"alg1/I=2", "alg1/I=4", "alg2/I=2", "alg2/I=4"}
+        for i, edges in enumerate((2, 4)):
+            timer = tracer.timer(f"alg1/I={edges}")
+            assert timer.count == 20, "one timer entry per slot"
+            assert result.alg1_seconds_per_slot[i] == timer.mean_seconds
+            assert result.alg2_seconds_per_slot[i] == (
+                tracer.timer(f"alg2/I={edges}").mean_seconds
+            )

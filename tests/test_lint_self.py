@@ -13,6 +13,7 @@ from repro.lint import DEFAULT_PATH_RULES, lint_paths, registered_codes
 
 PACKAGE_DIR = Path(repro.__file__).parent
 EXAMPLES_DIR = PACKAGE_DIR.parent.parent / "examples"
+BENCHMARKS_DIR = PACKAGE_DIR.parent.parent / "benchmarks"
 
 
 def test_package_lints_clean():
@@ -34,6 +35,20 @@ def test_examples_waiver_is_print_only():
     # trip the print rule — any other finding is a real defect.
     findings = lint_paths([EXAMPLES_DIR], path_rules={})
     assert findings, "examples print, so the un-waived run must find RPL010"
+    assert {f.code for f in findings} == {"RPL010"}
+
+
+def test_benchmarks_lint_clean_under_path_rules():
+    # Benchmarks are user-facing measurement harnesses: their prints (RPL010)
+    # are waived by the default per-path configuration, nothing else is.
+    findings = lint_paths([BENCHMARKS_DIR], path_rules=DEFAULT_PATH_RULES)
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"reprolint findings in benchmarks/:\n{rendered}"
+
+
+def test_benchmarks_waiver_is_print_only():
+    findings = lint_paths([BENCHMARKS_DIR], path_rules={})
+    assert findings, "benchmarks print, so the un-waived run must find RPL010"
     assert {f.code for f in findings} == {"RPL010"}
 
 

@@ -18,6 +18,7 @@ from repro.obs import (
     BlockBoundaryEvent,
     Counter,
     DualUpdateEvent,
+    EdgeFilterSink,
     EmissionEvent,
     InMemorySink,
     JsonlSink,
@@ -89,6 +90,33 @@ class TestSinks:
         assert len(sink) == len(ALL_EVENTS)
         assert sink.counts_by_type()["trade"] == 1
         assert sink.of_type("emission") == [ALL_EVENTS[-1]]
+
+    def test_edge_filter_forwards_only_matching_edge(self):
+        inner = InMemorySink()
+        sink = EdgeFilterSink(inner, edge=1)
+        for event in ALL_EVENTS:
+            sink.write(event)
+        assert inner.events == [ALL_EVENTS[1]]  # the edge-1 model switch
+        assert sink.events_seen == len(ALL_EVENTS)
+        assert sink.events_forwarded == 1
+        assert sink.forwarded_counts == {"model_switch": 1}
+
+    def test_edge_filter_drops_edgeless_events(self):
+        # slot_start/trade/dual_update/emission carry no edge: never forwarded.
+        inner = InMemorySink()
+        sink = EdgeFilterSink(inner, edge=0)
+        for event in ALL_EVENTS:
+            sink.write(event)
+        assert inner.events == [ALL_EVENTS[2]]  # the edge-0 block boundary
+        assert all(hasattr(event, "edge") for event in inner.events)
+
+    def test_edge_filter_closes_inner_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        inner = JsonlSink(path)
+        sink = EdgeFilterSink(inner, edge=1)
+        sink.write(ALL_EVENTS[1])
+        sink.close()
+        assert read_events(path) == [ALL_EVENTS[1]]
 
 
 class TestTracer:
