@@ -14,11 +14,14 @@ Public API highlights:
 * :mod:`repro.policies` — policy interfaces and the name registry
   (``@register_selection`` / ``@register_trading``).
 * :mod:`repro.obs` — structured simulation tracing (:class:`repro.obs.Tracer`).
+* :mod:`repro.faults` — deterministic fault injection
+  (:class:`repro.faults.FaultPlan`).
 * :mod:`repro.experiments` — one module per paper figure.
 """
 
 from repro.api import run
 from repro.core import OnlineCarbonTrading, OnlineModelSelection
+from repro.faults import FaultPlan
 from repro.obs import Tracer
 from repro.sim import (
     CostWeights,
@@ -35,6 +38,7 @@ __all__ = [
     "OnlineModelSelection",
     "OnlineCarbonTrading",
     "CostWeights",
+    "FaultPlan",
     "Scenario",
     "ScenarioConfig",
     "SimulationResult",

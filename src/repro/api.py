@@ -16,6 +16,7 @@ paper's default synthetic setup.
 
 from __future__ import annotations
 
+from repro.faults.plan import FaultPlan
 from repro.obs.tracer import Tracer
 from repro.sim.config import ScenarioConfig
 from repro.sim.results import SimulationResult
@@ -33,13 +34,16 @@ def run(
     seed: int = 0,
     label: str | None = None,
     tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
 ) -> SimulationResult:
     """Simulate one (selection, trading) combination in a single call.
 
     Policy names resolve through the :mod:`repro.policies` registry; the
     seed drives both the policies and the workload/data streams, so two
     calls with the same arguments are bit-identical.  Pass a
-    :class:`~repro.obs.tracer.Tracer` to capture structured per-slot events.
+    :class:`~repro.obs.tracer.Tracer` to capture structured per-slot events,
+    and a :class:`~repro.faults.plan.FaultPlan` to run under deterministic
+    fault injection (the default empty plan changes nothing).
     """
     if config_or_scenario is None:
         scenario = build_scenario(ScenarioConfig(dataset="synthetic"))
@@ -59,4 +63,5 @@ def run(
         seed=seed,
         label=label,
         tracer=tracer,
+        faults=faults,
     ).run()

@@ -11,6 +11,11 @@ Examples::
     python -m repro.cli zoo --dataset mnist
     python -m repro.cli experiment fig10 fig11 --full
     python -m repro.cli experiment fig03 fig04 --workers 4 --cache .repro_cache
+    python -m repro.cli experiment fig06 --faults plan.json --checkpoint sweep.jsonl
+    python -m repro.cli faults template > plan.json
+    python -m repro.cli faults validate plan.json
+    python -m repro.cli faults run plan.json --selection Ours --trading Ours
+    python -m repro.cli cache prune --max-age-days 30 --max-size-mb 512 --dry-run
     python -m repro.cli lint src/repro --format json
 """
 
@@ -94,6 +99,46 @@ def build_parser() -> argparse.ArgumentParser:
                      help="result-cache directory (default: .repro_cache)")
     exp.add_argument("--no-cache", action="store_true",
                      help="disable the result cache entirely")
+    exp.add_argument("--faults", metavar="PLAN.json", default=None,
+                     help="fault plan applied to every sweep cell")
+    exp.add_argument("--checkpoint", metavar="PATH", default=None,
+                     help="sweep-checkpoint journal for crash-safe resume")
+
+    faults = sub.add_parser(
+        "faults", help="author, validate, and exercise fault-injection plans"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    tmpl = faults_sub.add_parser(
+        "template", help="print an example fault plan covering every fault kind"
+    )
+    tmpl.add_argument("--output", metavar="PATH", default=None,
+                      help="write the plan here instead of stdout")
+    val = faults_sub.add_parser(
+        "validate", help="parse a plan file and report its specs"
+    )
+    val.add_argument("plan", metavar="PLAN.json")
+    frun = faults_sub.add_parser(
+        "run", help="run one policy combination under a fault plan"
+    )
+    frun.add_argument("plan", metavar="PLAN.json")
+    frun.add_argument("--selection", choices=SELECTION_NAMES, default="Ours")
+    frun.add_argument("--trading", choices=TRADING_NAMES, default="Ours")
+    _add_scenario_options(frun)
+
+    cache = sub.add_parser("cache", help="manage the on-disk sweep result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prune = cache_sub.add_parser(
+        "prune", help="evict cache entries by age and/or total size"
+    )
+    prune.add_argument("--dir", dest="directory", metavar="DIR",
+                       default=".repro_cache",
+                       help="cache directory (default: .repro_cache)")
+    prune.add_argument("--max-age-days", type=float, default=None, metavar="D",
+                       help="evict entries older than D days")
+    prune.add_argument("--max-size-mb", type=float, default=None, metavar="M",
+                       help="then evict oldest entries until the cache fits M MiB")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be evicted without deleting")
 
     lint = sub.add_parser(
         "lint", help="run the reprolint static-analysis gate (exit 1 on findings)"
@@ -225,7 +270,106 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         argv += ["--cache", args.cache]
     if args.no_cache:
         argv.append("--no-cache")
+    if args.faults is not None:
+        argv += ["--faults", args.faults]
+    if args.checkpoint is not None:
+        argv += ["--checkpoint", args.checkpoint]
     run_all_main(argv)
+    return 0
+
+
+def _template_plan():
+    """A representative plan exercising every registered fault kind."""
+    from repro.faults import (
+        DownloadFailure,
+        EdgeOutage,
+        FaultPlan,
+        FeedbackLoss,
+        MarketOutage,
+        TradeRejection,
+    )
+
+    return FaultPlan((
+        EdgeOutage(edge=0, start=20, end=30),
+        FeedbackLoss(probability=0.1),
+        DownloadFailure(probability=0.2, max_backoff=8),
+        MarketOutage(start=40, end=60),
+        TradeRejection(probability=0.05),
+    ))
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import load_plan
+
+    if args.faults_command == "template":
+        text = _template_plan().to_json()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote template plan -> {args.output}")
+        else:
+            print(text)
+        return 0
+
+    plan = load_plan(args.plan)
+    if args.faults_command == "validate":
+        kinds: dict[str, int] = {}
+        for spec in plan.specs:
+            kinds[spec.kind] = kinds.get(spec.kind, 0) + 1
+        rows = [[kind, count] for kind, count in sorted(kinds.items())]
+        print(format_table(["fault kind", "specs"],
+                           rows or [["(empty plan)", 0]],
+                           title=f"{args.plan}: {len(plan)} spec(s), valid"))
+        return 0
+
+    # faults run: one combination under the plan, with fault-event counts.
+    from repro.obs import Tracer
+
+    config = ScenarioConfig(
+        dataset=args.dataset,
+        num_edges=args.edges,
+        horizon=args.horizon,
+        carbon_cap_kg=args.cap,
+        switching_weight=args.switching_weight,
+    )
+    scenario = build_scenario(config)
+    tracer = Tracer()
+    result = run_combo(
+        scenario, args.selection, args.trading, args.seed,
+        tracer=tracer, faults=plan,
+    )
+    summary = summarize_run(result, config.weights)
+    rows = [[key, value] for key, value in summary.as_dict().items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"Run: {result.label} (faulted)"))
+    counts = tracer.event_counts()
+    fault_rows = [
+        [name, counts.get(name, 0)]
+        for name in ("fault_injected", "feedback_lost", "retry", "trade_rejected")
+    ]
+    print(format_table(["fault event", "count"], fault_rows, title="Fault events"))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import ResultCache
+
+    if args.max_age_days is None and args.max_size_mb is None:
+        print("cache prune: nothing to do "
+              "(pass --max-age-days and/or --max-size-mb)", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.directory)
+    report = cache.prune(
+        max_age_seconds=(None if args.max_age_days is None
+                         else args.max_age_days * 86400.0),
+        max_size_bytes=(None if args.max_size_mb is None
+                        else int(args.max_size_mb * 1024 * 1024)),
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if report.dry_run else "removed"
+    print(f"cache prune ({cache.directory}): examined {report.examined}, "
+          f"{verb} {report.removed} ({report.removed_bytes} bytes), "
+          f"kept {report.kept} ({report.kept_bytes} bytes)")
     return 0
 
 
@@ -252,6 +396,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_zoo(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -41,6 +41,7 @@ class _BlockRecord:
     length: int
     loss_sum: float = 0.0
     observed: int = 0
+    lost: int = 0
     closed: bool = field(default=False)
 
 
@@ -140,7 +141,32 @@ class OnlineModelSelection(SelectionPolicy):
             raise RuntimeError(f"block {block} already received all its losses")
         record.loss_sum += float(loss)
         record.observed += 1
-        if record.observed == record.length:
+        if record.observed + record.lost == record.length:
+            self._close_block(record)
+
+    def observe_lost(self, t: int, model: int) -> None:
+        """Account a slot whose feedback was dropped (fault injection).
+
+        The block's schedule position is consumed (the slot happened), but
+        its loss never folds into the estimator — the block closes once
+        every slot is either observed or lost, and an entirely-lost block
+        leaves the cumulative estimates untouched, keeping the
+        importance-weighted estimator unbiased over observed slots.
+        """
+        super().observe_lost(t, model)
+        block = self._schedule.block_of_slot(t)
+        record = self._blocks.get(block)
+        if record is None:
+            raise RuntimeError(f"lost slot {t} before its block was opened")
+        if model != record.model:
+            raise ValueError(
+                f"lost feedback for model {model}, but block {block} hosts "
+                f"model {record.model}"
+            )
+        if record.closed:
+            raise RuntimeError(f"block {block} already received all its losses")
+        record.lost += 1
+        if record.observed + record.lost == record.length:
             self._close_block(record)
 
     def _open_block(self, block: int, t: int) -> None:
@@ -177,6 +203,13 @@ class OnlineModelSelection(SelectionPolicy):
             )
 
     def _close_block(self, record: _BlockRecord) -> None:
-        """Lines 8-9: fold the complete block loss into the estimator."""
-        self._estimator.update(record.model, record.loss_sum, record.probabilities)
+        """Lines 8-9: fold the complete block loss into the estimator.
+
+        A block whose every slot lost its feedback folds nothing — the OMD
+        distribution for later blocks is computed from observed blocks only.
+        """
+        if record.observed > 0:
+            self._estimator.update(
+                record.model, record.loss_sum, record.probabilities
+            )
         record.closed = True

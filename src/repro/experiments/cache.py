@@ -26,7 +26,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,7 +37,11 @@ from repro.sim.io import FORMAT_VERSION, result_from_dict, result_to_dict
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.faults.plan import FaultPlan
+
 __all__ = [
+    "PruneReport",
     "ResultCache",
     "cell_key",
     "scenario_fingerprint",
@@ -98,8 +105,17 @@ def cell_key(
     trading: str,
     seed: int,
     label: str | None = None,
+    *,
+    kind: str = "combo",
+    faults: "FaultPlan | None" = None,
 ) -> str:
-    """The content-addressed cache key of one sweep cell (SHA-256 hex)."""
+    """The content-addressed cache key of one sweep cell (SHA-256 hex).
+
+    ``kind`` distinguishes execution shapes beyond plain combinations
+    (``"offline"`` for the two-pass LP reference); ``faults`` folds a
+    non-empty fault plan into the key.  Both enter the payload only when
+    non-default, so every pre-existing combo key is unchanged.
+    """
     payload = {
         "schema_version": FORMAT_VERSION,
         "scenario": scenario_fingerprint(scenario),
@@ -108,8 +124,25 @@ def cell_key(
         "seed": int(seed),
         "label": label,
     }
+    if kind != "combo":
+        payload["kind"] = str(kind)
+    if faults is not None and not faults.is_empty:
+        payload["faults"] = faults.to_dict()
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class PruneReport:
+    """What a :meth:`ResultCache.prune` pass did (or would do, on dry-run)."""
+
+    examined: int = 0
+    removed: int = 0
+    removed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    dry_run: bool = False
+    removed_paths: list[Path] = field(default_factory=list)
 
 
 class ResultCache:
@@ -180,6 +213,73 @@ class ResultCache:
         os.replace(tmp, path)
         self.stores += 1
         return path
+
+    def prune(
+        self,
+        *,
+        max_age_seconds: float | None = None,
+        max_size_bytes: int | None = None,
+        dry_run: bool = False,
+    ) -> PruneReport:
+        """Evict entries by age and/or total size; returns what happened.
+
+        Age eviction removes every entry whose file modification time is
+        older than ``max_age_seconds``; size eviction then removes the
+        oldest survivors until the cache fits ``max_size_bytes``.  With
+        ``dry_run=True`` nothing is deleted — the report lists what a real
+        pass would remove.  Emptied shard directories are cleaned up.
+        """
+        if max_age_seconds is None and max_size_bytes is None:
+            raise ValueError("prune needs max_age_seconds and/or max_size_bytes")
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise ValueError(f"max_age_seconds must be >= 0, got {max_age_seconds}")
+        if max_size_bytes is not None and max_size_bytes < 0:
+            raise ValueError(f"max_size_bytes must be >= 0, got {max_size_bytes}")
+
+        # Cache age is wall-clock by definition: eviction compares file
+        # mtimes against now and never feeds simulated time.
+        now = time.time()  # noqa: RPL008 -- cache eviction age is wall-clock by definition, never simulated time
+        entries = []
+        for path in self.directory.glob("*/*.json"):
+            stat = path.stat()
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda item: (item[0], str(item[2])))
+
+        report = PruneReport(examined=len(entries), dry_run=dry_run)
+        survivors = []
+        for mtime, size, path in entries:
+            if max_age_seconds is not None and now - mtime > max_age_seconds:
+                report.removed += 1
+                report.removed_bytes += size
+                report.removed_paths.append(path)
+            else:
+                survivors.append((mtime, size, path))
+
+        if max_size_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            index = 0
+            while total > max_size_bytes and index < len(survivors):
+                _, size, path = survivors[index]
+                report.removed += 1
+                report.removed_bytes += size
+                report.removed_paths.append(path)
+                total -= size
+                index += 1
+            survivors = survivors[index:]
+
+        report.kept = len(survivors)
+        report.kept_bytes = sum(size for _, size, _ in survivors)
+        if not dry_run:
+            for path in report.removed_paths:
+                path.unlink(missing_ok=True)
+            for shard in self.directory.iterdir():
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+        return report
+
+    def total_size_bytes(self) -> int:
+        """Bytes currently occupied by cache entries."""
+        return sum(path.stat().st_size for path in self.directory.glob("*/*.json"))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*/*.json"))

@@ -1,0 +1,106 @@
+"""Sweep checkpoints: a crash-safe journal of completed sweep cells.
+
+A checkpoint is a JSONL file with one self-verifying entry per completed
+cell — the cell's content-addressed key, an integrity digest, and the
+serialized result.  The engine appends an entry the moment a cell
+completes (open/append/close per entry, so a kill between cells loses
+nothing), and on construction the journal is replayed tolerantly:
+truncated or corrupted trailing lines — the signature of a process killed
+mid-write — are skipped rather than fatal, so an interrupted ``run_all``
+resumes from exactly the cells whose entries landed intact.
+
+Unlike the :class:`~repro.experiments.cache.ResultCache` (a shared
+content-addressed store meant to live across runs), a checkpoint is a
+per-sweep journal: one file, ordered by completion, cheap to delete when
+the sweep finishes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.sim.io import result_from_dict, result_to_dict
+from repro.sim.results import SimulationResult
+
+__all__ = ["SweepCheckpoint"]
+
+
+class SweepCheckpoint:
+    """Append-only journal mapping cell keys to completed results.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Created (with parents) on first append; an
+        existing file is replayed at construction, skipping corrupt lines.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._payloads: dict[str, dict] = {}
+        self.corrupt_lines = 0
+        self._replay()
+
+    def _replay(self) -> None:
+        """Load every intact entry from an existing journal file."""
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                payload = entry["payload"]
+                canonical = json.dumps(
+                    payload, sort_keys=True, separators=(",", ":")
+                )
+                digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+                if digest != entry["payload_sha256"]:
+                    raise ValueError("checkpoint entry digest mismatch")
+            except (KeyError, TypeError, ValueError):
+                # A line cut short by a kill mid-append, or bit rot: skip
+                # it — the cell simply re-executes.
+                self.corrupt_lines += 1
+                continue
+            self._payloads[key] = payload
+
+    def load(self, key: str) -> SimulationResult | None:
+        """The checkpointed result for ``key``, or ``None`` if not recorded."""
+        payload = self._payloads.get(key)
+        if payload is None:
+            return None
+        return result_from_dict(payload)
+
+    def append(self, key: str, result: SimulationResult) -> None:
+        """Journal one completed cell (durable before this returns)."""
+        payload = result_to_dict(result)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        line = json.dumps(
+            {"key": key, "payload_sha256": digest, "payload": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.write("\n")
+        self._payloads[key] = payload
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._payloads
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SweepCheckpoint({str(self.path)!r}, entries={len(self)}, "
+            f"corrupt_lines={self.corrupt_lines})"
+        )

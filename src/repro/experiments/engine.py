@@ -13,6 +13,21 @@ order, or whether a cell was served from the on-disk
 ``workers=1`` (the default) never constructs a pool: cells execute
 in-process, serially, exactly as the pre-engine ``run_many`` did.
 
+The engine is also the resilience layer of the experiment harness:
+
+* a crashed pool worker (``BrokenProcessPool``) retries the lost cells on
+  a fresh pool with exponential backoff, and cells that keep failing —
+  or pools that keep breaking — fall back to in-process execution, so a
+  sweep completes (bit-identically) rather than aborting;
+* ``cell_timeout`` bounds how long the engine waits without *any* cell
+  completing before declaring the pool hung and recovering the same way;
+* a :class:`~repro.experiments.checkpoint.SweepCheckpoint` journals each
+  completed cell durably, so a killed ``run_all`` resumes executing only
+  the remaining cells;
+* a :class:`~repro.faults.plan.FaultPlan` attached to the engine runs every
+  cell under deterministic fault injection (keys fold the plan in, so
+  faulted and clean results never collide in the cache).
+
 The module-level *default engine* is what ``repro.experiments.runner.
 run_many`` routes through when no engine is passed explicitly, so the CLI
 (``repro experiment --workers N --cache DIR``) can reconfigure every figure
@@ -21,15 +36,22 @@ experiment at once via :func:`use_engine` without touching their signatures.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.experiments.cache import ResultCache, cell_key
+from repro.experiments.checkpoint import SweepCheckpoint
 from repro.policies import selection_names, trading_names
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = [
     "SweepCell",
@@ -40,15 +62,30 @@ __all__ = [
     "use_engine",
 ]
 
+#: Cell kinds the engine knows how to execute.
+_CELL_KINDS = ("combo", "offline")
+
+#: Env hooks used by the resilience tests to make a pool worker crash or
+#: hang on a specific cell, exactly once (a marker file arms each hook).
+#: Format: ``"<seed>:<marker path>"``; active only inside pool workers.
+_TEST_CRASH_ENV = "REPRO_ENGINE_TEST_CRASH"
+_TEST_HANG_ENV = "REPRO_ENGINE_TEST_HANG"
+
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One unit of sweep work: a (selection, trading, seed) combination."""
+    """One unit of sweep work: a (selection, trading, seed) combination.
+
+    ``kind`` selects the execution shape: ``"combo"`` is one registry-named
+    simulation, ``"offline"`` the two-pass clairvoyant reference (whose
+    selection/trading names are fixed placeholders, not registry lookups).
+    """
 
     selection: str
     trading: str
     seed: int
     label: str | None = None
+    kind: str = "combo"
 
 
 @dataclass
@@ -59,6 +96,10 @@ class SweepStats:
     executed: int = 0
     cache_hits: int = 0
     cache_stores: int = 0
+    checkpoint_hits: int = 0
+    retries: int = 0
+    pool_failures: int = 0
+    fallback_cells: int = 0
 
     def add(self, other: "SweepStats") -> None:
         """Fold another tally into this one."""
@@ -66,15 +107,61 @@ class SweepStats:
         self.executed += other.executed
         self.cache_hits += other.cache_hits
         self.cache_stores += other.cache_stores
+        self.checkpoint_hits += other.checkpoint_hits
+        self.retries += other.retries
+        self.pool_failures += other.pool_failures
+        self.fallback_cells += other.fallback_cells
 
 
-def _execute_cell(scenario: Scenario, cell: SweepCell) -> SimulationResult:
+def _maybe_fire_test_hooks(cell: SweepCell) -> None:
+    """Crash/hang this worker if a test hook targets ``cell`` (once).
+
+    Hooks only fire inside pool workers (``multiprocessing.parent_process``
+    is ``None`` in the main process), so in-process retries and fallbacks
+    always succeed — which is exactly the behavior under test.
+    """
+    import multiprocessing
+    from pathlib import Path
+
+    if multiprocessing.parent_process() is None:
+        return
+    crash = os.environ.get(_TEST_CRASH_ENV, "")
+    if crash:
+        seed_text, _, marker = crash.partition(":")
+        path = Path(marker)
+        if cell.seed == int(seed_text) and not path.exists():
+            path.write_text("crashed", encoding="utf-8")
+            os._exit(1)
+    hang = os.environ.get(_TEST_HANG_ENV, "")
+    if hang:
+        seed_text, _, marker = hang.partition(":")
+        path = Path(marker)
+        if cell.seed == int(seed_text) and not path.exists():
+            path.write_text("hung", encoding="utf-8")
+            time.sleep(30.0)
+
+
+def _execute_cell(
+    scenario: Scenario, cell: SweepCell, faults: "FaultPlan | None" = None
+) -> SimulationResult:
     """Run one cell (module-level so worker processes can unpickle it)."""
-    from repro.experiments.runner import run_combo
+    from repro.experiments.runner import run_combo, run_offline
 
+    _maybe_fire_test_hooks(cell)
+    if cell.kind == "offline":
+        return run_offline(scenario, cell.seed, faults=faults)
     return run_combo(
-        scenario, cell.selection, cell.trading, cell.seed, label=cell.label
+        scenario,
+        cell.selection,
+        cell.trading,
+        cell.seed,
+        label=cell.label,
+        faults=faults,
     )
+
+
+class _PoolRoundFailed(Exception):
+    """Internal: the current pool broke or stalled; survivors retry."""
 
 
 class SweepEngine:
@@ -89,14 +176,53 @@ class SweepEngine:
     cache:
         Optional :class:`~repro.experiments.cache.ResultCache`.  Cells whose
         key is present (and intact) are loaded instead of simulated; misses
-        are simulated and stored.
+        are simulated and stored the moment they complete.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` applied to every cell
+        (folded into cache/checkpoint keys when non-empty).
+    checkpoint:
+        Optional :class:`~repro.experiments.checkpoint.SweepCheckpoint`.
+        Completed cells are journaled durably; on the next run, journaled
+        cells load instead of executing (resume-after-kill).
+    cell_timeout:
+        Seconds the pool may go without *any* cell completing before the
+        engine declares it hung and recovers (``None`` waits forever).
+    max_retries:
+        Pool attempts per cell before it falls back to in-process
+        execution.
+    pool_failure_limit:
+        Broken/hung pools tolerated before the whole remainder of the
+        sweep falls back to in-process execution.
     """
 
-    def __init__(self, workers: int = 1, cache: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        *,
+        faults: "FaultPlan | None" = None,
+        checkpoint: SweepCheckpoint | None = None,
+        cell_timeout: float | None = None,
+        max_retries: int = 2,
+        pool_failure_limit: int = 3,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError(f"cell_timeout must be positive, got {cell_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if pool_failure_limit < 1:
+            raise ValueError(
+                f"pool_failure_limit must be >= 1, got {pool_failure_limit}"
+            )
         self.workers = int(workers)
         self.cache = cache
+        self.faults = faults
+        self.checkpoint = checkpoint
+        self.cell_timeout = cell_timeout
+        self.max_retries = int(max_retries)
+        self.pool_failure_limit = int(pool_failure_limit)
         self.stats = SweepStats()
 
     def run_cells(
@@ -112,37 +238,67 @@ class SweepEngine:
 
         pending: list[int] = []
         keys: dict[int, str] = {}
-        if self.cache is not None:
+        if self.cache is not None or self.checkpoint is not None:
             for index, cell in enumerate(cells):
-                key = cell_key(
-                    scenario, cell.selection, cell.trading, cell.seed, cell.label
+                keys[index] = cell_key(
+                    scenario,
+                    cell.selection,
+                    cell.trading,
+                    cell.seed,
+                    cell.label,
+                    kind=cell.kind,
+                    faults=self.faults,
                 )
-                keys[index] = key
-                cached = self.cache.load(key)
+        for index, cell in enumerate(cells):
+            if self.checkpoint is not None:
+                checkpointed = self.checkpoint.load(keys[index])
+                if checkpointed is not None:
+                    results[index] = checkpointed
+                    batch.checkpoint_hits += 1
+                    continue
+            if self.cache is not None:
+                cached = self.cache.load(keys[index])
                 if cached is not None:
                     results[index] = cached
                     batch.cache_hits += 1
-                else:
-                    pending.append(index)
-        else:
-            pending = list(range(len(cells)))
+                    self._commit(keys.get(index), cached, batch, store=False)
+                    continue
+            pending.append(index)
+
+        def commit(index: int) -> None:
+            result = results[index]
+            assert result is not None  # filled by the executing branch
+            self._commit(keys.get(index), result, batch)
 
         if pending:
             if self.workers == 1:
                 for index in pending:
-                    results[index] = _execute_cell(scenario, cells[index])
+                    results[index] = _execute_cell(
+                        scenario, cells[index], self.faults
+                    )
+                    commit(index)
             else:
-                self._run_pool(scenario, cells, pending, results)
+                self._run_pool(scenario, cells, pending, results, commit, batch)
             batch.executed += len(pending)
-            if self.cache is not None:
-                for index in pending:
-                    result = results[index]
-                    assert result is not None  # filled by the branch above
-                    self.cache.store(keys[index], result)
-                    batch.cache_stores += 1
 
         self.stats.add(batch)
         return [result for result in results if result is not None]
+
+    def _commit(
+        self,
+        key: str | None,
+        result: SimulationResult,
+        batch: SweepStats,
+        store: bool = True,
+    ) -> None:
+        """Persist one completed cell to the cache and the checkpoint."""
+        if key is None:
+            return
+        if store and self.cache is not None:
+            self.cache.store(key, result)
+            batch.cache_stores += 1
+        if self.checkpoint is not None and key not in self.checkpoint:
+            self.checkpoint.append(key, result)
 
     def run_many(
         self,
@@ -158,31 +314,141 @@ class SweepEngine:
         cells = [SweepCell(selection, trading, int(s), label) for s in seeds]
         return self.run_cells(scenario, cells)
 
+    def run_offline_many(
+        self, scenario: Scenario, seeds: Sequence[int]
+    ) -> list[SimulationResult]:
+        """The two-pass "Offline" reference once per seed, as sweep cells."""
+        if not seeds:
+            raise ValueError("need at least one seed")
+        cells = [
+            SweepCell("Offline", "Offline", int(s), label="Offline", kind="offline")
+            for s in seeds
+        ]
+        return self.run_cells(scenario, cells)
+
     def _run_pool(
         self,
         scenario: Scenario,
         cells: Sequence[SweepCell],
         pending: Sequence[int],
         results: list[SimulationResult | None],
+        commit,
+        batch: SweepStats,
     ) -> None:
-        """Fan pending cells over a process pool; fill ``results`` in place."""
+        """Fan pending cells over process pools, retrying around failures.
+
+        Each round uses a fresh pool (a broken pool cannot be reused).  A
+        round that breaks or stalls increments ``pool_failures``; its lost
+        cells retry on the next round until ``max_retries``, after which —
+        or once ``pool_failure_limit`` rounds have failed — the remainder
+        executes in-process, which cannot crash the sweep.
+        """
+        remaining = list(pending)
+        attempts = {index: 0 for index in remaining}
+        while remaining:
+            if batch.pool_failures >= self.pool_failure_limit:
+                for index in remaining:
+                    self._run_in_process(scenario, cells, index, results, commit)
+                    batch.fallback_cells += 1
+                return
+            failed = self._pool_round(scenario, cells, remaining, results, commit)
+            if not failed:
+                return
+            batch.pool_failures += 1
+            retry: list[int] = []
+            for index in failed:
+                attempts[index] += 1
+                if attempts[index] > self.max_retries:
+                    self._run_in_process(scenario, cells, index, results, commit)
+                    batch.fallback_cells += 1
+                else:
+                    retry.append(index)
+            batch.retries += len(retry)
+            remaining = retry
+            if remaining:
+                # Exponential backoff before rebuilding the pool: transient
+                # resource exhaustion (OOM kills, fork storms) needs air.
+                time.sleep(min(0.05 * 2 ** (batch.pool_failures - 1), 1.0))
+
+    def _run_in_process(
+        self,
+        scenario: Scenario,
+        cells: Sequence[SweepCell],
+        index: int,
+        results: list[SimulationResult | None],
+        commit,
+    ) -> None:
+        """Execute one cell in the main process (the no-pool fallback)."""
+        results[index] = _execute_cell(scenario, cells[index], self.faults)
+        commit(index)
+
+    def _pool_round(
+        self,
+        scenario: Scenario,
+        cells: Sequence[SweepCell],
+        pending: Sequence[int],
+        results: list[SimulationResult | None],
+        commit,
+    ) -> list[int]:
+        """One pool lifetime; returns the indexes lost to a break/stall.
+
+        Completed cells are committed as they land, so a failure mid-round
+        never discards finished work — only unfinished cells return for
+        retry.
+        """
         max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        try:
             futures = {
-                pool.submit(_execute_cell, scenario, cells[index]): index
+                pool.submit(_execute_cell, scenario, cells[index], self.faults): index
                 for index in pending
             }
             remaining = set(futures)
             while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                done, not_done = wait(
+                    remaining,
+                    timeout=self.cell_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # No cell finished within cell_timeout: the pool is
+                    # stalled (hung worker, wedged fork).  Abandon it.
+                    raise _PoolRoundFailed
                 for future in done:
-                    results[futures[future]] = future.result()
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool as exc:
+                        raise _PoolRoundFailed from exc
+                    commit(index)
+                remaining = not_done
+        except _PoolRoundFailed:
+            self._abandon_pool(pool)
+            return [index for index in pending if results[index] is None]
+        pool.shutdown()
+        return []
+
+    @staticmethod
+    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+        """Shut down a broken/stalled pool without waiting on its workers."""
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
 
     def _validate(self, cells: Sequence[SweepCell]) -> None:
-        """Reject unknown policy names before any fork/simulation starts."""
+        """Reject unknown policy names/kinds before any fork/simulation."""
         known_selection = set(selection_names())
         known_trading = set(trading_names())
         for cell in cells:
+            if cell.kind not in _CELL_KINDS:
+                raise ValueError(
+                    f"unknown cell kind {cell.kind!r}; expected one of "
+                    f"{_CELL_KINDS}"
+                )
+            if cell.kind != "combo":
+                continue  # non-combo kinds carry placeholder policy names
             if cell.selection not in known_selection:
                 raise ValueError(
                     f"unknown selection policy {cell.selection!r}; expected "
@@ -196,7 +462,12 @@ class SweepEngine:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = "on" if self.cache is not None else "off"
-        return f"SweepEngine(workers={self.workers}, cache={cache})"
+        checkpoint = "on" if self.checkpoint is not None else "off"
+        faults = "on" if self.faults is not None and not self.faults.is_empty else "off"
+        return (
+            f"SweepEngine(workers={self.workers}, cache={cache}, "
+            f"checkpoint={checkpoint}, faults={faults})"
+        )
 
 
 #: Engine used by ``run_many`` when none is passed: serial, uncached —

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.experiments.engine import SweepEngine
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_many, run_offline
+from repro.experiments.runner import run_many, run_offline_many
 from repro.experiments.settings import PLOT_COMBOS, default_config, default_seeds
 from repro.sim.scenario import build_scenario
 
@@ -62,7 +62,7 @@ def run(
         series[f"{sel}-{trade}"] = np.mean(
             [r.cumulative_cost(weights) for r in results], axis=0
         )
-    offline = [run_offline(scenario, s) for s in seeds]
+    offline = run_offline_many(scenario, seeds, engine=engine)
     series["Offline"] = np.mean([r.cumulative_cost(weights) for r in offline], axis=0)
     return Fig03Result(horizon=config.horizon, series=series)
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.experiments.engine import SweepEngine
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_many, run_offline
+from repro.experiments.runner import run_many, run_offline_many
 from repro.experiments.settings import default_config, default_seeds
 from repro.metrics.summary import summarize_many
 from repro.sim.scenario import build_scenario
@@ -60,7 +60,7 @@ def run(
             label = f"{sel}-{trade}"
             results = run_many(scenario, sel, trade, seeds, label=label, engine=engine)
             costs[label].append(summarize_many(results, weights).total_cost)
-        offline = [run_offline(scenario, s) for s in seeds]
+        offline = run_offline_many(scenario, seeds, engine=engine)
         costs["Offline"].append(summarize_many(offline, weights, label="Offline").total_cost)
     return Fig06Result(rates=tuple(rates), costs=costs)
 

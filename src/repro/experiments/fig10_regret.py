@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.experiments.engine import SweepEngine
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_many, run_offline
+from repro.experiments.runner import run_many, run_offline_many
 from repro.experiments.settings import default_config, default_seeds
 from repro.sim.scenario import build_scenario
 
@@ -74,7 +74,8 @@ def run(
         scenario = build_scenario(config)
         weights = config.weights
         offline_costs = [
-            run_offline(scenario, seed).total_cost(weights) for seed in seeds
+            result.total_cost(weights)
+            for result in run_offline_many(scenario, seeds, engine=engine)
         ]
         for label, (sel, trade) in all_combos:
             results = run_many(scenario, sel, trade, seeds, label=label, engine=engine)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.experiments.engine import SweepEngine
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_many, run_offline
+from repro.experiments.runner import run_many, run_offline_many
 from repro.experiments.settings import default_config, default_seeds
 from repro.sim.scenario import build_scenario
 
@@ -69,7 +69,7 @@ def run(
         label = f"{sel}-{trade}"
         results = run_many(scenario, sel, trade, seeds, label=label, engine=engine)
         accuracy[label] = np.mean([r.accuracy for r in results], axis=0)
-    offline = [run_offline(scenario, s) for s in seeds]
+    offline = run_offline_many(scenario, seeds, engine=engine)
     accuracy["Offline"] = np.mean([r.accuracy for r in offline], axis=0)
     return Fig12Result(horizon=config.horizon, accuracy=accuracy)
 

@@ -35,7 +35,7 @@ def run(
     if fast:
         # A distinct synthetic zoo: shift the scenario seed.
         from repro.experiments.settings import default_config, default_seeds
-        from repro.experiments.runner import run_many, run_offline
+        from repro.experiments.runner import run_many, run_offline_many
         from repro.sim.scenario import build_scenario
         import numpy as np
 
@@ -49,7 +49,7 @@ def run(
             label = f"{sel}-{trade}"
             results = run_many(scenario, sel, trade, seeds, label=label, engine=engine)
             accuracy[label] = np.mean([r.accuracy for r in results], axis=0)
-        offline = [run_offline(scenario, s) for s in seeds]
+        offline = run_offline_many(scenario, seeds, engine=engine)
         accuracy["Offline"] = np.mean([r.accuracy for r in offline], axis=0)
         return Fig13Result(horizon=config.horizon, accuracy=accuracy)
     return _fig12.run(fast=False, seeds=seeds, dataset="cifar10", engine=engine)

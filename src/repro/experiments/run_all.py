@@ -40,7 +40,9 @@ from repro.experiments import (
     fig14_runtime,
 )
 from repro.experiments.cache import ResultCache
+from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.engine import SweepEngine, use_engine
+from repro.faults import load_plan
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -96,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache entirely")
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="fault plan applied to every sweep cell "
+                             "(JSON, see repro.faults)")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="sweep-checkpoint journal; completed cells are "
+                             "journaled there and skipped on resume")
     return parser
 
 
@@ -104,7 +112,15 @@ def make_engine(args: argparse.Namespace) -> SweepEngine:
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     cache = None if args.no_cache else ResultCache(args.cache)
-    return SweepEngine(workers=args.workers, cache=cache)
+    faults = None
+    if getattr(args, "faults", None):
+        faults = load_plan(args.faults)
+    checkpoint = None
+    if getattr(args, "checkpoint", None):
+        checkpoint = SweepCheckpoint(args.checkpoint)
+    return SweepEngine(
+        workers=args.workers, cache=cache, faults=faults, checkpoint=checkpoint
+    )
 
 
 def main(argv: list[str] | None = None) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.faults.plan import FaultPlan
 from repro.obs.tracer import Tracer
 from repro.offline import (
     FixedSelection,
@@ -47,6 +48,7 @@ __all__ = [
     "run_combo",
     "run_many",
     "run_offline",
+    "run_offline_many",
 ]
 
 
@@ -57,6 +59,7 @@ def run_combo(
     seed: int,
     label: str | None = None,
     tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
 ) -> SimulationResult:
     """Simulate one (selection, trading) combination on ``scenario``."""
     return Simulator.from_names(
@@ -66,6 +69,7 @@ def run_combo(
         seed=seed,
         label=label,
         tracer=tracer,
+        faults=faults,
     ).run()
 
 
@@ -94,18 +98,28 @@ def run_many(
     return engine.run_many(scenario, selection, trading, seeds, label=label)
 
 
-def run_offline(scenario: Scenario, seed: int) -> SimulationResult:
+def run_offline(
+    scenario: Scenario, seed: int, faults: FaultPlan | None = None
+) -> SimulationResult:
     """The paper's "Offline" reference.
 
     Pass 1 fixes the posterior-best model per edge and records emissions
     with no trading; the offline trading LP is solved exactly on those
     emissions; pass 2 replays the same run with the optimal trade plan.
     Both passes share the seed, so arrivals and data draws are identical.
+    When a fault plan is given, both passes run under it — the offline
+    reference then bounds what clairvoyant trading achieves on the same
+    degraded infrastructure.
     """
     models = best_fixed_models(scenario.expected_losses, scenario.latencies)
     selection = [FixedSelection(scenario.num_models, int(m)) for m in models]
     pass1 = Simulator(
-        scenario, selection, NullTrading(), run_seed=seed, label="Offline-pass1"
+        scenario,
+        selection,
+        NullTrading(),
+        run_seed=seed,
+        label="Offline-pass1",
+        faults=faults,
     ).run()
     plan = solve_offline_trading(
         pass1.emissions,
@@ -120,4 +134,25 @@ def run_offline(scenario: Scenario, seed: int) -> SimulationResult:
         PrecomputedTrading(plan.buy, plan.sell),
         run_seed=seed,
         label="Offline",
+        faults=faults,
     ).run()
+
+
+def run_offline_many(
+    scenario: Scenario,
+    seeds: list[int],
+    engine: "SweepEngine | None" = None,
+) -> list[SimulationResult]:
+    """Run the "Offline" reference once per seed, through the sweep engine.
+
+    The engine treats each seed as an ``offline`` cell, so offline reference
+    runs get the same parallelism, result caching, and checkpointing as the
+    online combinations (they used to be the serial tail of every figure).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    from repro.experiments.engine import get_default_engine
+
+    if engine is None:
+        engine = get_default_engine()
+    return engine.run_offline_many(scenario, seeds)

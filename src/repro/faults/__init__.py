@@ -1,0 +1,37 @@
+"""Deterministic fault injection and graceful degradation.
+
+``repro.faults`` declares infrastructure failures (edge outages, lost
+bandit feedback, failed model downloads, market outages, rejected trades)
+as a typed, JSON-serializable :class:`FaultPlan`, and realizes them
+bit-reproducibly through :class:`FaultInjector` using dedicated named RNG
+streams.  An empty plan is the default everywhere and leaves runs
+bit-identical to unfaulted ones — the golden digests do not move.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    DownloadFailure,
+    EdgeOutage,
+    FaultPlan,
+    FaultSpec,
+    FeedbackLoss,
+    MarketOutage,
+    TradeRejection,
+    load_plan,
+    register_fault,
+)
+
+__all__ = [
+    "DownloadFailure",
+    "EdgeOutage",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FeedbackLoss",
+    "MarketOutage",
+    "TradeRejection",
+    "load_plan",
+    "register_fault",
+]

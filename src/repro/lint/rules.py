@@ -26,6 +26,7 @@ __all__ = [
     "FloatEqualityRule",
     "GlobalRandomStateRule",
     "HOT_PATH_DIRS",
+    "InPlaceArrayMutationRule",
     "MutableDefaultRule",
     "PRINT_ALLOWED",
     "PrintInLibraryRule",
@@ -559,3 +560,123 @@ class PrintInLibraryRule(Rule):
                     "print() in library code; route output through the "
                     "reporting layer or a returned value",
                 )
+
+
+#: ndarray methods that mutate the array they are called on.
+_INPLACE_ARRAY_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "resize", "setflags", "itemset"}
+)
+
+#: Calls that produce an independent array (rebinding a parameter through
+#: one of these severs aliasing with the caller's array).
+_COPYING_CALLS = frozenset({"copy", "array", "deepcopy", "ascontiguousarray"})
+
+
+def _is_copy_expr(value: ast.expr) -> bool:
+    """Whether an expression's result is detached from its inputs' storage."""
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is not None and name.split(".")[-1] in _COPYING_CALLS:
+                return True
+    return False
+
+
+@register
+class InPlaceArrayMutationRule(Rule):
+    """RPL011 — array parameters mutated in place without a ``.copy()``."""
+
+    code = "RPL011"
+    summary = (
+        "function mutates an ndarray parameter in place without copying "
+        "first; the caller's array is silently modified"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(node, context)
+
+    def _check_function(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        context: FileContext,
+    ) -> Iterator[Finding]:
+        args = func.args
+        array_params = {
+            arg.arg
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            if any(
+                marker in _annotation_text(arg.annotation)
+                for marker in _ARRAY_MARKERS
+            )
+        }
+        if not array_params:
+            return
+        # A parameter rebound to a fresh array (x = x.copy(), np.array(x),
+        # copy.deepcopy(x), ...) no longer aliases the caller's storage:
+        # mutations after the rebind line are the callee's own business.
+        copied_after: dict[str, int] = {}
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Assign) and _is_copy_expr(sub.value):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name) and target.id in array_params:
+                        line = copied_after.get(target.id, sub.lineno)
+                        copied_after[target.id] = min(line, sub.lineno)
+        for sub in ast.walk(func):
+            param = self._mutated_param(sub, array_params)
+            if param is None:
+                continue
+            if getattr(sub, "lineno", 0) > copied_after.get(param, 1 << 60):
+                continue
+            yield self.finding(
+                context,
+                sub,
+                f"{func.name}() mutates array parameter {param!r} in "
+                "place; the caller's array is silently modified — operate "
+                f"on a copy ({param} = {param}.copy()) or document the "
+                "aliasing contract",
+            )
+
+    @staticmethod
+    def _mutated_param(node: ast.AST, params: set[str]) -> str | None:
+        """The parameter name ``node`` mutates in place, if any."""
+
+        def base_name(target: ast.expr) -> str | None:
+            if isinstance(target, ast.Subscript):
+                inner = target.value
+                while isinstance(inner, (ast.Subscript, ast.Attribute)):
+                    inner = inner.value
+                if isinstance(inner, ast.Name):
+                    return inner.id
+            return None
+
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                name = base_name(target)
+                if name in params:
+                    return name
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id in params:
+                return target.id
+            name = base_name(target)
+            if name in params:
+                return name
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in params
+                and node.func.attr in _INPLACE_ARRAY_METHODS
+            ):
+                return node.func.value.id
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "out"
+                    and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id in params
+                ):
+                    return keyword.value.id
+        return None

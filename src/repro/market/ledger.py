@@ -59,6 +59,9 @@ class AllowanceLedger:
         # np.sum reductions so reported aggregates are unchanged.
         self._running_emissions = 0.0
         self._running_net_purchase = 0.0
+        self._rejected_trades = 0
+        self._deferred_buy_total = 0.0
+        self._deferred_sell_total = 0.0
 
     @property
     def initial_cap(self) -> float:
@@ -92,6 +95,27 @@ class AllowanceLedger:
                     violation_kg=max(self._running_emissions - holdings, 0.0),
                 )
             )
+
+    def record_rejection(self, buy: float, sell: float) -> None:
+        """Tally a slot whose intended trade did not execute.
+
+        The slot itself is still recorded via :meth:`record` with zero
+        volumes (the ledger reflects only realized state); this side tally
+        tracks how much intent was deferred so reconciliation is auditable.
+        """
+        self._rejected_trades += 1
+        self._deferred_buy_total += float(check_nonnegative(buy, "buy"))
+        self._deferred_sell_total += float(check_nonnegative(sell, "sell"))
+
+    @property
+    def rejected_trades(self) -> int:
+        """Number of slots whose trade was rejected or deferred."""
+        return self._rejected_trades
+
+    @property
+    def deferred_volumes(self) -> tuple[float, float]:
+        """Total (buy, sell) intent that failed to execute when decided."""
+        return (self._deferred_buy_total, self._deferred_sell_total)
 
     def snapshot(self) -> LedgerSnapshot:
         """Current cumulative state."""

@@ -24,18 +24,29 @@ from repro.obs.events import (
     DualUpdateEvent,
     EmissionEvent,
     Event,
+    FaultInjectedEvent,
+    FeedbackLostEvent,
     ModelSwitchEvent,
+    RetryEvent,
     SlotStartEvent,
     TradeEvent,
+    TradeRejectedEvent,
     event_from_dict,
     register_event,
 )
 from repro.obs.metrics import Counter, Timer
-from repro.obs.sinks import EdgeFilterSink, InMemorySink, JsonlSink, read_events
+from repro.obs.sinks import (
+    BufferedJsonlSink,
+    EdgeFilterSink,
+    InMemorySink,
+    JsonlSink,
+    read_events,
+)
 from repro.obs.tracer import NULL_TRACER, EventSink, NullTracer, Tracer
 
 __all__ = [
     "BlockBoundaryEvent",
+    "BufferedJsonlSink",
     "Counter",
     "DualUpdateEvent",
     "EVENT_TYPES",
@@ -43,14 +54,18 @@ __all__ = [
     "EmissionEvent",
     "Event",
     "EventSink",
+    "FaultInjectedEvent",
+    "FeedbackLostEvent",
     "InMemorySink",
     "JsonlSink",
     "ModelSwitchEvent",
     "NULL_TRACER",
     "NullTracer",
+    "RetryEvent",
     "SlotStartEvent",
     "Timer",
     "TradeEvent",
+    "TradeRejectedEvent",
     "Tracer",
     "event_from_dict",
     "read_events",

@@ -22,9 +22,13 @@ __all__ = [
     "EVENT_TYPES",
     "EmissionEvent",
     "Event",
+    "FaultInjectedEvent",
+    "FeedbackLostEvent",
     "ModelSwitchEvent",
+    "RetryEvent",
     "SlotStartEvent",
     "TradeEvent",
+    "TradeRejectedEvent",
     "event_from_dict",
     "register_event",
 ]
@@ -148,6 +152,74 @@ class EmissionEvent(Event):
     violation_kg: float = 0.0
 
     type: ClassVar[str] = "emission"
+
+
+@register_event
+@dataclass(frozen=True)
+class FaultInjectedEvent(Event):
+    """A declared fault fired at slot ``t``.
+
+    ``kind`` is the fault spec's wire tag (``edge_outage``,
+    ``download_failure``, ``market_outage``, ...); ``edge`` is ``-1`` for
+    system-level faults with no edge locality.
+    """
+
+    kind: str = "fault"
+    edge: int = -1
+
+    type: ClassVar[str] = "fault_injected"
+
+
+@register_event
+@dataclass(frozen=True)
+class FeedbackLostEvent(Event):
+    """An edge's slot-loss observation was dropped in transit.
+
+    The policy skips its estimator update for this slot (the
+    importance-weighted estimator stays unbiased over observed slots).
+    """
+
+    edge: int = 0
+    model: int = 0
+
+    type: ClassVar[str] = "feedback_lost"
+
+
+@register_event
+@dataclass(frozen=True)
+class TradeRejectedEvent(Event):
+    """Slot ``t``'s trade did not execute (market outage or rejection).
+
+    ``buy``/``sell`` are the intended volumes; ``pending_buy``/``pending_sell``
+    the carried-over intent (bounded by the per-slot trade bound) that will
+    reconcile at the next executable slot.
+    """
+
+    buy: float = 0.0
+    sell: float = 0.0
+    pending_buy: float = 0.0
+    pending_sell: float = 0.0
+
+    type: ClassVar[str] = "trade_rejected"
+
+
+@register_event
+@dataclass(frozen=True)
+class RetryEvent(Event):
+    """A failed model download backs off for retry.
+
+    ``attempt`` counts consecutive failures for the current target model;
+    ``backoff_slots`` is the wait before the next attempt (capped
+    exponential); the edge keeps ``hosted_model`` meanwhile.
+    """
+
+    edge: int = 0
+    hosted_model: int = 0
+    target_model: int = 0
+    attempt: int = 1
+    backoff_slots: int = 1
+
+    type: ClassVar[str] = "retry"
 
 
 def event_from_dict(payload: dict[str, object]) -> Event:

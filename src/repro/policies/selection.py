@@ -30,6 +30,7 @@ class SelectionPolicy:
         if num_models <= 0:
             raise ValueError(f"num_models must be positive, got {num_models}")
         self.num_models = num_models
+        self.feedback_losses = 0
 
     def bind_tracer(self, tracer: Tracer, edge: int = 0) -> None:
         """Attach the event bus (and this policy's edge index for events)."""
@@ -47,6 +48,18 @@ class SelectionPolicy:
         loss over the slot's arrivals plus the model's computation cost.
         """
         raise NotImplementedError
+
+    def observe_lost(self, t: int, model: int) -> None:
+        """Note that slot ``t``'s feedback never arrived (fault injection).
+
+        The default keeps estimators untouched — skipping the update leaves
+        importance-weighted estimates unbiased over the observed slots —
+        and only tallies the loss.  Policies with per-slot bookkeeping
+        (e.g. block-based selection) override this to keep their internal
+        schedules consistent.
+        """
+        self._check_model(model)
+        self.feedback_losses += 1
 
     def _check_model(self, model: int) -> None:
         if not 0 <= model < self.num_models:

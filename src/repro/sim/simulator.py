@@ -27,10 +27,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.streams import ArrivalProcess
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.market.ledger import AllowanceLedger
 from repro.market.market import CarbonMarket
 from repro.nn.losses import squared_label_loss
-from repro.obs.events import ModelSwitchEvent, SlotStartEvent
+from repro.obs.events import (
+    FaultInjectedEvent,
+    FeedbackLostEvent,
+    ModelSwitchEvent,
+    RetryEvent,
+    SlotStartEvent,
+    TradeRejectedEvent,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.policies.selection import SelectionPolicy
 from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
@@ -61,6 +70,7 @@ class Simulator:
         live_inference: bool = False,
         label_delay: int = 0,
         tracer: Tracer | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if len(selection_policies) != scenario.num_edges:
             raise ValueError(
@@ -81,6 +91,7 @@ class Simulator:
         self.label = label
         self.live_inference = live_inference
         self.label_delay = label_delay
+        self.faults = faults if faults is not None else FaultPlan()
         self._rng = RngFactory(run_seed).child("simulator")
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if tracer is not None:
@@ -100,6 +111,7 @@ class Simulator:
         live_inference: bool = False,
         label_delay: int = 0,
         tracer: Tracer | None = None,
+        faults: FaultPlan | None = None,
     ) -> "Simulator":
         """Build a simulator from registered policy-family names.
 
@@ -123,6 +135,7 @@ class Simulator:
             live_inference=live_inference,
             label_delay=label_delay,
             tracer=tracer,
+            faults=faults,
         )
 
     def run(self) -> SimulationResult:
@@ -164,6 +177,26 @@ class Simulator:
         # selection policies `label_delay` slots after the inference ran.
         pending_feedback: list[tuple[int, int, int, float]] = []
 
+        # Fault injection: realized up-front from a dedicated RNG child, so
+        # an empty plan leaves every workload/policy stream bit-identical.
+        injector: FaultInjector | None = None
+        if not self.faults.is_empty:
+            injector = FaultInjector(
+                self.faults,
+                horizon=horizon,
+                num_edges=num_edges,
+                rng=self._rng.child("faults"),
+            )
+        # Download-retry state: slots left before the next attempt, the
+        # current (capped exponential) backoff, and consecutive failures.
+        retry_wait = np.zeros(num_edges, dtype=int)
+        retry_backoff = np.zeros(num_edges, dtype=int)
+        retry_attempts = np.zeros(num_edges, dtype=int)
+        # Trade intent deferred by market outages/rejections, reconciled at
+        # the next executable slot (bounded by the per-slot trade bound).
+        pending_buy = 0.0
+        pending_sell = 0.0
+
         for t in range(horizon):
             if tracing:
                 tracer.emit(SlotStartEvent(t=t, horizon=horizon))
@@ -173,30 +206,95 @@ class Simulator:
             for i in range(num_edges):
                 policy = self.selection_policies[i]
                 model = policy.select(t)
-                switched = model != previous_model[i]
+
+                if injector is not None and injector.edge_offline(t, i):
+                    # Edge down: draw the slot's workload anyway so RNG
+                    # streams stay aligned with the unfaulted run, then drop
+                    # it unserved — no inference, no emissions, no feedback.
+                    count = arrival_processes[i].sample(t)
+                    self._draw_indices(
+                        i, count, data_rngs[i], pool_size, class_indices
+                    )
+                    selections[t, i] = model
+                    switches[t, i] = False
+                    policy.observe_lost(t, model)
+                    if tracing:
+                        tracer.emit(
+                            FaultInjectedEvent(t=t, kind="edge_outage", edge=i)
+                        )
+                    continue
+
+                # Resolve which model actually serves this slot: a switch
+                # requires a download, which fault plans can fail — the edge
+                # then keeps its hosted model and retries under capped
+                # exponential backoff.  Initial provisioning never fails.
+                hosted = int(previous_model[i])
+                serve = model
+                if injector is not None and hosted >= 0 and model != hosted:
+                    if retry_wait[i] > 0:
+                        retry_wait[i] -= 1
+                        serve = hosted
+                    elif injector.download_failed(t, i):
+                        retry_attempts[i] += 1
+                        cap = injector.backoff_cap(t, i)
+                        retry_backoff[i] = min(max(2 * retry_backoff[i], 1), cap)
+                        retry_wait[i] = retry_backoff[i]
+                        serve = hosted
+                        if tracing:
+                            tracer.emit(
+                                FaultInjectedEvent(
+                                    t=t, kind="download_failure", edge=i
+                                )
+                            )
+                            tracer.emit(
+                                RetryEvent(
+                                    t=t,
+                                    edge=i,
+                                    hosted_model=hosted,
+                                    target_model=int(model),
+                                    attempt=int(retry_attempts[i]),
+                                    backoff_slots=int(retry_backoff[i]),
+                                )
+                            )
+                if injector is not None and serve == model:
+                    retry_wait[i] = 0
+                    retry_backoff[i] = 0
+                    retry_attempts[i] = 0
+
+                switched = serve != previous_model[i]
                 if switched and tracing:
                     tracer.emit(
                         ModelSwitchEvent(
                             t=t,
                             edge=i,
                             previous_model=int(previous_model[i]),
-                            model=int(model),
+                            model=int(serve),
                             switch_cost=float(effective_u[i]),
                         )
                     )
-                previous_model[i] = model
-                selections[t, i] = model
+                previous_model[i] = serve
+                selections[t, i] = serve
                 switches[t, i] = switched
 
                 count = arrival_processes[i].sample(t)
                 idx = self._draw_indices(
                     i, count, data_rngs[i], pool_size, class_indices
                 )
-                profile = scenario.profiles[model]
+                profile = scenario.profiles[serve]
                 losses = self._sample_losses(profile, idx)
                 slot_loss = float(losses.mean())
-                latency = float(scenario.latencies[i, model])
-                if self.label_delay == 0:
+                latency = float(scenario.latencies[i, serve])
+                if serve != model:
+                    # The chosen model never ran, so its loss is
+                    # unobservable this slot (bandit feedback).
+                    policy.observe_lost(t, model)
+                elif injector is not None and injector.feedback_lost(t, i):
+                    policy.observe_lost(t, model)
+                    if tracing:
+                        tracer.emit(
+                            FeedbackLostEvent(t=t, edge=i, model=int(model))
+                        )
+                elif self.label_delay == 0:
                     policy.observe(t, model, slot_loss + latency)
                 else:
                     pending_feedback.append((t, i, model, slot_loss + latency))
@@ -207,7 +305,7 @@ class Simulator:
                 if switched:
                     switching_cost[t] += float(effective_u[i])
                 slot_emissions += scenario.energy.slot_emissions_kg(
-                    i, model, count, switched
+                    i, serve, count, switched
                 )
                 slot_correct += float(profile.correct_per_sample[idx].sum())
                 slot_arrivals += count
@@ -224,13 +322,54 @@ class Simulator:
                 buy=min(max(decision.buy, 0.0), scenario.trade_bound),
                 sell=min(max(decision.sell, 0.0), scenario.trade_bound),
             )
-            trade = market.execute(t, decision.buy, decision.sell)
-            ledger.record(slot_emissions, decision.buy, decision.sell)
-            self.trading_policy.observe(context, decision, slot_emissions)
+            if injector is not None and injector.trade_blocked(t):
+                # Market unreachable or order bounced: nothing executes, the
+                # ledger records realized (zero) volumes, and the intent
+                # carries over — bounded by the per-slot trade bound, so
+                # long outages shed excess rather than accumulate it.  The
+                # dual update sees only the realized trade.
+                pending_buy = min(
+                    pending_buy + decision.buy, scenario.trade_bound
+                )
+                pending_sell = min(
+                    pending_sell + decision.sell, scenario.trade_bound
+                )
+                ledger.record_rejection(decision.buy, decision.sell)
+                ledger.record(slot_emissions, 0.0, 0.0)
+                self.trading_policy.observe(
+                    context, TradeDecision(buy=0.0, sell=0.0), slot_emissions
+                )
+                if tracing:
+                    tracer.emit(
+                        TradeRejectedEvent(
+                            t=t,
+                            buy=decision.buy,
+                            sell=decision.sell,
+                            pending_buy=pending_buy,
+                            pending_sell=pending_sell,
+                        )
+                    )
+            else:
+                if pending_buy > 0.0 or pending_sell > 0.0:
+                    executed = TradeDecision(
+                        buy=min(
+                            decision.buy + pending_buy, scenario.trade_bound
+                        ),
+                        sell=min(
+                            decision.sell + pending_sell, scenario.trade_bound
+                        ),
+                    )
+                    pending_buy = 0.0
+                    pending_sell = 0.0
+                else:
+                    executed = decision
+                trade = market.execute(t, executed.buy, executed.sell)
+                ledger.record(slot_emissions, executed.buy, executed.sell)
+                self.trading_policy.observe(context, executed, slot_emissions)
 
-            bought[t] = trade.bought
-            sold[t] = trade.sold
-            trading_cost[t] = trade.cost
+                bought[t] = trade.bought
+                sold[t] = trade.sold
+                trading_cost[t] = trade.cost
             emissions_running_sum += slot_emissions
 
             if self.label_delay > 0:

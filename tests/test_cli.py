@@ -260,3 +260,111 @@ class TestZooCommand:
         out = capsys.readouterr().out
         assert "int8 variants" in out
         assert "-int8" in out
+
+
+class TestFaultsCommand:
+    def test_template_round_trips_through_validate(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        assert main(["faults", "template", "--output", str(plan_path)]) == 0
+        assert main(["faults", "validate", str(plan_path)]) == 0
+        out = capsys.readouterr().out
+        assert "5 spec(s), valid" in out
+        assert "edge_outage" in out
+        assert "trade_rejection" in out
+
+    def test_template_prints_to_stdout(self, capsys):
+        assert main(["faults", "template"]) == 0
+        payload = capsys.readouterr().out
+        from repro.faults import FaultPlan
+
+        assert len(FaultPlan.from_json(payload)) == 5
+
+    def test_malformed_plan_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"faults": [{"kind": "solar_flare"}]}', encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            main(["faults", "validate", str(bad)])
+
+    def test_run_reports_fault_events(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        main(["faults", "template", "--output", str(plan_path)])
+        capsys.readouterr()
+        code = main(
+            ["faults", "run", str(plan_path),
+             "--edges", "2", "--horizon", "48", "--selection", "Greedy",
+             "--trading", "LY"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Greedy-LY" in out
+        assert "Fault events" in out
+        assert "fault_injected" in out
+
+    def test_faults_command_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
+
+class TestCacheCommand:
+    def populate(self, tmp_path):
+        from repro.experiments.cache import ResultCache, cell_key
+        from repro.experiments.runner import run_combo
+        from repro.sim import ScenarioConfig, build_scenario
+
+        scenario = build_scenario(
+            ScenarioConfig(dataset="synthetic", num_edges=2, horizon=12)
+        )
+        cache = ResultCache(tmp_path)
+        for seed in range(2):
+            cache.store(
+                cell_key(scenario, "Greedy", "LY", seed),
+                run_combo(scenario, "Greedy", "LY", seed),
+            )
+        return cache
+
+    def test_prune_without_criteria_is_an_error(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--dir", str(tmp_path)]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_dry_run_reports_without_deleting(self, capsys, tmp_path):
+        cache = self.populate(tmp_path)
+        code = main(
+            ["cache", "prune", "--dir", str(tmp_path),
+             "--max-size-mb", "0", "--dry-run"]
+        )
+        assert code == 0
+        assert "would remove 2" in capsys.readouterr().out
+        assert len(cache) == 2
+
+    def test_real_prune_deletes(self, capsys, tmp_path):
+        cache = self.populate(tmp_path)
+        code = main(["cache", "prune", "--dir", str(tmp_path), "--max-size-mb", "0"])
+        assert code == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert len(cache) == 0
+
+
+class TestExperimentFaultsPassthrough:
+    def test_faults_and_checkpoint_reach_the_engine(self, tmp_path, monkeypatch):
+        from repro.experiments import run_all
+
+        plan_path = tmp_path / "plan.json"
+        main(["faults", "template", "--output", str(plan_path)])
+        journal = tmp_path / "sweep.jsonl"
+
+        captured = {}
+
+        def spy_main(argv):
+            args = run_all.build_parser().parse_args(argv)
+            captured["engine"] = run_all.make_engine(args)
+
+        monkeypatch.setattr("repro.experiments.run_all.main", spy_main)
+        code = main(
+            ["experiment", "fig03", "--no-cache",
+             "--faults", str(plan_path), "--checkpoint", str(journal)]
+        )
+        assert code == 0
+        engine = captured["engine"]
+        assert engine.faults is not None and len(engine.faults) == 5
+        assert engine.checkpoint is not None
+        assert engine.cache is None

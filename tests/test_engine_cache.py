@@ -191,3 +191,92 @@ class TestCorruptionHandling:
     def test_len_counts_entries(self, tmp_path):
         _, cache, _, _ = self.entry(tmp_path)
         assert len(cache) == 1
+
+
+class TestKeyExtensions:
+    """``kind`` and ``faults`` enter the key only when non-default."""
+
+    def test_default_kind_and_empty_faults_leave_key_unchanged(self):
+        from repro.faults import FaultPlan
+
+        scenario = build_scenario(BASE_CONFIG)
+        plain = base_key(scenario)
+        assert cell_key(scenario, "Ours", "Ours", 0, "Ours", kind="combo") == plain
+        assert (
+            cell_key(scenario, "Ours", "Ours", 0, "Ours", faults=FaultPlan()) == plain
+        )
+
+    def test_offline_kind_moves_the_key(self):
+        scenario = build_scenario(BASE_CONFIG)
+        assert cell_key(
+            scenario, "Offline", "Offline", 0, "Offline", kind="offline"
+        ) != cell_key(scenario, "Offline", "Offline", 0, "Offline")
+
+    def test_nonempty_fault_plan_moves_the_key(self):
+        from repro.faults import FaultPlan, MarketOutage
+
+        scenario = build_scenario(BASE_CONFIG)
+        plan = FaultPlan((MarketOutage(start=0, end=4),))
+        assert cell_key(scenario, "Ours", "Ours", 0, "Ours", faults=plan) != base_key(
+            scenario
+        )
+
+
+class TestPrune:
+    def populated(self, tmp_path, entries=4):
+        scenario = build_scenario(BASE_CONFIG)
+        cache = ResultCache(tmp_path)
+        for seed in range(entries):
+            key = cell_key(scenario, "Ours", "Ours", seed, "Ours")
+            cache.store(key, run_combo(scenario, "Ours", "Ours", seed, label="Ours"))
+        return cache
+
+    def test_requires_a_criterion(self, tmp_path):
+        with pytest.raises(ValueError, match="prune needs"):
+            ResultCache(tmp_path).prune()
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        cache = self.populated(tmp_path)
+        report = cache.prune(max_size_bytes=0, dry_run=True)
+        assert report.dry_run
+        assert report.removed == 4
+        assert len(cache) == 4
+
+    def test_size_eviction_is_oldest_first(self, tmp_path):
+        import os
+
+        cache = self.populated(tmp_path)
+        paths = sorted(
+            cache.directory.glob("*/*.json"), key=lambda p: p.stat().st_mtime
+        )
+        # Spread mtimes so ordering is unambiguous, oldest first.
+        for offset, path in enumerate(paths):
+            os.utime(path, (1_000_000 + offset, 1_000_000 + offset))
+        survivors_budget = sum(p.stat().st_size for p in paths[2:])
+        report = cache.prune(max_size_bytes=survivors_budget)
+        assert report.removed == 2
+        assert sorted(report.removed_paths) == sorted(paths[:2])
+        assert len(cache) == 2
+
+    def test_age_eviction_removes_stale_entries(self, tmp_path):
+        import os
+
+        cache = self.populated(tmp_path)
+        stale = next(iter(cache.directory.glob("*/*.json")))
+        os.utime(stale, (1_000_000, 1_000_000))  # far in the past
+        report = cache.prune(max_age_seconds=3600.0)
+        assert report.removed == 1
+        assert report.removed_paths == [stale]
+        assert len(cache) == 3
+
+    def test_empty_shard_directories_are_cleaned_up(self, tmp_path):
+        cache = self.populated(tmp_path)
+        cache.prune(max_size_bytes=0)
+        assert len(cache) == 0
+        assert not any(p.is_dir() for p in cache.directory.iterdir())
+
+    def test_total_size_matches_report(self, tmp_path):
+        cache = self.populated(tmp_path)
+        report = cache.prune(max_size_bytes=10**9)  # evicts nothing
+        assert report.removed == 0
+        assert report.kept_bytes == cache.total_size_bytes()

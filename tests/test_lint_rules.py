@@ -104,6 +104,30 @@ RULE_CASES = [
         "print('progress')\n",
         "message = 'progress'\n",
     ),
+    (
+        "RPL011",
+        "repro/sim/module.py",
+        "import numpy as np\n"
+        "def scale(x: np.ndarray) -> np.ndarray:\n"
+        "    x *= 2.0\n"
+        "    return x\n",
+        "import numpy as np\n"
+        "def scale(x: np.ndarray) -> np.ndarray:\n"
+        "    x = x.copy()\n"
+        "    x *= 2.0\n"
+        "    return x\n",
+    ),
+    (
+        "RPL011",
+        "repro/sim/module.py",
+        "import numpy as np\n"
+        "def clamp(values: np.ndarray) -> np.ndarray:\n"
+        "    values[values < 0] = 0.0\n"
+        "    return values\n",
+        "import numpy as np\n"
+        "def clamp(values: np.ndarray) -> np.ndarray:\n"
+        "    return np.maximum(values, 0.0)\n",
+    ),
 ]
 
 CASE_IDS = [f"{code}-{i}" for i, (code, *_rest) in enumerate(RULE_CASES)]
@@ -154,6 +178,67 @@ class TestScoping:
             lint_source("print('hi')\n", path="repro/experiments/fig.py", select=["RPL010"])
             == []
         )
+
+
+class TestInPlaceArrayMutation:
+    """RPL011 corner cases beyond the shared fixture trio."""
+
+    PATH = "repro/sim/module.py"
+
+    def lint(self, src):
+        return lint_source(src, path=self.PATH, select=["RPL011"])
+
+    def test_unannotated_parameter_is_not_flagged(self):
+        src = "def mutate(x):\n    x[0] = 1.0\n    return x\n"
+        assert self.lint(src) == []
+
+    def test_inplace_method_call_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def order(x: np.ndarray) -> np.ndarray:\n"
+            "    x.sort()\n"
+            "    return x\n"
+        )
+        assert [f.code for f in self.lint(src)] == ["RPL011"]
+
+    def test_out_keyword_aliasing_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def clamp(x: np.ndarray) -> np.ndarray:\n"
+            "    return np.clip(x, 0.0, 1.0, out=x)\n"
+        )
+        assert [f.code for f in self.lint(src)] == ["RPL011"]
+
+    def test_mutation_before_copy_still_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def late_copy(x: np.ndarray) -> np.ndarray:\n"
+            "    x[0] = 1.0\n"
+            "    x = x.copy()\n"
+            "    return x\n"
+        )
+        findings = self.lint(src)
+        assert [f.line for f in findings] == [3]
+
+    def test_rebind_through_np_array_severs_aliasing(self):
+        src = (
+            "import numpy as np\n"
+            "def widen(x: np.ndarray) -> np.ndarray:\n"
+            "    x = np.array(x, dtype=float)\n"
+            "    x += 1.0\n"
+            "    return x\n"
+        )
+        assert self.lint(src) == []
+
+    def test_local_arrays_are_free_to_mutate(self):
+        src = (
+            "import numpy as np\n"
+            "def build(n: int) -> np.ndarray:\n"
+            "    out = np.zeros(n)\n"
+            "    out[0] = 1.0\n"
+            "    return out\n"
+        )
+        assert self.lint(src) == []
 
 
 class TestSuppressionMachinery:

@@ -16,17 +16,22 @@ from repro.obs import (
     EVENT_TYPES,
     NULL_TRACER,
     BlockBoundaryEvent,
+    BufferedJsonlSink,
     Counter,
     DualUpdateEvent,
     EdgeFilterSink,
     EmissionEvent,
+    FaultInjectedEvent,
+    FeedbackLostEvent,
     InMemorySink,
     JsonlSink,
     ModelSwitchEvent,
     NullTracer,
+    RetryEvent,
     SlotStartEvent,
     Timer,
     TradeEvent,
+    TradeRejectedEvent,
     Tracer,
     event_from_dict,
     read_events,
@@ -40,11 +45,15 @@ ALL_EVENTS = [
     TradeEvent(t=5, buy=1.25, sell=0.0, buy_price=80.0, sell_price=72.0, cost=100.0),
     DualUpdateEvent(t=5, dual=0.125, constraint=-3.0),
     EmissionEvent(t=5, emissions_kg=4.0, cumulative_kg=20.0, holdings_kg=18.0, violation_kg=2.0),
+    FaultInjectedEvent(t=6, kind="edge_outage", edge=2),
+    FeedbackLostEvent(t=7, edge=1, model=3),
+    TradeRejectedEvent(t=9, buy=1.5, sell=0.0, pending_buy=1.5, pending_sell=0.0),
+    RetryEvent(t=11, edge=0, hosted_model=2, target_model=4, attempt=2, backoff_slots=4),
 ]
 
 
 class TestEvents:
-    def test_registry_covers_all_six_types(self):
+    def test_registry_covers_all_types(self):
         assert set(EVENT_TYPES) == {
             "slot_start",
             "model_switch",
@@ -52,6 +61,10 @@ class TestEvents:
             "trade",
             "dual_update",
             "emission",
+            "fault_injected",
+            "feedback_lost",
+            "trade_rejected",
+            "retry",
         }
 
     @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.type)
@@ -89,17 +102,52 @@ class TestSinks:
             sink.write(event)
         assert len(sink) == len(ALL_EVENTS)
         assert sink.counts_by_type()["trade"] == 1
-        assert sink.of_type("emission") == [ALL_EVENTS[-1]]
+        assert sink.of_type("emission") == [ALL_EVENTS[5]]
+
+    def test_buffered_jsonl_batches_writes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = BufferedJsonlSink(path, buffer_size=4)
+        for event in ALL_EVENTS[:3]:
+            sink.write(event)
+        assert sink.buffered == 3
+        assert sink.flushes == 0
+        sink.write(ALL_EVENTS[3])  # fourth event fills the buffer
+        assert sink.buffered == 0
+        assert sink.flushes == 1
+        sink.close()
+        assert read_events(path) == ALL_EVENTS[:4]
+
+    def test_buffered_jsonl_close_flushes_remainder(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = BufferedJsonlSink(path, buffer_size=100)
+        for event in ALL_EVENTS:
+            sink.write(event)
+        sink.close()
+        assert sink.events_written == len(ALL_EVENTS)
+        assert read_events(path) == ALL_EVENTS
+
+    def test_buffered_jsonl_matches_unbuffered_bytes(self, tmp_path):
+        plain, buffered = tmp_path / "plain.jsonl", tmp_path / "buffered.jsonl"
+        for sink in (JsonlSink(plain), BufferedJsonlSink(buffered, buffer_size=3)):
+            for event in ALL_EVENTS:
+                sink.write(event)
+            sink.close()
+        assert buffered.read_bytes() == plain.read_bytes()
+
+    def test_buffered_jsonl_rejects_bad_buffer_size(self):
+        with pytest.raises(ValueError, match="buffer_size"):
+            BufferedJsonlSink(io.StringIO(), buffer_size=0)
 
     def test_edge_filter_forwards_only_matching_edge(self):
         inner = InMemorySink()
         sink = EdgeFilterSink(inner, edge=1)
         for event in ALL_EVENTS:
             sink.write(event)
-        assert inner.events == [ALL_EVENTS[1]]  # the edge-1 model switch
+        # The edge-1 model switch and the edge-1 feedback loss.
+        assert inner.events == [ALL_EVENTS[1], ALL_EVENTS[7]]
         assert sink.events_seen == len(ALL_EVENTS)
-        assert sink.events_forwarded == 1
-        assert sink.forwarded_counts == {"model_switch": 1}
+        assert sink.events_forwarded == 2
+        assert sink.forwarded_counts == {"model_switch": 1, "feedback_lost": 1}
 
     def test_edge_filter_drops_edgeless_events(self):
         # slot_start/trade/dual_update/emission carry no edge: never forwarded.
@@ -107,7 +155,8 @@ class TestSinks:
         sink = EdgeFilterSink(inner, edge=0)
         for event in ALL_EVENTS:
             sink.write(event)
-        assert inner.events == [ALL_EVENTS[2]]  # the edge-0 block boundary
+        # The edge-0 block boundary and the edge-0 download retry.
+        assert inner.events == [ALL_EVENTS[2], ALL_EVENTS[9]]
         assert all(hasattr(event, "edge") for event in inner.events)
 
     def test_edge_filter_closes_inner_sink(self, tmp_path):
@@ -176,9 +225,12 @@ class TestInstrumentedSimulation:
         )
         return simulator.run(), sink, scenario
 
-    def test_every_event_type_emitted(self, traced_run):
+    def test_every_clean_event_type_emitted(self, traced_run):
+        # A clean (fault-free) run emits every event type except the four
+        # fault events, which only fire under a non-empty FaultPlan.
         _, sink, _ = traced_run
-        assert set(sink.counts_by_type()) == set(EVENT_TYPES)
+        fault_types = {"fault_injected", "feedback_lost", "trade_rejected", "retry"}
+        assert set(sink.counts_by_type()) == set(EVENT_TYPES) - fault_types
 
     def test_slot_start_per_slot(self, traced_run):
         _, sink, scenario = traced_run
