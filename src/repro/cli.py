@@ -8,6 +8,13 @@ Examples::
     python -m repro.cli trace --selection Ours --trading Ours > events.jsonl
     python -m repro.cli trace --output run.jsonl --summary
     python -m repro.cli trace --edge 0 --summary --output edge0.jsonl
+    python -m repro.cli trace --replay run.jsonl
+    python -m repro.cli serve --edges 4 --horizon 80 --trace-output serve.jsonl
+    python -m repro.cli serve --config serve.json --snapshot-every 16 \
+        --snapshot-path state.pkl
+    python -m repro.cli serve --resume state.pkl
+    python -m repro.cli serve --wall-clock --slot-duration 0.05 \
+        --backpressure shed --health-port 8080
     python -m repro.cli zoo --dataset mnist
     python -m repro.cli experiment fig10 fig11 --full
     python -m repro.cli experiment fig03 fig04 --workers 4 --cache .repro_cache
@@ -81,6 +88,67 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--edge", type=int, default=None, metavar="I",
                        help="keep only per-edge events (model switches, "
                             "block boundaries) of edge I")
+    trace.add_argument("--replay", metavar="LOG.jsonl", default=None,
+                       help="re-aggregate a recorded trace into summary "
+                            "tables instead of running anything")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async streaming edge-fleet runtime (repro.serve)",
+    )
+    serve.add_argument("--config", metavar="CONFIG.json", default=None,
+                       help="serve configuration file (scenario flags are "
+                            "ignored when given; explicit serve flags still "
+                            "override)")
+    serve.add_argument("--selection", choices=SELECTION_NAMES, default=None)
+    serve.add_argument("--trading", choices=TRADING_NAMES, default=None)
+    _add_scenario_options(serve)
+    serve.add_argument("--label", default=None,
+                       help="run label (default: '<selection>-<trading>')")
+    serve.add_argument("--label-delay", type=int, default=None, metavar="D",
+                       help="deliver bandit feedback D slots late")
+    serve.add_argument("--adapter", choices=("poisson", "replay", "dataset"),
+                       default=None,
+                       help="stream adapter feeding the edges "
+                            "(default: poisson)")
+    serve.add_argument("--replay-log", metavar="LOG.jsonl", default=None,
+                       help="trace whose arrival events drive the replay "
+                            "adapter")
+    clock = serve.add_mutually_exclusive_group()
+    clock.add_argument("--virtual-clock", dest="clock", action="store_true",
+                       default=None,
+                       help="deterministic lockstep clock, bit-identical "
+                            "to the simulator (default)")
+    clock.add_argument("--wall-clock", dest="clock", action="store_false",
+                       help="real-time pacing with pipelined slots")
+    serve.add_argument("--slot-duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock slot length (0 = free-running)")
+    serve.add_argument("--queue-capacity", type=int, default=None, metavar="N",
+                       help="per-edge queue bound in events (default: 1024)")
+    serve.add_argument("--backpressure", choices=("block", "shed"),
+                       default=None,
+                       help="full-queue policy; shed requires --wall-clock")
+    serve.add_argument("--pipeline-depth", type=int, default=None, metavar="K",
+                       help="wall-clock slots in flight at once (default: 8)")
+    serve.add_argument("--snapshot-every", type=int, default=None, metavar="S",
+                       help="persist full controller state every S slots")
+    serve.add_argument("--snapshot-path", metavar="PATH", default=None,
+                       help="where snapshots are written (atomic replace)")
+    serve.add_argument("--resume", metavar="SNAPSHOT", default=None,
+                       help="resume a killed run from its snapshot file "
+                            "(ignores --config and scenario flags)")
+    serve.add_argument("--faults", metavar="PLAN.json", default=None,
+                       help="fault plan injected into the run")
+    serve.add_argument("--trace-output", metavar="LOG.jsonl", default=None,
+                       help="stream events to this JSONL file through a "
+                            "background-drained async sink")
+    serve.add_argument("--health-port", type=int, default=None, metavar="PORT",
+                       help="serve /healthz and /metrics JSON on this port "
+                            "while running (0 = ephemeral)")
+    serve.add_argument("--max-slots", type=int, default=None, metavar="K",
+                       help="stop after K completed slots (resume later "
+                            "from the snapshot)")
 
     zoo = sub.add_parser("zoo", help="train and describe a model zoo")
     zoo.add_argument("--dataset", choices=("mnist", "cifar10"), default="mnist")
@@ -181,8 +249,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_trace
+
+    summary = summarize_trace(args.replay)
+    overview = [
+        ["events", summary.events_total],
+        ["slots seen", summary.slots_seen],
+        ["horizon", summary.horizon],
+        ["bought kg", round(summary.total_bought, 6)],
+        ["sold kg", round(summary.total_sold, 6)],
+        ["trading cost", round(summary.trading_cost, 6)],
+        ["trades rejected", summary.trades_rejected],
+        ["snapshots", summary.snapshots],
+        ["final cum. emissions kg", round(summary.final_cumulative_kg, 6)],
+        ["final holdings kg", round(summary.final_holdings_kg, 6)],
+        ["final violation kg", round(summary.final_violation_kg, 6)],
+    ]
+    if summary.final_dual is not None:
+        overview.append(["final dual", round(summary.final_dual, 6)])
+    print(format_table(["metric", "value"], overview,
+                       title=f"Trace replay: {args.replay}"))
+    print(format_table(["event type", "count"], summary.event_rows(),
+                       title="Events by type"))
+    if summary.edges:
+        print(format_table(
+            ["edge", "arrivals", "switches", "blocks", "fb lost",
+             "retries", "shed"],
+            summary.edge_rows(),
+            title="Per-edge aggregates",
+        ))
+    if summary.faults_by_kind:
+        rows = [[kind, count]
+                for kind, count in sorted(summary.faults_by_kind.items())]
+        print(format_table(["fault kind", "events"], rows,
+                           title="Injected faults"))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import EdgeFilterSink, JsonlSink, Tracer
+
+    if args.replay is not None:
+        return _cmd_trace_replay(args)
 
     config = ScenarioConfig(
         dataset=args.dataset,
@@ -221,6 +330,93 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.summary:
         for name in sorted(counts):
             print(f"  {name:<16} {counts[name]}", file=report)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import AsyncQueueSink, JsonlSink, Tracer
+    from repro.serve import ServeConfig, ServeRuntime
+
+    plan = None
+    if args.faults is not None:
+        from repro.faults import load_plan
+
+        plan = load_plan(args.faults)
+
+    tracer = Tracer()
+    sink = None
+    if args.trace_output is not None:
+        sink = AsyncQueueSink(JsonlSink(args.trace_output))
+        tracer.add_sink(sink)
+
+    if args.resume is not None:
+        runtime = ServeRuntime.from_snapshot(
+            args.resume, tracer=tracer, faults=plan
+        )
+        print(f"resuming {runtime.label} from {args.resume} "
+              f"at slot {runtime.completed_slot + 1}/{runtime.horizon}")
+    else:
+        if args.config is not None:
+            config = ServeConfig.from_file(args.config)
+        else:
+            config = ServeConfig(
+                scenario=ScenarioConfig(
+                    dataset=args.dataset,
+                    num_edges=args.edges,
+                    horizon=args.horizon,
+                    carbon_cap_kg=args.cap,
+                    switching_weight=args.switching_weight,
+                ),
+                seed=args.seed,
+            )
+        overrides = {
+            name: value
+            for name, value in (
+                ("selection", args.selection),
+                ("trading", args.trading),
+                ("label", args.label),
+                ("label_delay", args.label_delay),
+                ("adapter", args.adapter),
+                ("replay_log", args.replay_log),
+                ("slot_duration", args.slot_duration),
+                ("queue_capacity", args.queue_capacity),
+                ("backpressure", args.backpressure),
+                ("pipeline_depth", args.pipeline_depth),
+                ("snapshot_every", args.snapshot_every),
+                ("snapshot_path", args.snapshot_path),
+                ("health_port", args.health_port),
+            )
+            if value is not None
+        }
+        if args.clock is not None:
+            overrides["virtual_clock"] = args.clock
+        if overrides:
+            config = config.with_overrides(**overrides)
+        runtime = ServeRuntime(config, tracer=tracer, faults=plan)
+
+    result = runtime.run(max_slots=args.max_slots)
+    tracer.close()
+
+    if result is not None:
+        summary = summarize_run(result, runtime.scenario.config.weights)
+        rows = [[key, value] for key, value in summary.as_dict().items()]
+        print(format_table(["metric", "value"], rows,
+                           title=f"Served: {result.label}"))
+    else:
+        print(f"served {runtime.completed_slot + 1}/{runtime.horizon} slots "
+              f"of {runtime.label}; resume with --resume "
+              f"{runtime.config.snapshot_path}")
+    counters = tracer.metrics_snapshot()["counters"]
+    counter_rows = [
+        [name.removeprefix("serve/"), int(value)]
+        for name, value in sorted(counters.items())
+        if name.startswith("serve/")
+    ]
+    print(format_table(["serve counter", "value"], counter_rows,
+                       title="Serve counters"))
+    if sink is not None:
+        print(f"traced {sink.events_written} events -> {args.trace_output}"
+              + (f" ({sink.dropped} dropped)" if sink.dropped else ""))
     return 0
 
 
@@ -285,6 +481,7 @@ def _template_plan():
         EdgeOutage,
         FaultPlan,
         FeedbackLoss,
+        GilbertElliottLoss,
         MarketOutage,
         TradeRejection,
     )
@@ -292,6 +489,7 @@ def _template_plan():
     return FaultPlan((
         EdgeOutage(edge=0, start=20, end=30),
         FeedbackLoss(probability=0.1),
+        GilbertElliottLoss(p_bad=0.1, p_good=0.3, loss_bad=0.9, edge=1),
         DownloadFailure(probability=0.2, max_backoff=8),
         MarketOutage(start=40, end=60),
         TradeRejection(probability=0.05),
@@ -392,6 +590,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "zoo":
         return _cmd_zoo(args)
     if args.command == "experiment":

@@ -16,6 +16,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultSpec,
     FeedbackLoss,
+    GilbertElliottLoss,
     MarketOutage,
     TradeRejection,
     load_plan,
@@ -30,6 +31,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FeedbackLoss",
+    "GilbertElliottLoss",
     "MarketOutage",
     "TradeRejection",
     "load_plan",

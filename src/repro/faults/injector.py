@@ -18,6 +18,7 @@ from repro.faults.plan import (
     EdgeOutage,
     FaultPlan,
     FeedbackLoss,
+    GilbertElliottLoss,
     MarketOutage,
     TradeRejection,
 )
@@ -74,6 +75,8 @@ class FaultInjector:
                 offline[spec.start : spec.end, spec.edge] = True
             elif isinstance(spec, FeedbackLoss):
                 feedback |= self._edge_mask(spec, index, rng)
+            elif isinstance(spec, GilbertElliottLoss):
+                feedback |= self._gilbert_elliott_mask(spec, index, rng)
             elif isinstance(spec, DownloadFailure):
                 mask = self._edge_mask(spec, index, rng)
                 download |= mask
@@ -127,6 +130,30 @@ class FaultInjector:
             (self.horizon, self.num_edges)
         )
         return (draws < spec.probability) & self._window_mask(
+            spec.start, spec.end, spec.edge
+        )
+
+    def _gilbert_elliott_mask(
+        self, spec: GilbertElliottLoss, index: int, rng: RngFactory
+    ) -> np.ndarray:
+        """Realize a bursty two-state loss channel per edge.
+
+        One vectorized draw from the spec's stream supplies both the state
+        transitions (``u[0]``) and the per-slot loss draws (``u[1]``), so
+        realization stays a single consumption of the named stream.  Chains
+        start good and evolve slot by slot; the loss probability applied at
+        each slot is the state's (``loss_good`` / ``loss_bad``).
+        """
+        u = rng.get(f"{spec.kind}-{index}").random(
+            (2, self.horizon, self.num_edges)
+        )
+        bad = np.zeros(self.num_edges, dtype=bool)
+        loss_p = np.empty((self.horizon, self.num_edges))
+        for t in range(self.horizon):
+            flip = np.where(bad, u[0, t] < spec.p_good, u[0, t] < spec.p_bad)
+            bad = bad ^ flip
+            loss_p[t] = np.where(bad, spec.loss_bad, spec.loss_good)
+        return (u[1] < loss_p) & self._window_mask(
             spec.start, spec.end, spec.edge
         )
 

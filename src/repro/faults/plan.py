@@ -41,6 +41,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FeedbackLoss",
+    "GilbertElliottLoss",
     "MarketOutage",
     "TradeRejection",
     "load_plan",
@@ -198,8 +199,48 @@ class TradeRejection(FaultSpec):
         _check_window(self.start, self.end)
 
 
+@register_fault
+@dataclass(frozen=True)
+class GilbertElliottLoss(FaultSpec):
+    """Bursty feedback loss driven by a two-state Gilbert-Elliott channel.
+
+    Each edge's feedback link evolves as a Markov chain over {good, bad}:
+    from good it enters bad with probability ``p_bad`` per slot, from bad it
+    recovers with probability ``p_good``.  A slot's observation is dropped
+    with probability ``loss_good`` while the link is good and ``loss_bad``
+    while it is bad — the classic correlated/bursty loss model, in contrast
+    to :class:`FeedbackLoss`'s IID drops.  Applies to slots ``[start, end)``
+    (``end=None`` means the horizon) on ``edge`` (``None`` means every edge,
+    each with an independent chain).  Chains start in the good state.
+    """
+
+    p_bad: float
+    p_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    edge: int | None = None
+    start: int = 0
+    end: int | None = None
+
+    kind: ClassVar[str] = "gilbert_elliott_loss"
+
+    def __post_init__(self) -> None:
+        _check_probability(self.p_bad)
+        _check_probability(self.p_good)
+        _check_probability(self.loss_good)
+        _check_probability(self.loss_bad)
+        if self.edge is not None and self.edge < 0:
+            raise ValueError(f"edge must be non-negative, got {self.edge}")
+        _check_window(self.start, self.end)
+
+
 AnyFault = Union[
-    EdgeOutage, FeedbackLoss, DownloadFailure, MarketOutage, TradeRejection
+    EdgeOutage,
+    FeedbackLoss,
+    GilbertElliottLoss,
+    DownloadFailure,
+    MarketOutage,
+    TradeRejection,
 ]
 
 

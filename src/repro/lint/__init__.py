@@ -18,6 +18,7 @@ Quick use::
 """
 
 from repro.lint.engine import (
+    SEVERITIES,
     FileContext,
     Finding,
     iter_python_files,
@@ -28,6 +29,7 @@ from repro.lint.engine import (
 from repro.lint.reporters import render_json, render_text
 from repro.lint.rules import (
     DEFAULT_PATH_RULES,
+    DEFAULT_PATH_SEVERITY,
     Rule,
     all_rules,
     register,
@@ -36,9 +38,11 @@ from repro.lint.rules import (
 
 __all__ = [
     "DEFAULT_PATH_RULES",
+    "DEFAULT_PATH_SEVERITY",
     "FileContext",
     "Finding",
     "Rule",
+    "SEVERITIES",
     "all_rules",
     "iter_python_files",
     "lint_file",

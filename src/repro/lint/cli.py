@@ -2,8 +2,8 @@
 
 Exit-code contract (relied on by CI and :mod:`tests.test_cli`):
 
-* ``0`` — every checked file is clean;
-* ``1`` — at least one finding;
+* ``0`` — no error-severity findings (warnings alone never gate);
+* ``1`` — at least one error-severity finding;
 * ``2`` — usage or I/O error (unknown rule code, missing path, ...).
 
 Examples::
@@ -22,7 +22,7 @@ from pathlib import Path
 
 from repro.lint.engine import iter_python_files, lint_file
 from repro.lint.reporters import render_json, render_text
-from repro.lint.rules import DEFAULT_PATH_RULES, all_rules
+from repro.lint.rules import DEFAULT_PATH_RULES, DEFAULT_PATH_SEVERITY, all_rules
 
 __all__ = ["build_parser", "main", "run"]
 
@@ -61,7 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-path-rules",
         action="store_true",
-        help="ignore the default per-path waivers (e.g. examples/ may print)",
+        help=(
+            "ignore the default per-path waivers and severity downgrades "
+            "(e.g. benchmarks/ may print, examples/ prints are warnings)"
+        ),
     )
     return parser
 
@@ -78,20 +81,31 @@ def run(
     output_format: str = "text",
     select: list[str] | None = None,
     path_rules: dict[str, frozenset[str]] | None = None,
+    path_severity: dict[str, dict[str, str]] | None = None,
 ) -> tuple[str, int]:
     """Lint ``paths``; return ``(report, exit_code)`` per the CLI contract.
 
     ``path_rules`` defaults to :data:`repro.lint.rules.DEFAULT_PATH_RULES`
-    (pass ``{}`` to disable the per-path waivers entirely).
+    and ``path_severity`` to
+    :data:`repro.lint.rules.DEFAULT_PATH_SEVERITY` (pass ``{}`` to disable
+    either).  Only error-severity findings set exit code 1 — warnings are
+    reported but never fatal.
     """
     if path_rules is None:
         path_rules = DEFAULT_PATH_RULES
+    if path_severity is None:
+        path_severity = DEFAULT_PATH_SEVERITY
     try:
         files = list(iter_python_files(paths))
         findings = []
         for target in files:
             findings.extend(
-                lint_file(target, select=select, path_rules=path_rules)
+                lint_file(
+                    target,
+                    select=select,
+                    path_rules=path_rules,
+                    path_severity=path_severity,
+                )
             )
     except (FileNotFoundError, ValueError, OSError) as exc:
         return f"repro-lint: error: {exc}", 2
@@ -100,7 +114,8 @@ def run(
         report = render_json(findings, checked_files=len(files))
     else:
         report = render_text(findings, checked_files=len(files))
-    return report, 1 if findings else 0
+    errors = sum(1 for f in findings if f.is_error)
+    return report, 1 if errors else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
         output_format=args.format,
         select=select,
         path_rules={} if args.no_path_rules else None,
+        path_severity={} if args.no_path_rules else None,
     )
     stream = sys.stderr if code == 2 else sys.stdout
     print(report, file=stream)

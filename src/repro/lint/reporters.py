@@ -16,16 +16,26 @@ JSON_SCHEMA_VERSION = 1
 
 
 def render_text(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
-    """GCC-style ``path:line:col: CODE message`` lines plus a summary."""
+    """GCC-style ``path:line:col: CODE message`` lines plus a summary.
+
+    When warnings are present the summary breaks the total down by
+    severity, since only the errors gate the exit code.
+    """
     lines = [finding.render() for finding in findings]
     if findings:
         by_code = Counter(finding.code for finding in findings)
         breakdown = ", ".join(
             f"{code} x{count}" for code, count in sorted(by_code.items())
         )
+        warnings = sum(1 for f in findings if not f.is_error)
+        severity = (
+            f" ({len(findings) - warnings} error(s), {warnings} warning(s))"
+            if warnings
+            else ""
+        )
         lines.append(
             f"reprolint: {len(findings)} finding(s) in {checked_files} "
-            f"file(s) [{breakdown}]"
+            f"file(s) [{breakdown}]{severity}"
         )
     else:
         lines.append(f"reprolint: 0 findings in {checked_files} file(s)")
@@ -37,12 +47,15 @@ def render_json(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
     payload = {
         "schema_version": JSON_SCHEMA_VERSION,
         "rules": [
-            {"code": rule.code, "summary": rule.summary} for rule in all_rules()
+            {"code": rule.code, "summary": rule.summary, "severity": rule.severity}
+            for rule in all_rules()
         ],
         "findings": [finding.as_dict() for finding in findings],
         "summary": {
             "checked_files": checked_files,
             "total_findings": len(findings),
+            "errors": sum(1 for f in findings if f.is_error),
+            "warnings": sum(1 for f in findings if not f.is_error),
             "findings_by_code": dict(
                 sorted(Counter(f.code for f in findings).items())
             ),

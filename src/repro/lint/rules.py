@@ -22,6 +22,7 @@ from repro.lint.engine import FileContext, Finding
 
 __all__ = [
     "DEFAULT_PATH_RULES",
+    "DEFAULT_PATH_SEVERITY",
     "DunderAllDriftRule",
     "FloatEqualityRule",
     "GlobalRandomStateRule",
@@ -49,13 +50,19 @@ HOT_PATH_DIRS = ("core", "bandits", "trading")
 PRINT_ALLOWED = ("experiments", "lint", "cli", "__main__")
 
 #: Per-path rule waivers applied by default (directory/stem -> rule codes).
-#: ``examples/`` scripts and ``benchmarks/`` harnesses print their results
-#: by design — that is their entire user interface — so RPL010 is waived
-#: there by configuration instead of per-line ``noqa`` noise; every other
-#: rule still applies.
+#: ``benchmarks/`` harnesses print their results by design — that is their
+#: entire user interface — so RPL010 is waived there by configuration
+#: instead of per-line ``noqa`` noise; every other rule still applies.
 DEFAULT_PATH_RULES: dict[str, frozenset[str]] = {
-    "examples": frozenset({"RPL010"}),
     "benchmarks": frozenset({"RPL010"}),
+}
+
+#: Per-path severity overrides applied by default (directory/stem ->
+#: {code: severity}).  ``examples/`` scripts also print by design, but a
+#: *downgrade* beats a waiver there: prints stay visible in reports (so an
+#: example growing non-demo logic is noticed) without failing the gate.
+DEFAULT_PATH_SEVERITY: dict[str, dict[str, str]] = {
+    "examples": {"RPL010": "warning"},
 }
 
 _REGISTRY: dict[str, type["Rule"]] = {}
@@ -82,10 +89,16 @@ def registered_codes() -> list[str]:
 
 
 class Rule:
-    """Base class: subclasses set ``code``/``summary`` and yield findings."""
+    """Base class: subclasses set ``code``/``summary`` and yield findings.
+
+    ``severity`` is the rule's default level for every finding it emits
+    (``"error"`` gates the CLI exit code, ``"warning"`` never does);
+    per-path severity overrides may adjust it after the fact.
+    """
 
     code: str = "RPL000"
     summary: str = ""
+    severity: str = "error"
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         """Yield findings for one file; default walks every AST node."""
@@ -104,6 +117,7 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             code=self.code,
             message=message,
+            severity=self.severity,
         )
 
 

@@ -63,6 +63,16 @@ class AllowanceLedger:
         self._deferred_buy_total = 0.0
         self._deferred_sell_total = 0.0
 
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach the event bus future records should emit through."""
+        self._tracer = tracer
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the bound tracer (it may hold open file sinks)."""
+        state = dict(self.__dict__)
+        state["_tracer"] = NULL_TRACER
+        return state
+
     @property
     def initial_cap(self) -> float:
         """The pre-allocated allowance cap ``R``."""

@@ -45,6 +45,16 @@ class CarbonMarket:
         self._trades: list[Trade] = []
         self._tracer = tracer if tracer is not None else NULL_TRACER
 
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach the event bus future executions should emit through."""
+        self._tracer = tracer
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the bound tracer (it may hold open file sinks)."""
+        state = dict(self.__dict__)
+        state["_tracer"] = NULL_TRACER
+        return state
+
     @property
     def prices(self) -> PriceSeries:
         """The underlying price trace."""

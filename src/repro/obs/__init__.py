@@ -16,10 +16,13 @@ Typical use::
     switches = sink.of_type("model_switch")
 
 or from the command line: ``repro trace --selection Ours --trading Ours``.
+Recorded JSONL traces fold back into summaries via
+:func:`summarize_trace` (``repro trace --replay log.jsonl``).
 """
 
 from repro.obs.events import (
     EVENT_TYPES,
+    ArrivalEvent,
     BlockBoundaryEvent,
     DualUpdateEvent,
     EmissionEvent,
@@ -27,15 +30,24 @@ from repro.obs.events import (
     FaultInjectedEvent,
     FeedbackLostEvent,
     ModelSwitchEvent,
+    QueueShedEvent,
     RetryEvent,
     SlotStartEvent,
+    SnapshotEvent,
     TradeEvent,
     TradeRejectedEvent,
     event_from_dict,
     register_event,
 )
 from repro.obs.metrics import Counter, Timer
+from repro.obs.replay import (
+    EdgeSummary,
+    TraceSummary,
+    summarize_events,
+    summarize_trace,
+)
 from repro.obs.sinks import (
+    AsyncQueueSink,
     BufferedJsonlSink,
     EdgeFilterSink,
     InMemorySink,
@@ -45,12 +57,15 @@ from repro.obs.sinks import (
 from repro.obs.tracer import NULL_TRACER, EventSink, NullTracer, Tracer
 
 __all__ = [
+    "ArrivalEvent",
+    "AsyncQueueSink",
     "BlockBoundaryEvent",
     "BufferedJsonlSink",
     "Counter",
     "DualUpdateEvent",
     "EVENT_TYPES",
     "EdgeFilterSink",
+    "EdgeSummary",
     "EmissionEvent",
     "Event",
     "EventSink",
@@ -61,13 +76,18 @@ __all__ = [
     "ModelSwitchEvent",
     "NULL_TRACER",
     "NullTracer",
+    "QueueShedEvent",
     "RetryEvent",
     "SlotStartEvent",
+    "SnapshotEvent",
     "Timer",
+    "TraceSummary",
     "TradeEvent",
     "TradeRejectedEvent",
     "Tracer",
     "event_from_dict",
     "read_events",
     "register_event",
+    "summarize_events",
+    "summarize_trace",
 ]

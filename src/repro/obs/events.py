@@ -17,6 +17,7 @@ from dataclasses import asdict, dataclass
 from typing import ClassVar
 
 __all__ = [
+    "ArrivalEvent",
     "BlockBoundaryEvent",
     "DualUpdateEvent",
     "EVENT_TYPES",
@@ -25,8 +26,10 @@ __all__ = [
     "FaultInjectedEvent",
     "FeedbackLostEvent",
     "ModelSwitchEvent",
+    "QueueShedEvent",
     "RetryEvent",
     "SlotStartEvent",
+    "SnapshotEvent",
     "TradeEvent",
     "TradeRejectedEvent",
     "event_from_dict",
@@ -220,6 +223,51 @@ class RetryEvent(Event):
     backoff_slots: int = 1
 
     type: ClassVar[str] = "retry"
+
+
+@register_event
+@dataclass(frozen=True)
+class ArrivalEvent(Event):
+    """A stream adapter delivered slot ``t``'s workload to an edge.
+
+    ``count`` is the number of samples offered.  Replaying a serve log
+    through the trace-replay adapter feeds these counts back verbatim,
+    which is what lets a recorded run be re-executed deterministically.
+    """
+
+    edge: int = 0
+    count: int = 0
+
+    type: ClassVar[str] = "arrival"
+
+
+@register_event
+@dataclass(frozen=True)
+class QueueShedEvent(Event):
+    """Backpressure dropped slot ``t``'s payload at an edge's work queue.
+
+    The edge still advances its block schedule (the slot routes through the
+    lost-feedback path), but nothing is served; ``count`` samples were shed.
+    """
+
+    edge: int = 0
+    count: int = 0
+
+    type: ClassVar[str] = "queue_shed"
+
+
+@register_event
+@dataclass(frozen=True)
+class SnapshotEvent(Event):
+    """The serve runtime persisted full controller state after slot ``t``.
+
+    ``path`` is where the snapshot landed; a restored process resumes from
+    ``t + 1``.
+    """
+
+    path: str = ""
+
+    type: ClassVar[str] = "snapshot"
 
 
 def event_from_dict(payload: dict[str, object]) -> Event:

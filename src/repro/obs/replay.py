@@ -1,0 +1,169 @@
+"""Re-aggregate a JSONL event trace into run-level summaries.
+
+``repro trace --replay log.jsonl`` routes here: a recorded trace — from the
+simulator's tracer or a :mod:`repro.serve` run — is folded back into the
+per-edge and trading summaries without re-executing anything.  Serve logs
+round-trip: the aggregates read off the trace match the live run's obs
+counters.
+
+Stays stdlib-only (like the rest of :mod:`repro.obs`); table *rendering*
+belongs to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.events import Event
+from repro.obs.sinks import read_events
+
+__all__ = ["EdgeSummary", "TraceSummary", "summarize_events", "summarize_trace"]
+
+
+@dataclass(frozen=True)
+class EdgeSummary:
+    """Aggregates of one edge's per-edge events across the trace."""
+
+    edge: int
+    switches: int = 0
+    block_boundaries: int = 0
+    feedback_losses: int = 0
+    retries: int = 0
+    arrivals: int = 0
+    shed: int = 0
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything ``repro trace --replay`` reports about one trace."""
+
+    events_total: int
+    slots_seen: int
+    horizon: int
+    event_counts: dict[str, int] = field(default_factory=dict)
+    edges: dict[int, EdgeSummary] = field(default_factory=dict)
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
+    total_bought: float = 0.0
+    total_sold: float = 0.0
+    trading_cost: float = 0.0
+    trades_rejected: int = 0
+    snapshots: int = 0
+    final_cumulative_kg: float = 0.0
+    final_holdings_kg: float = 0.0
+    final_violation_kg: float = 0.0
+    final_dual: float | None = None
+
+    def edge_rows(self) -> list[list[object]]:
+        """Per-edge table rows (sorted by edge index)."""
+        return [
+            [
+                summary.edge,
+                summary.arrivals,
+                summary.switches,
+                summary.block_boundaries,
+                summary.feedback_losses,
+                summary.retries,
+                summary.shed,
+            ]
+            for summary in sorted(self.edges.values(), key=lambda s: s.edge)
+        ]
+
+    def event_rows(self) -> list[list[object]]:
+        """Event-type count rows (sorted by type tag)."""
+        return [[tag, count] for tag, count in sorted(self.event_counts.items())]
+
+
+def summarize_events(events: Iterable[Event]) -> TraceSummary:
+    """Fold typed events into a :class:`TraceSummary`."""
+    counts: dict[str, int] = {}
+    slots: set[int] = set()
+    horizon = 0
+    edges: dict[int, dict[str, int]] = {}
+    faults: dict[str, int] = {}
+    bought = 0.0
+    sold = 0.0
+    cost = 0.0
+    rejected = 0
+    snapshots = 0
+    cumulative = 0.0
+    holdings = 0.0
+    violation = 0.0
+    dual: float | None = None
+    total = 0
+
+    def edge_bucket(edge: int) -> dict[str, int]:
+        return edges.setdefault(
+            int(edge),
+            {
+                "switches": 0,
+                "block_boundaries": 0,
+                "feedback_losses": 0,
+                "retries": 0,
+                "arrivals": 0,
+                "shed": 0,
+            },
+        )
+
+    for event in events:
+        total += 1
+        tag = event.type
+        counts[tag] = counts.get(tag, 0) + 1
+        if tag == "slot_start":
+            slots.add(event.t)
+            horizon = max(horizon, int(event.horizon))
+        elif tag == "model_switch":
+            edge_bucket(event.edge)["switches"] += 1
+        elif tag == "block_boundary":
+            edge_bucket(event.edge)["block_boundaries"] += 1
+        elif tag == "feedback_lost":
+            edge_bucket(event.edge)["feedback_losses"] += 1
+        elif tag == "retry":
+            edge_bucket(event.edge)["retries"] += 1
+        elif tag == "arrival":
+            edge_bucket(event.edge)["arrivals"] += int(event.count)
+        elif tag == "queue_shed":
+            edge_bucket(event.edge)["shed"] += int(event.count)
+        elif tag == "fault_injected":
+            faults[event.kind] = faults.get(event.kind, 0) + 1
+        elif tag == "trade":
+            bought += float(event.buy)
+            sold += float(event.sell)
+            cost += float(event.cost)
+        elif tag == "trade_rejected":
+            rejected += 1
+        elif tag == "snapshot":
+            snapshots += 1
+        elif tag == "emission":
+            cumulative = float(event.cumulative_kg)
+            holdings = float(event.holdings_kg)
+            violation = float(event.violation_kg)
+        elif tag == "dual_update":
+            dual = float(event.dual)
+
+    return TraceSummary(
+        events_total=total,
+        slots_seen=len(slots),
+        horizon=horizon,
+        event_counts=counts,
+        edges={
+            edge: EdgeSummary(edge=edge, **bucket)
+            for edge, bucket in edges.items()
+        },
+        faults_by_kind=faults,
+        total_bought=bought,
+        total_sold=sold,
+        trading_cost=cost,
+        trades_rejected=rejected,
+        snapshots=snapshots,
+        final_cumulative_kg=cumulative,
+        final_holdings_kg=holdings,
+        final_violation_kg=violation,
+        final_dual=dual,
+    )
+
+
+def summarize_trace(path: str | Path) -> TraceSummary:
+    """Load a JSONL trace from disk and summarize it."""
+    return summarize_events(read_events(path))

@@ -11,6 +11,8 @@ at one edge (``repro trace --edge I`` uses it).  Anything with
 from __future__ import annotations
 
 import json
+import queue
+import threading
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Iterator
 
@@ -20,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracer import EventSink
 
 __all__ = [
+    "AsyncQueueSink",
     "BufferedJsonlSink",
     "EdgeFilterSink",
     "InMemorySink",
@@ -141,6 +144,71 @@ class BufferedJsonlSink(JsonlSink):
         """Flush the buffer, then close as :class:`JsonlSink` does."""
         self.flush()
         super().close()
+
+
+class AsyncQueueSink:
+    """Hands events to a background thread that drains into an inner sink.
+
+    The producing (hot) path pays only a bounded non-blocking enqueue; a
+    single daemon thread performs the serialization and I/O, so event order
+    is preserved and the inner sink's output is byte-identical to writing
+    it directly — provided nothing was dropped.  When the queue is full the
+    event is *dropped* and counted in ``dropped`` rather than blocking the
+    control loop (the serving trade-off: lose telemetry, never stall
+    inference).
+
+    ``close()`` drains everything already enqueued, joins the worker, and
+    closes the inner sink.
+    """
+
+    _SENTINEL = None
+
+    def __init__(self, inner: "EventSink", *, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.inner = inner
+        self.capacity = capacity
+        self.events_written = 0
+        self.dropped = 0
+        self._queue: queue.Queue[Event | None] = queue.Queue(maxsize=capacity)
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._drain, name="repro-obs-async-sink", daemon=True
+        )
+        self._worker.start()
+
+    def _drain(self) -> None:
+        while True:
+            event = self._queue.get()
+            if event is self._SENTINEL:
+                self._queue.task_done()
+                return
+            self.inner.write(event)
+            self.events_written += 1
+            self._queue.task_done()
+
+    def write(self, event: Event) -> None:
+        """Enqueue one event; drop (and count) if the queue is full."""
+        if self._closed:
+            raise ValueError("write to a closed AsyncQueueSink")
+        try:
+            self._queue.put_nowait(event)
+        except queue.Full:
+            self.dropped += 1
+
+    @property
+    def pending(self) -> int:
+        """Events enqueued but not yet written by the worker."""
+        return self._queue.qsize()
+
+    def close(self) -> None:
+        """Drain the queue, stop the worker, and close the inner sink."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(self._SENTINEL)  # blocks until there is room
+        self._worker.join()
+        self.inner.close()
 
 
 class EdgeFilterSink:

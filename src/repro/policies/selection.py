@@ -37,6 +37,16 @@ class SelectionPolicy:
         self.tracer = tracer
         self.trace_edge = edge
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the bound tracer (it may hold open file sinks).
+
+        An unpickled policy falls back to the class-level ``NULL_TRACER``;
+        the restoring runtime rebinds its own tracer via ``bind_tracer``.
+        """
+        state = dict(self.__dict__)
+        state.pop("tracer", None)
+        return state
+
     def select(self, t: int) -> int:
         """Return the model index to host at slot ``t``."""
         raise NotImplementedError

@@ -80,6 +80,16 @@ class TradingPolicy:
         """Attach the event bus this policy should emit through."""
         self.tracer = tracer
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the bound tracer (it may hold open file sinks).
+
+        An unpickled policy falls back to the class-level ``NULL_TRACER``;
+        the restoring runtime rebinds its own tracer via ``bind_tracer``.
+        """
+        state = dict(self.__dict__)
+        state.pop("tracer", None)
+        return state
+
     def decide(self, context: TradingContext) -> TradeDecision:
         """Choose the quantities to buy and sell at slot ``context.t``."""
         raise NotImplementedError

@@ -1,0 +1,45 @@
+"""repro.serve: the async streaming edge-fleet runtime.
+
+Runs Algorithm 1 (per-edge online model selection) and Algorithm 2 (central
+carbon-allowance trading) as long-lived asyncio tasks over pluggable stream
+adapters, with bounded-queue backpressure, periodic snapshot/restore, a
+stdlib health endpoint, and a deterministic virtual-clock mode that is
+bit-identical to :meth:`repro.sim.simulator.Simulator.run`.
+"""
+
+from repro.serve.adapters import (
+    DatasetAdapter,
+    PoissonAdapter,
+    StreamAdapter,
+    TraceReplayAdapter,
+    arrival_counts_from_trace,
+    make_adapters,
+)
+from repro.serve.clock import SlotClock, VirtualClock, WallClock
+from repro.serve.config import ServeConfig
+from repro.serve.http import StatusServer
+from repro.serve.queues import BoundedWorkQueue, QueueStats, WorkItem
+from repro.serve.runtime import ServeRuntime, serve_run
+from repro.serve.snapshot import SNAPSHOT_VERSION, load_snapshot, save_snapshot
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "BoundedWorkQueue",
+    "DatasetAdapter",
+    "PoissonAdapter",
+    "QueueStats",
+    "ServeConfig",
+    "ServeRuntime",
+    "SlotClock",
+    "StatusServer",
+    "StreamAdapter",
+    "TraceReplayAdapter",
+    "VirtualClock",
+    "WallClock",
+    "WorkItem",
+    "arrival_counts_from_trace",
+    "load_snapshot",
+    "make_adapters",
+    "save_snapshot",
+    "serve_run",
+]

@@ -1,0 +1,150 @@
+"""Configuration for the streaming serve runtime.
+
+A :class:`ServeConfig` bundles the scenario to serve (a plain
+:class:`~repro.sim.config.ScenarioConfig`), the policy combination, and the
+runtime knobs — clock mode, queue capacity, backpressure policy, snapshot
+cadence, health endpoint.  It round-trips through JSON so ``repro serve
+--config serve.json`` and snapshot files can reconstruct the exact runtime.
+
+Two invariants are enforced at construction because they protect the
+determinism contract:
+
+* virtual-clock mode cannot shed (shedding depends on wall-clock races, so
+  a deterministic run must use ``block`` backpressure);
+* the replay adapter needs a trace to replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sim.config import CostWeights, ScenarioConfig
+
+__all__ = ["ADAPTER_NAMES", "BACKPRESSURE_MODES", "ServeConfig"]
+
+#: Stream adapters selectable by name in a serve config.
+ADAPTER_NAMES = ("poisson", "replay", "dataset")
+
+#: What a feeder does when an edge's work queue is full.
+BACKPRESSURE_MODES = ("block", "shed")
+
+
+def _scenario_from_dict(payload: dict) -> ScenarioConfig:
+    fields = dict(payload)
+    weights = fields.get("weights")
+    if isinstance(weights, dict):
+        try:
+            fields["weights"] = CostWeights(**weights)
+        except TypeError as exc:
+            raise ValueError(f"bad cost weights {weights!r}: {exc}") from exc
+    try:
+        return ScenarioConfig(**fields)
+    except TypeError as exc:
+        raise ValueError(f"bad scenario config {payload!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything needed to launch (or resume) one serve run."""
+
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    selection: str = "Ours"
+    trading: str = "Ours"
+    seed: int = 0
+    label: str | None = None
+    label_delay: int = 0
+    adapter: str = "poisson"
+    replay_log: str | None = None
+    virtual_clock: bool = True
+    slot_duration: float = 0.0
+    queue_capacity: int = 1024
+    backpressure: str = "block"
+    pipeline_depth: int = 8
+    snapshot_every: int = 0
+    snapshot_path: str | None = None
+    health_port: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.adapter not in ADAPTER_NAMES:
+            raise ValueError(
+                f"unknown adapter {self.adapter!r}; expected one of {ADAPTER_NAMES}"
+            )
+        if self.backpressure not in BACKPRESSURE_MODES:
+            raise ValueError(
+                f"unknown backpressure mode {self.backpressure!r}; "
+                f"expected one of {BACKPRESSURE_MODES}"
+            )
+        if self.virtual_clock and self.backpressure == "shed":
+            raise ValueError(
+                "virtual-clock mode cannot shed: deterministic runs must "
+                'use backpressure="block"'
+            )
+        if self.adapter == "replay" and not self.replay_log:
+            raise ValueError('adapter "replay" requires replay_log')
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.slot_duration < 0:
+            raise ValueError(
+                f"slot_duration must be non-negative, got {self.slot_duration}"
+            )
+        if self.snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be non-negative, got {self.snapshot_every}"
+            )
+        if self.snapshot_every > 0 and not self.snapshot_path:
+            raise ValueError("snapshot_every > 0 requires snapshot_path")
+        if self.label_delay < 0:
+            raise ValueError(
+                f"label_delay must be non-negative, got {self.label_delay}"
+            )
+
+    @property
+    def effective_label(self) -> str:
+        """The run label (defaults to the policy combination)."""
+        return (
+            self.label
+            if self.label is not None
+            else f"{self.selection}-{self.trading}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        payload = dataclasses.asdict(self)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeConfig":
+        """Build a config from a mapping, rejecting unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown serve config keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        fields_in = dict(payload)
+        scenario = fields_in.get("scenario")
+        if isinstance(scenario, dict):
+            fields_in["scenario"] = _scenario_from_dict(scenario)
+        return cls(**fields_in)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ServeConfig":
+        """Load a config from a JSON file."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError(f"serve config {path} must hold a JSON object")
+        return cls.from_dict(payload)
+
+    def with_overrides(self, **overrides: object) -> "ServeConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **overrides)

@@ -20,6 +20,10 @@ and then, once slot emissions are known at the system level:
 Arrivals and sample draws use dedicated named RNG streams that do not depend
 on the policies, so different policies face *identical* workloads and data
 (common random numbers) — exactly how the paper compares combinations.
+
+The per-edge and trading step bodies live in :mod:`repro.sim.kernel` as
+stateful slot kernels shared with the :mod:`repro.serve` runtime; the
+simulator is the lockstep driver of those kernels.
 """
 
 from __future__ import annotations
@@ -31,18 +35,11 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.market.ledger import AllowanceLedger
 from repro.market.market import CarbonMarket
-from repro.nn.losses import squared_label_loss
-from repro.obs.events import (
-    FaultInjectedEvent,
-    FeedbackLostEvent,
-    ModelSwitchEvent,
-    RetryEvent,
-    SlotStartEvent,
-    TradeRejectedEvent,
-)
+from repro.obs.events import SlotStartEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.policies.selection import SelectionPolicy
-from repro.policies.trading import TradeDecision, TradingContext, TradingPolicy
+from repro.policies.trading import TradingPolicy
+from repro.sim.kernel import EdgeSlotKernel, TradingSlotKernel, class_index_map
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
 from repro.utils.rng import RngFactory
@@ -138,25 +135,74 @@ class Simulator:
             faults=faults,
         )
 
-    def run(self) -> SimulationResult:
-        """Simulate the full horizon and return per-slot records."""
-        scenario = self.scenario
-        cfg = scenario.config
-        horizon, num_edges = scenario.horizon, scenario.num_edges
-        pool_size = scenario.profiles[0].pool_size
-        effective_u = scenario.effective_switch_costs()
+    def build_kernels(
+        self,
+    ) -> tuple[list[ArrivalProcess], list[EdgeSlotKernel], TradingSlotKernel]:
+        """Materialize the slot kernels this run drives.
 
+        The RNG stream layout (``arrivals-i``, ``data-i``, ``faults``) and
+        construction order are part of the determinism contract: the serve
+        runtime calls this too, which is what makes its virtual-clock mode
+        bit-identical to :meth:`run`.
+        """
+        scenario = self.scenario
+        num_edges = scenario.num_edges
         arrival_processes = [
             ArrivalProcess(scenario.workload_means[i], self._rng.get(f"arrivals-{i}"))
             for i in range(num_edges)
         ]
         data_rngs = [self._rng.get(f"data-{i}") for i in range(num_edges)]
-        class_indices = self._class_index_map()
+        class_indices = class_index_map(scenario)
+
+        tracer = self.tracer
+        market = CarbonMarket(scenario.prices, tracer=tracer)
+        ledger = AllowanceLedger(scenario.config.carbon_cap_kg, tracer=tracer)
+
+        # Fault injection: realized up-front from a dedicated RNG child, so
+        # an empty plan leaves every workload/policy stream bit-identical.
+        injector: FaultInjector | None = None
+        if not self.faults.is_empty:
+            injector = FaultInjector(
+                self.faults,
+                horizon=scenario.horizon,
+                num_edges=num_edges,
+                rng=self._rng.child("faults"),
+            )
+
+        edge_kernels = [
+            EdgeSlotKernel(
+                scenario,
+                self.selection_policies[i],
+                i,
+                data_rng=data_rngs[i],
+                class_indices=class_indices,
+                injector=injector,
+                tracer=tracer,
+                label_delay=self.label_delay,
+                live_inference=self.live_inference,
+            )
+            for i in range(num_edges)
+        ]
+        trading_kernel = TradingSlotKernel(
+            scenario,
+            self.trading_policy,
+            market,
+            ledger,
+            injector=injector,
+            tracer=tracer,
+        )
+        return arrival_processes, edge_kernels, trading_kernel
+
+    def run(self) -> SimulationResult:
+        """Simulate the full horizon and return per-slot records."""
+        scenario = self.scenario
+        cfg = scenario.config
+        horizon, num_edges = scenario.horizon, scenario.num_edges
+
+        arrival_processes, edge_kernels, trading_kernel = self.build_kernels()
 
         tracer = self.tracer
         tracing = tracer.enabled
-        market = CarbonMarket(scenario.prices, tracer=tracer)
-        ledger = AllowanceLedger(cfg.carbon_cap_kg, tracer=tracer)
 
         expected_inference = np.zeros(horizon)
         realized_loss = np.zeros(horizon)
@@ -171,32 +217,6 @@ class Simulator:
         selections = np.zeros((horizon, num_edges), dtype=int)
         switches = np.zeros((horizon, num_edges), dtype=bool)
 
-        previous_model = np.full(num_edges, -1, dtype=int)
-        emissions_running_sum = 0.0
-        # Delayed label feedback (paper Step 2.3): slot losses reach the
-        # selection policies `label_delay` slots after the inference ran.
-        pending_feedback: list[tuple[int, int, int, float]] = []
-
-        # Fault injection: realized up-front from a dedicated RNG child, so
-        # an empty plan leaves every workload/policy stream bit-identical.
-        injector: FaultInjector | None = None
-        if not self.faults.is_empty:
-            injector = FaultInjector(
-                self.faults,
-                horizon=horizon,
-                num_edges=num_edges,
-                rng=self._rng.child("faults"),
-            )
-        # Download-retry state: slots left before the next attempt, the
-        # current (capped exponential) backoff, and consecutive failures.
-        retry_wait = np.zeros(num_edges, dtype=int)
-        retry_backoff = np.zeros(num_edges, dtype=int)
-        retry_attempts = np.zeros(num_edges, dtype=int)
-        # Trade intent deferred by market outages/rejections, reconciled at
-        # the next executable slot (bounded by the per-slot trade bound).
-        pending_buy = 0.0
-        pending_sell = 0.0
-
         for t in range(horizon):
             if tracing:
                 tracer.emit(SlotStartEvent(t=t, horizon=horizon))
@@ -204,181 +224,38 @@ class Simulator:
             slot_correct = 0.0
             slot_arrivals = 0
             for i in range(num_edges):
-                policy = self.selection_policies[i]
-                model = policy.select(t)
-
-                if injector is not None and injector.edge_offline(t, i):
-                    # Edge down: draw the slot's workload anyway so RNG
-                    # streams stay aligned with the unfaulted run, then drop
-                    # it unserved — no inference, no emissions, no feedback.
-                    count = arrival_processes[i].sample(t)
-                    self._draw_indices(
-                        i, count, data_rngs[i], pool_size, class_indices
-                    )
-                    selections[t, i] = model
-                    switches[t, i] = False
-                    policy.observe_lost(t, model)
-                    if tracing:
-                        tracer.emit(
-                            FaultInjectedEvent(t=t, kind="edge_outage", edge=i)
-                        )
-                    continue
-
-                # Resolve which model actually serves this slot: a switch
-                # requires a download, which fault plans can fail — the edge
-                # then keeps its hosted model and retries under capped
-                # exponential backoff.  Initial provisioning never fails.
-                hosted = int(previous_model[i])
-                serve = model
-                if injector is not None and hosted >= 0 and model != hosted:
-                    if retry_wait[i] > 0:
-                        retry_wait[i] -= 1
-                        serve = hosted
-                    elif injector.download_failed(t, i):
-                        retry_attempts[i] += 1
-                        cap = injector.backoff_cap(t, i)
-                        retry_backoff[i] = min(max(2 * retry_backoff[i], 1), cap)
-                        retry_wait[i] = retry_backoff[i]
-                        serve = hosted
-                        if tracing:
-                            tracer.emit(
-                                FaultInjectedEvent(
-                                    t=t, kind="download_failure", edge=i
-                                )
-                            )
-                            tracer.emit(
-                                RetryEvent(
-                                    t=t,
-                                    edge=i,
-                                    hosted_model=hosted,
-                                    target_model=int(model),
-                                    attempt=int(retry_attempts[i]),
-                                    backoff_slots=int(retry_backoff[i]),
-                                )
-                            )
-                if injector is not None and serve == model:
-                    retry_wait[i] = 0
-                    retry_backoff[i] = 0
-                    retry_attempts[i] = 0
-
-                switched = serve != previous_model[i]
-                if switched and tracing:
-                    tracer.emit(
-                        ModelSwitchEvent(
-                            t=t,
-                            edge=i,
-                            previous_model=int(previous_model[i]),
-                            model=int(serve),
-                            switch_cost=float(effective_u[i]),
-                        )
-                    )
-                previous_model[i] = serve
-                selections[t, i] = serve
-                switches[t, i] = switched
-
                 count = arrival_processes[i].sample(t)
-                idx = self._draw_indices(
-                    i, count, data_rngs[i], pool_size, class_indices
-                )
-                profile = scenario.profiles[serve]
-                losses = self._sample_losses(profile, idx)
-                slot_loss = float(losses.mean())
-                latency = float(scenario.latencies[i, serve])
-                if serve != model:
-                    # The chosen model never ran, so its loss is
-                    # unobservable this slot (bandit feedback).
-                    policy.observe_lost(t, model)
-                elif injector is not None and injector.feedback_lost(t, i):
-                    policy.observe_lost(t, model)
-                    if tracing:
-                        tracer.emit(
-                            FeedbackLostEvent(t=t, edge=i, model=int(model))
-                        )
-                elif self.label_delay == 0:
-                    policy.observe(t, model, slot_loss + latency)
-                else:
-                    pending_feedback.append((t, i, model, slot_loss + latency))
-
-                expected_inference[t] += profile.expected_loss
-                realized_loss[t] += slot_loss
-                compute_cost[t] += latency
-                if switched:
-                    switching_cost[t] += float(effective_u[i])
-                slot_emissions += scenario.energy.slot_emissions_kg(
-                    i, serve, count, switched
-                )
-                slot_correct += float(profile.correct_per_sample[idx].sum())
-                slot_arrivals += count
+                outcome = edge_kernels[i].step(t, count)
+                selections[t, i] = outcome.model
+                switches[t, i] = outcome.switched
+                if outcome.offline:
+                    continue
+                expected_inference[t] += outcome.expected_loss
+                realized_loss[t] += outcome.slot_loss
+                compute_cost[t] += outcome.latency
+                if outcome.switched:
+                    switching_cost[t] += outcome.switch_cost
+                slot_emissions += outcome.emissions_kg
+                slot_correct += outcome.correct
+                slot_arrivals += outcome.served
 
             emissions[t] = slot_emissions
             arrivals_total[t] = slot_arrivals
             accuracy[t] = slot_correct / slot_arrivals if slot_arrivals else np.nan
 
-            context = self._trading_context(
-                t, market, ledger, emissions, emissions_running_sum
+            bought[t], sold[t], trading_cost[t] = trading_kernel.step(
+                t, slot_emissions
             )
-            decision = self.trading_policy.decide(context)
-            decision = TradeDecision(
-                buy=min(max(decision.buy, 0.0), scenario.trade_bound),
-                sell=min(max(decision.sell, 0.0), scenario.trade_bound),
-            )
-            if injector is not None and injector.trade_blocked(t):
-                # Market unreachable or order bounced: nothing executes, the
-                # ledger records realized (zero) volumes, and the intent
-                # carries over — bounded by the per-slot trade bound, so
-                # long outages shed excess rather than accumulate it.  The
-                # dual update sees only the realized trade.
-                pending_buy = min(
-                    pending_buy + decision.buy, scenario.trade_bound
-                )
-                pending_sell = min(
-                    pending_sell + decision.sell, scenario.trade_bound
-                )
-                ledger.record_rejection(decision.buy, decision.sell)
-                ledger.record(slot_emissions, 0.0, 0.0)
-                self.trading_policy.observe(
-                    context, TradeDecision(buy=0.0, sell=0.0), slot_emissions
-                )
-                if tracing:
-                    tracer.emit(
-                        TradeRejectedEvent(
-                            t=t,
-                            buy=decision.buy,
-                            sell=decision.sell,
-                            pending_buy=pending_buy,
-                            pending_sell=pending_sell,
-                        )
-                    )
-            else:
-                if pending_buy > 0.0 or pending_sell > 0.0:
-                    executed = TradeDecision(
-                        buy=min(
-                            decision.buy + pending_buy, scenario.trade_bound
-                        ),
-                        sell=min(
-                            decision.sell + pending_sell, scenario.trade_bound
-                        ),
-                    )
-                    pending_buy = 0.0
-                    pending_sell = 0.0
-                else:
-                    executed = decision
-                trade = market.execute(t, executed.buy, executed.sell)
-                ledger.record(slot_emissions, executed.buy, executed.sell)
-                self.trading_policy.observe(context, executed, slot_emissions)
-
-                bought[t] = trade.bought
-                sold[t] = trade.sold
-                trading_cost[t] = trade.cost
-            emissions_running_sum += slot_emissions
 
             if self.label_delay > 0:
-                self._deliver_feedback(pending_feedback, due_slot=t - self.label_delay)
+                for kernel in edge_kernels:
+                    kernel.deliver_due(t - self.label_delay)
 
         if self.label_delay > 0:
             # Labels still in flight at the end of the horizon arrive after
             # it; deliver them so every policy's accounting completes.
-            self._deliver_feedback(pending_feedback, due_slot=horizon)
+            for kernel in edge_kernels:
+                kernel.deliver_due(horizon)
 
         return SimulationResult(
             label=self.label,
@@ -399,97 +276,4 @@ class Simulator:
             accuracy=accuracy,
             selections=selections,
             switches=switches,
-        )
-
-    def _class_index_map(self) -> list[np.ndarray] | None:
-        """Pool indices per class, when per-edge class mixes are in force."""
-        weights = self.scenario.edge_class_weights
-        if weights is None:
-            return None
-        labels = self.scenario.y_pool
-        assert labels is not None  # enforced by Scenario validation
-        return [np.nonzero(labels == k)[0] for k in range(weights.shape[1])]
-
-    def _draw_indices(
-        self,
-        edge: int,
-        count: int,
-        rng: np.random.Generator,
-        pool_size: int,
-        class_indices: list[np.ndarray] | None,
-    ) -> np.ndarray:
-        """IID pool indices for one edge-slot.
-
-        Uniform over the pool (the paper's single distribution D), or a
-        two-stage draw — class by the edge's mix, then a uniform member of
-        that class — under per-edge heterogeneity.
-        """
-        if class_indices is None:
-            return rng.integers(0, pool_size, size=count)
-        weights = self.scenario.edge_class_weights[edge]
-        classes = rng.choice(weights.size, size=count, p=weights)
-        idx = np.empty(count, dtype=int)
-        for k in np.unique(classes):
-            members = class_indices[k]
-            if members.size == 0:
-                raise ValueError(f"class {k} has no pool members to sample")
-            mask = classes == k
-            idx[mask] = members[rng.integers(0, members.size, size=int(mask.sum()))]
-        return idx
-
-    def _deliver_feedback(
-        self, pending: list[tuple[int, int, int, float]], due_slot: int
-    ) -> None:
-        """Deliver all queued slot losses whose slot is <= ``due_slot``."""
-        while pending and pending[0][0] <= due_slot:
-            slot, edge, model, loss = pending.pop(0)
-            self.selection_policies[edge].observe(slot, model, loss)
-
-    def _sample_losses(self, profile, idx: np.ndarray) -> np.ndarray:
-        """Per-sample losses for the drawn pool indices.
-
-        The memoized table lookup is exact; ``live_inference=True``
-        recomputes the forward pass on the drawn samples for validation
-        (requires the scenario to carry the shared data pool).
-        """
-        if self.live_inference:
-            if profile.network is None:
-                raise ValueError(
-                    f"profile {profile.name!r} has no network for live inference"
-                )
-            if self.scenario.x_pool is None or self.scenario.y_pool is None:
-                raise ValueError("scenario carries no data pool for live inference")
-            proba = profile.network.predict_proba(self.scenario.x_pool[idx])
-            return squared_label_loss(proba, self.scenario.y_pool[idx])
-        return profile.loss_per_sample[idx]
-
-    def _trading_context(
-        self,
-        t: int,
-        market: CarbonMarket,
-        ledger: AllowanceLedger,
-        emissions: np.ndarray,
-        emissions_running_sum: float,
-    ) -> TradingContext:
-        scenario = self.scenario
-        snapshot = ledger.snapshot()
-        prev_buy = market.buy_price(t - 1) if t > 0 else market.buy_price(0)
-        prev_sell = market.sell_price(t - 1) if t > 0 else market.sell_price(0)
-        prev_emissions = float(emissions[t - 1]) if t > 0 else 0.0
-        mean_emissions = (
-            emissions_running_sum / t if t > 0 else scenario.estimated_slot_emissions()
-        )
-        return TradingContext(
-            t=t,
-            horizon=scenario.horizon,
-            cap=scenario.config.carbon_cap_kg,
-            buy_price=market.buy_price(t),
-            sell_price=market.sell_price(t),
-            prev_buy_price=prev_buy,
-            prev_sell_price=prev_sell,
-            prev_emissions=prev_emissions,
-            cumulative_emissions=snapshot.cumulative_emissions,
-            holdings=snapshot.holdings,
-            mean_slot_emissions=mean_emissions,
-            trade_bound=scenario.trade_bound,
         )

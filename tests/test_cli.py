@@ -268,7 +268,7 @@ class TestFaultsCommand:
         assert main(["faults", "template", "--output", str(plan_path)]) == 0
         assert main(["faults", "validate", str(plan_path)]) == 0
         out = capsys.readouterr().out
-        assert "5 spec(s), valid" in out
+        assert "6 spec(s), valid" in out
         assert "edge_outage" in out
         assert "trade_rejection" in out
 
@@ -277,7 +277,7 @@ class TestFaultsCommand:
         payload = capsys.readouterr().out
         from repro.faults import FaultPlan
 
-        assert len(FaultPlan.from_json(payload)) == 5
+        assert len(FaultPlan.from_json(payload)) == 6
 
     def test_malformed_plan_rejected(self, tmp_path):
         bad = tmp_path / "bad.json"
@@ -365,6 +365,6 @@ class TestExperimentFaultsPassthrough:
         )
         assert code == 0
         engine = captured["engine"]
-        assert engine.faults is not None and len(engine.faults) == 5
+        assert engine.faults is not None and len(engine.faults) == 6
         assert engine.checkpoint is not None
         assert engine.cache is None

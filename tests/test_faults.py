@@ -23,6 +23,7 @@ from repro.faults import (
     FaultInjector,
     FaultPlan,
     FeedbackLoss,
+    GilbertElliottLoss,
     MarketOutage,
     TradeRejection,
     load_plan,
@@ -47,10 +48,11 @@ def scenario_a():
 
 
 class TestFaultPlan:
-    def test_registry_covers_all_five_kinds(self):
+    def test_registry_covers_all_kinds(self):
         assert set(FAULT_KINDS) == {
             "edge_outage",
             "feedback_loss",
+            "gilbert_elliott_loss",
             "download_failure",
             "market_outage",
             "trade_rejection",
@@ -234,3 +236,94 @@ class TestTraceEvents:
     def test_trade_rejections_match_outage_window(self):
         counts = self.traced(FaultPlan((MarketOutage(start=10, end=20),)))
         assert counts["trade_rejected"] == 10
+
+
+class TestGilbertElliott:
+    """Two-state Markov (bursty) feedback loss: validation, round-trip,
+    realization determinism, and burstiness."""
+
+    def spec(self, **overrides):
+        params = dict(p_bad=0.15, p_good=0.4, loss_bad=0.95, loss_good=0.02)
+        params.update(overrides)
+        return GilbertElliottLoss(**params)
+
+    @staticmethod
+    def lost_grid(injector, horizon, num_edges):
+        return np.array([
+            [injector.feedback_lost(t, i) for i in range(num_edges)]
+            for t in range(horizon)
+        ])
+
+    def test_json_round_trip(self):
+        plan = FaultPlan((self.spec(edge=1, start=3, end=30),))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_validation_rejects_bad_probabilities(self):
+        for field, value in (
+            ("p_bad", 1.5),
+            ("p_good", -0.1),
+            ("loss_bad", 2.0),
+            ("loss_good", -1.0),
+        ):
+            with pytest.raises(ValueError):
+                self.spec(**{field: value})
+        with pytest.raises(ValueError):
+            self.spec(edge=-1)
+        with pytest.raises(ValueError):
+            self.spec(start=10, end=5)
+
+    def test_realization_is_deterministic(self):
+        plan = FaultPlan((self.spec(),))
+
+        def grid():
+            injector = FaultInjector(
+                plan, horizon=60, num_edges=3, rng=RngFactory(5).child("faults")
+            )
+            return self.lost_grid(injector, 60, 3)
+
+        assert (grid() == grid()).all()
+
+    def test_losses_are_bursty_relative_to_good_state(self):
+        # With a near-absorbing bad state (loss ~1) and clean good state
+        # (loss ~0), lost slots must cluster: the chance a loss is followed
+        # by another loss far exceeds the marginal loss rate.
+        plan = FaultPlan(
+            (self.spec(p_bad=0.05, p_good=0.1, loss_bad=1.0, loss_good=0.0),)
+        )
+        injector = FaultInjector(
+            plan, horizon=4000, num_edges=1, rng=RngFactory(3).child("faults")
+        )
+        lost = self.lost_grid(injector, 4000, 1)[:, 0]
+        marginal = lost.mean()
+        assert 0.05 < marginal < 0.8
+        followers = lost[1:][lost[:-1]]
+        assert followers.mean() > marginal + 0.2
+
+    def test_window_and_edge_scoping(self):
+        plan = FaultPlan(
+            (self.spec(p_bad=0.9, p_good=0.05, edge=1, start=10, end=20),)
+        )
+        injector = FaultInjector(
+            plan, horizon=40, num_edges=3, rng=RngFactory(11).child("faults")
+        )
+        lost = self.lost_grid(injector, 40, 3)
+        assert not lost[:, 0].any() and not lost[:, 2].any()
+        assert not lost[:10, 1].any() and not lost[20:, 1].any()
+        assert lost[10:20, 1].any()
+
+    def test_faulted_run_is_reproducible(self):
+        plan = FaultPlan((self.spec(),))
+        scenario = scenario_a()
+        a = run_combo(scenario, "Ours", "Ours", 0, faults=plan)
+        b = run_combo(scenario, "Ours", "Ours", 0, faults=plan)
+        assert (a.selections == b.selections).all()
+        assert float(a.trading_cost.sum()) == float(b.trading_cost.sum())
+
+    def test_feedback_loss_changes_behavior(self):
+        plan = FaultPlan(
+            (self.spec(p_bad=0.5, p_good=0.05, loss_bad=1.0, loss_good=0.0),)
+        )
+        scenario = scenario_a()
+        tracer = Tracer()
+        run_combo(scenario, "Ours", "Ours", 0, tracer=tracer, faults=plan)
+        assert tracer.event_counts().get("feedback_lost", 0) > 0

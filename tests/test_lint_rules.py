@@ -301,16 +301,108 @@ class TestReporters:
         assert payload["schema_version"] == 1
         assert {rule["code"] for rule in payload["rules"]} == set(registered_codes())
         assert all(
-            set(rule) == {"code", "summary"} for rule in payload["rules"]
+            set(rule) == {"code", "summary", "severity"}
+            for rule in payload["rules"]
         )
         assert payload["summary"]["total_findings"] == len(payload["findings"])
         assert payload["summary"]["checked_files"] == 1
         assert payload["summary"]["findings_by_code"] == {"RPL008": 1}
+        assert payload["summary"]["errors"] == 1
+        assert payload["summary"]["warnings"] == 0
         for finding in payload["findings"]:
-            assert set(finding) == {"path", "line", "col", "code", "message"}
+            assert set(finding) == {
+                "path",
+                "line",
+                "col",
+                "code",
+                "message",
+                "severity",
+            }
 
     def test_json_schema_when_clean(self):
         payload = json.loads(render_json([], checked_files=96))
         assert payload["findings"] == []
         assert payload["summary"]["total_findings"] == 0
         assert len(payload["rules"]) >= 8
+
+
+class TestSeverity:
+    def test_findings_default_to_error_severity(self):
+        findings = lint_source(
+            "import time\nstamp = time.time()\n", path="repro/sim/module.py"
+        )
+        assert findings
+        assert all(f.severity == "error" and f.is_error for f in findings)
+
+    def test_path_severity_downgrades_matching_code(self):
+        src = "def main():\n    print('hi')\n"
+        findings = lint_source(
+            src,
+            path="examples/demo.py",
+            path_severity={"examples": {"RPL010": "warning"}},
+        )
+        assert [f.code for f in findings] == ["RPL010"]
+        assert findings[0].severity == "warning"
+        assert not findings[0].is_error
+
+    def test_path_severity_only_applies_on_matching_paths(self):
+        src = "def main():\n    print('hi')\n"
+        findings = lint_source(
+            src,
+            path="repro/sim/module.py",
+            path_severity={"examples": {"RPL010": "warning"}},
+        )
+        assert [f.code for f in findings] == ["RPL010"]
+        assert findings[0].severity == "error"
+
+    def test_unknown_severity_level_raises(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            lint_source(
+                "print('x')\n",
+                path="examples/demo.py",
+                path_severity={"examples": {"RPL010": "fatal"}},
+            )
+
+    def test_warning_render_carries_marker(self):
+        finding = Finding(
+            path="a.py",
+            line=3,
+            col=4,
+            code="RPL010",
+            message="msg",
+            severity="warning",
+        )
+        assert finding.render() == "a.py:3:4: RPL010 [warning] msg"
+
+    def test_text_summary_breaks_down_severities(self):
+        findings = [
+            Finding(path="a.py", line=1, col=0, code="RPL008", message="m"),
+            Finding(
+                path="b.py",
+                line=2,
+                col=0,
+                code="RPL010",
+                message="m",
+                severity="warning",
+            ),
+        ]
+        report = render_text(findings, checked_files=2)
+        assert "(1 error(s), 1 warning(s))" in report
+
+    def test_cli_exit_zero_on_warnings_only(self, tmp_path):
+        from repro.lint.cli import run
+
+        target = tmp_path / "examples" / "demo.py"
+        target.parent.mkdir()
+        target.write_text("def main():\n    print('hi')\n", encoding="utf-8")
+        report, code = run([str(target.parent)])
+        assert code == 0
+        assert "[warning]" in report
+
+    def test_cli_exit_one_on_errors(self, tmp_path):
+        from repro.lint.cli import run
+
+        target = tmp_path / "module.py"
+        target.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        report, code = run([str(target)])
+        assert code == 1

@@ -9,7 +9,12 @@ test immediately, keeping the tree green by construction.
 from pathlib import Path
 
 import repro
-from repro.lint import DEFAULT_PATH_RULES, lint_paths, registered_codes
+from repro.lint import (
+    DEFAULT_PATH_RULES,
+    DEFAULT_PATH_SEVERITY,
+    lint_paths,
+    registered_codes,
+)
 
 PACKAGE_DIR = Path(repro.__file__).parent
 EXAMPLES_DIR = PACKAGE_DIR.parent.parent / "examples"
@@ -22,20 +27,30 @@ def test_package_lints_clean():
     assert findings == [], f"reprolint findings in src/repro:\n{rendered}"
 
 
-def test_examples_lint_clean_under_path_rules():
-    # Examples are user-facing scripts: prints (RPL010) are waived there by
-    # the default per-path configuration, everything else still applies.
-    findings = lint_paths([EXAMPLES_DIR], path_rules=DEFAULT_PATH_RULES)
-    rendered = "\n".join(f.render() for f in findings)
-    assert findings == [], f"reprolint findings in examples/:\n{rendered}"
+def test_examples_have_no_errors_under_default_severity():
+    # Examples are user-facing scripts: their prints (RPL010) are downgraded
+    # to warnings by the default severity configuration — still reported,
+    # never fatal.  Anything at error severity is a real defect.
+    findings = lint_paths(
+        [EXAMPLES_DIR],
+        path_rules=DEFAULT_PATH_RULES,
+        path_severity=DEFAULT_PATH_SEVERITY,
+    )
+    errors = [f for f in findings if f.is_error]
+    rendered = "\n".join(f.render() for f in errors)
+    assert errors == [], f"reprolint errors in examples/:\n{rendered}"
+    assert findings, "examples print, so RPL010 warnings must surface"
+    assert {(f.code, f.severity) for f in findings} == {("RPL010", "warning")}
 
 
-def test_examples_waiver_is_print_only():
-    # The waiver must stay narrow: without path rules the examples may only
-    # trip the print rule — any other finding is a real defect.
-    findings = lint_paths([EXAMPLES_DIR], path_rules={})
-    assert findings, "examples print, so the un-waived run must find RPL010"
+def test_examples_downgrade_is_print_only():
+    # The downgrade must stay narrow: without the severity configuration the
+    # examples may only trip the print rule — any other finding is a real
+    # defect, and everything is back at error severity.
+    findings = lint_paths([EXAMPLES_DIR], path_rules={}, path_severity={})
+    assert findings, "examples print, so the raw run must find RPL010"
     assert {f.code for f in findings} == {"RPL010"}
+    assert all(f.is_error for f in findings)
 
 
 def test_benchmarks_lint_clean_under_path_rules():

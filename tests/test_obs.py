@@ -17,6 +17,7 @@ from repro.obs import (
     NULL_TRACER,
     BlockBoundaryEvent,
     BufferedJsonlSink,
+    ArrivalEvent,
     Counter,
     DualUpdateEvent,
     EdgeFilterSink,
@@ -27,8 +28,10 @@ from repro.obs import (
     JsonlSink,
     ModelSwitchEvent,
     NullTracer,
+    QueueShedEvent,
     RetryEvent,
     SlotStartEvent,
+    SnapshotEvent,
     Timer,
     TradeEvent,
     TradeRejectedEvent,
@@ -49,6 +52,9 @@ ALL_EVENTS = [
     FeedbackLostEvent(t=7, edge=1, model=3),
     TradeRejectedEvent(t=9, buy=1.5, sell=0.0, pending_buy=1.5, pending_sell=0.0),
     RetryEvent(t=11, edge=0, hosted_model=2, target_model=4, attempt=2, backoff_slots=4),
+    ArrivalEvent(t=2, edge=1, count=64),
+    QueueShedEvent(t=4, edge=0, count=57),
+    SnapshotEvent(t=15, path="snap.pkl"),
 ]
 
 
@@ -65,6 +71,9 @@ class TestEvents:
             "feedback_lost",
             "trade_rejected",
             "retry",
+            "arrival",
+            "queue_shed",
+            "snapshot",
         }
 
     @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.type)
@@ -143,11 +152,13 @@ class TestSinks:
         sink = EdgeFilterSink(inner, edge=1)
         for event in ALL_EVENTS:
             sink.write(event)
-        # The edge-1 model switch and the edge-1 feedback loss.
-        assert inner.events == [ALL_EVENTS[1], ALL_EVENTS[7]]
+        # The edge-1 model switch, feedback loss, and stream arrival.
+        assert inner.events == [ALL_EVENTS[1], ALL_EVENTS[7], ALL_EVENTS[10]]
         assert sink.events_seen == len(ALL_EVENTS)
-        assert sink.events_forwarded == 2
-        assert sink.forwarded_counts == {"model_switch": 1, "feedback_lost": 1}
+        assert sink.events_forwarded == 3
+        assert sink.forwarded_counts == {
+            "model_switch": 1, "feedback_lost": 1, "arrival": 1,
+        }
 
     def test_edge_filter_drops_edgeless_events(self):
         # slot_start/trade/dual_update/emission carry no edge: never forwarded.
@@ -155,8 +166,8 @@ class TestSinks:
         sink = EdgeFilterSink(inner, edge=0)
         for event in ALL_EVENTS:
             sink.write(event)
-        # The edge-0 block boundary and the edge-0 download retry.
-        assert inner.events == [ALL_EVENTS[2], ALL_EVENTS[9]]
+        # The edge-0 block boundary, download retry, and queue shed.
+        assert inner.events == [ALL_EVENTS[2], ALL_EVENTS[9], ALL_EVENTS[11]]
         assert all(hasattr(event, "edge") for event in inner.events)
 
     def test_edge_filter_closes_inner_sink(self, tmp_path):
@@ -230,7 +241,8 @@ class TestInstrumentedSimulation:
         # fault events, which only fire under a non-empty FaultPlan.
         _, sink, _ = traced_run
         fault_types = {"fault_injected", "feedback_lost", "trade_rejected", "retry"}
-        assert set(sink.counts_by_type()) == set(EVENT_TYPES) - fault_types
+        serve_types = {"arrival", "queue_shed", "snapshot"}
+        assert set(sink.counts_by_type()) == set(EVENT_TYPES) - fault_types - serve_types
 
     def test_slot_start_per_slot(self, traced_run):
         _, sink, scenario = traced_run
@@ -259,3 +271,141 @@ class TestInstrumentedSimulation:
         assert (plain.selections == traced.selections).all()
         assert (plain.trading_cost == traced.trading_cost).all()
         assert float(plain.emissions.sum()) == float(traced.emissions.sum())
+
+
+class TestAsyncQueueSink:
+    def test_byte_identical_to_jsonl_sink_under_full_drain(self, tmp_path):
+        from repro.obs import AsyncQueueSink
+
+        direct = tmp_path / "direct.jsonl"
+        threaded = tmp_path / "threaded.jsonl"
+        plain = JsonlSink(direct)
+        for event in ALL_EVENTS:
+            plain.write(event)
+        plain.close()
+        sink = AsyncQueueSink(JsonlSink(threaded))
+        for event in ALL_EVENTS:
+            sink.write(event)
+        sink.close()
+        assert sink.dropped == 0
+        assert sink.events_written == len(ALL_EVENTS)
+        assert threaded.read_bytes() == direct.read_bytes()
+
+    def test_drops_are_counted_when_queue_overflows(self, tmp_path):
+        import threading
+
+        from repro.obs import AsyncQueueSink
+
+        release = threading.Event()
+        entered = threading.Event()
+
+        class SlowSink:
+            def __init__(self):
+                self.seen = 0
+
+            def write(self, event):
+                entered.set()
+                release.wait(timeout=5)
+                self.seen += 1
+
+            def close(self):
+                pass
+
+        inner = SlowSink()
+        sink = AsyncQueueSink(inner, capacity=4)
+        # the first event occupies the worker (wait until it is inside the
+        # inner write), then four more fill the queue to capacity.
+        sink.write(ALL_EVENTS[0])
+        assert entered.wait(timeout=5)
+        for _ in range(4):
+            sink.write(ALL_EVENTS[0])
+        overflowed = 3
+        for _ in range(overflowed):
+            sink.write(ALL_EVENTS[0])
+        assert sink.dropped == overflowed
+        release.set()
+        sink.close()
+        assert inner.seen == 5
+        assert sink.events_written == 5
+
+    def test_write_after_close_raises(self):
+        from repro.obs import AsyncQueueSink
+
+        sink = AsyncQueueSink(InMemorySink())
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write(ALL_EVENTS[0])
+
+    def test_capacity_validated(self):
+        from repro.obs import AsyncQueueSink
+
+        with pytest.raises(ValueError):
+            AsyncQueueSink(InMemorySink(), capacity=0)
+
+    def test_used_as_tracer_sink_on_a_real_run(self, tmp_path):
+        from repro.obs import AsyncQueueSink
+
+        path = tmp_path / "run.jsonl"
+        sink = AsyncQueueSink(JsonlSink(path))
+        tracer = Tracer([sink])
+        scenario = build_scenario(
+            ScenarioConfig(dataset="synthetic", num_edges=2, horizon=16)
+        )
+        Simulator.from_names(scenario, "Ours", "Ours", seed=5, tracer=tracer).run()
+        tracer.close()
+        assert sink.dropped == 0
+        replayed = list(read_events(path))
+        assert len(replayed) == sink.events_written > 0
+
+
+class TestTraceSummaries:
+    def _trace(self, tmp_path, horizon=20, num_edges=2):
+        from repro.obs import summarize_trace
+
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer([sink])
+        scenario = build_scenario(
+            ScenarioConfig(
+                dataset="synthetic", num_edges=num_edges, horizon=horizon
+            )
+        )
+        result = Simulator.from_names(
+            scenario, "Ours", "Ours", seed=9, tracer=tracer
+        ).run()
+        tracer.close()
+        return result, summarize_trace(path), tracer.event_counts()
+
+    def test_summary_counts_match_tracer(self, tmp_path):
+        result, summary, counts = self._trace(tmp_path)
+        assert summary.event_counts == counts
+        assert summary.events_total == sum(counts.values())
+        assert summary.slots_seen == summary.horizon == result.horizon
+
+    def test_summary_aggregates_match_result(self, tmp_path):
+        result, summary, _ = self._trace(tmp_path)
+        assert sum(s.switches for s in summary.edges.values()) == (
+            result.total_switches()
+        )
+        assert summary.total_bought == pytest.approx(float(result.bought.sum()))
+        assert summary.total_sold == pytest.approx(float(result.sold.sum()))
+        assert summary.trading_cost == pytest.approx(
+            float(result.trading_cost.sum())
+        )
+        assert summary.final_cumulative_kg == pytest.approx(
+            float(result.emissions.sum())
+        )
+
+    def test_summarize_events_on_empty_iterable(self):
+        from repro.obs import summarize_events
+
+        summary = summarize_events([])
+        assert summary.events_total == 0
+        assert summary.slots_seen == 0
+        assert summary.edges == {}
+        assert summary.final_dual is None
+
+    def test_edge_rows_sorted_by_edge(self, tmp_path):
+        _, summary, _ = self._trace(tmp_path, num_edges=3)
+        rows = summary.edge_rows()
+        assert [row[0] for row in rows] == sorted(row[0] for row in rows)

@@ -1,0 +1,553 @@
+"""Tests for repro.serve: the async streaming edge-fleet runtime.
+
+The headline contracts:
+
+* **Parity** — a virtual-clock serve run is bit-identical to
+  ``Simulator.run``, locked against the same golden digests, for every
+  stream adapter that reuses the simulator's RNG streams.
+* **Resilience** — a run killed mid-horizon resumes from its snapshot and
+  completes to the *same* digest as an uninterrupted run.
+* **Backpressure accounting** — under wall-clock load every event is
+  accounted for: ``events_in == served + shed + dropped_offline``, and
+  queue depth stays bounded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import JsonlSink, Tracer, summarize_trace
+from repro.serve import (
+    BoundedWorkQueue,
+    ServeConfig,
+    ServeRuntime,
+    StatusServer,
+    VirtualClock,
+    WallClock,
+    WorkItem,
+    arrival_counts_from_trace,
+    load_snapshot,
+    save_snapshot,
+    serve_run,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.io import result_digest
+from tests.test_golden_digests import GOLDEN_DIGESTS, SCENARIO_CONFIGS
+
+
+def serve_config(scenario_name="A", seed=0, **overrides):
+    return ServeConfig(
+        scenario=SCENARIO_CONFIGS[scenario_name],
+        seed=seed,
+        label="Ours-Ours",
+        **overrides,
+    )
+
+
+class TestServeConfig:
+    def test_defaults_are_virtual_and_blocking(self):
+        config = ServeConfig()
+        assert config.virtual_clock and config.backpressure == "block"
+        assert config.adapter == "poisson"
+
+    def test_effective_label(self):
+        assert ServeConfig().effective_label == "Ours-Ours"
+        assert ServeConfig(label="x").effective_label == "x"
+
+    def test_virtual_clock_rejects_shedding(self):
+        # Shedding breaks lockstep parity by construction, so the config
+        # refuses the combination rather than silently losing determinism.
+        with pytest.raises(ValueError, match="shed"):
+            ServeConfig(virtual_clock=True, backpressure="shed")
+
+    def test_replay_adapter_requires_log(self):
+        with pytest.raises(ValueError, match="replay"):
+            ServeConfig(adapter="replay")
+
+    def test_snapshots_require_path(self):
+        with pytest.raises(ValueError, match="snapshot_path"):
+            ServeConfig(snapshot_every=8)
+
+    def test_unknown_adapter_and_backpressure_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(adapter="kafka")
+        with pytest.raises(ValueError):
+            ServeConfig(virtual_clock=False, backpressure="explode")
+
+    def test_dict_round_trip_with_nested_scenario(self):
+        config = serve_config(
+            "B", seed=3, snapshot_every=8, snapshot_path="s.pkl"
+        )
+        clone = ServeConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ServeConfig.from_dict({"bogus_knob": 1})
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "serve.json"
+        config = serve_config("A", seed=1)
+        path.write_text(json.dumps(config.to_dict()), encoding="utf-8")
+        assert ServeConfig.from_file(path) == config
+
+    def test_with_overrides(self):
+        config = ServeConfig().with_overrides(seed=9, queue_capacity=32)
+        assert config.seed == 9 and config.queue_capacity == 32
+
+
+class TestClocksAndQueues:
+    def test_release_is_monotone_and_wakes_waiters(self):
+        async def scenario():
+            clock = VirtualClock()
+            order = []
+
+            async def waiter(t):
+                await clock.wait_for_slot(t)
+                order.append(t)
+
+            tasks = [asyncio.create_task(waiter(t)) for t in (2, 0, 1)]
+            await asyncio.sleep(0)
+            await clock.release(1)
+            await clock.release(0)  # lower target is a no-op
+            await asyncio.sleep(0)
+            assert clock.released == 1
+            assert sorted(order) == [0, 1]
+            await clock.release(2)
+            await asyncio.gather(*tasks)
+            return order
+
+        order = asyncio.run(scenario())
+        assert sorted(order) == [0, 1, 2]
+
+    def test_wall_clock_paces_on_loop_time(self):
+        async def scenario():
+            clock = WallClock(0.01)
+            await clock.release(5)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await clock.pace(0)
+            await clock.pace(3)
+            return loop.time() - start
+
+        assert asyncio.run(scenario()) >= 0.025
+
+    def test_queue_blocks_until_room_and_preserves_fifo(self):
+        async def scenario():
+            queue = BoundedWorkQueue(10)
+            await queue.put(WorkItem(t=0, count=6))
+            blocked = asyncio.create_task(queue.put(WorkItem(t=1, count=6)))
+            await asyncio.sleep(0)
+            assert not blocked.done()
+            first = await queue.get()
+            await blocked
+            second = await queue.get()
+            return first.t, second.t, queue.depth_items
+
+        assert asyncio.run(scenario()) == (0, 1, 0)
+
+    def test_nonblocking_put_rejects_and_counts(self):
+        async def scenario():
+            queue = BoundedWorkQueue(10)
+            await queue.put(WorkItem(t=0, count=6))
+            admitted = await queue.put(WorkItem(t=1, count=6), block=False)
+            assert not admitted and queue.stats.rejected == 1
+            # shed markers weigh nothing and always fit
+            assert await queue.put(
+                WorkItem(t=1, count=6, shed=True), block=False
+            )
+            return queue.depth_events
+
+        assert asyncio.run(scenario()) == 6
+
+    def test_oversized_burst_admitted_only_when_empty(self):
+        async def scenario():
+            queue = BoundedWorkQueue(4)
+            assert await queue.put(WorkItem(t=0, count=50), block=False)
+            assert not await queue.put(WorkItem(t=1, count=1), block=False)
+            await queue.get()
+            assert await queue.put(WorkItem(t=1, count=1), block=False)
+
+        asyncio.run(scenario())
+
+    def test_queue_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BoundedWorkQueue(0)
+
+
+class TestVirtualClockParity:
+    @pytest.mark.parametrize("scenario_name,seed", sorted(GOLDEN_DIGESTS))
+    def test_serve_matches_golden_digests(self, scenario_name, seed):
+        result = serve_run(serve_config(scenario_name, seed))
+        assert result_digest(result) == GOLDEN_DIGESTS[(scenario_name, seed)]
+
+    def test_dataset_adapter_preserves_parity(self):
+        # The adapter pre-draws pool indices from the kernel's own stream;
+        # consumption order per edge is identical, so digests cannot move.
+        result = serve_run(serve_config("A", 0, adapter="dataset"))
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_replay_adapter_preserves_parity(self, tmp_path):
+        log = tmp_path / "serve.jsonl"
+        tracer = Tracer([JsonlSink(log)])
+        serve_run(serve_config("A", 0), tracer=tracer)
+        tracer.close()
+        result = serve_run(
+            serve_config("A", 0, adapter="replay", replay_log=str(log))
+        )
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_tracing_does_not_change_serve_results(self, tmp_path):
+        tracer = Tracer([JsonlSink(tmp_path / "t.jsonl")])
+        traced = serve_run(serve_config("B", 1), tracer=tracer)
+        tracer.close()
+        assert result_digest(traced) == GOLDEN_DIGESTS[("B", 1)]
+
+    def test_label_delay_matches_simulator(self):
+        from repro.sim.scenario import build_scenario
+        from repro.sim.simulator import Simulator
+
+        scenario = build_scenario(SCENARIO_CONFIGS["A"])
+        sim = Simulator.from_names(
+            scenario, "Ours", "Ours", seed=0, label="Ours-Ours", label_delay=3
+        ).run()
+        served = serve_run(serve_config("A", 0, label_delay=3))
+        assert result_digest(served) == result_digest(sim)
+        # and delayed feedback genuinely changes the trajectory
+        assert result_digest(served) != GOLDEN_DIGESTS[("A", 0)]
+
+
+class TestSnapshotRestore:
+    def test_killed_run_resumes_to_identical_digest(self, tmp_path):
+        snap = tmp_path / "state.pkl"
+        config = serve_config(
+            "A", 0, snapshot_every=8, snapshot_path=str(snap)
+        )
+        runtime = ServeRuntime(config)
+        partial = runtime.run(max_slots=19)  # dies mid-horizon (slot 18)
+        assert partial is None
+        assert runtime.completed_slot == 18
+        assert snap.exists()
+
+        resumed = ServeRuntime.from_snapshot(snap)
+        assert resumed.completed_slot + 1 == 16  # last boundary before kill
+        result = resumed.run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_dataset_adapter_shares_rng_through_snapshot(self, tmp_path):
+        # The adapter and kernel share one generator; the single-pickle
+        # snapshot must preserve that identity or streams would diverge.
+        snap = tmp_path / "state.pkl"
+        config = serve_config(
+            "A",
+            0,
+            adapter="dataset",
+            snapshot_every=8,
+            snapshot_path=str(snap),
+        )
+        ServeRuntime(config).run(max_slots=8)
+        resumed = ServeRuntime.from_snapshot(snap)
+        for adapter, kernel in zip(resumed.adapters, resumed.edge_kernels):
+            assert adapter.data_rng is kernel.data_rng
+        assert result_digest(resumed.run()) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_multiple_kill_resume_cycles(self, tmp_path):
+        snap = tmp_path / "state.pkl"
+        config = serve_config(
+            "A", 1, snapshot_every=8, snapshot_path=str(snap)
+        )
+        ServeRuntime(config).run(max_slots=8)
+        ServeRuntime.from_snapshot(snap).run(max_slots=16)
+        result = ServeRuntime.from_snapshot(snap).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 1)]
+
+    def test_partial_run_refuses_results(self, tmp_path):
+        config = serve_config(
+            "A", 0, snapshot_every=8, snapshot_path=str(tmp_path / "s.pkl")
+        )
+        runtime = ServeRuntime(config)
+        runtime.run(max_slots=8)
+        with pytest.raises(RuntimeError, match="resume"):
+            runtime.result()
+
+    def test_label_mismatch_rejected(self, tmp_path):
+        snap = tmp_path / "state.pkl"
+        config = serve_config(
+            "A", 0, snapshot_every=8, snapshot_path=str(snap)
+        )
+        ServeRuntime(config).run(max_slots=8)
+        state = load_snapshot(snap)
+        state["label"] = "someone-else"
+        save_snapshot(snap, state)
+        with pytest.raises(ValueError, match="someone-else"):
+            ServeRuntime.from_snapshot(snap)
+
+    def test_snapshot_version_checked(self, tmp_path):
+        snap = tmp_path / "state.pkl"
+        save_snapshot(snap, {"label": "x"})
+        raw = load_snapshot(snap)
+        raw["version"] = 999
+        import pickle
+
+        snap.write_bytes(pickle.dumps(raw))
+        with pytest.raises(ValueError, match="version"):
+            load_snapshot(snap)
+
+    def test_snapshot_event_and_counter_emitted(self, tmp_path):
+        tracer = Tracer()
+        config = serve_config(
+            "A", 0, snapshot_every=8, snapshot_path=str(tmp_path / "s.pkl")
+        )
+        ServeRuntime(config, tracer=tracer).run()
+        counts = tracer.event_counts()
+        # horizon 40, every 8 slots, no snapshot at the final boundary
+        assert counts["snapshot"] == 4
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/snapshots"] == 4
+
+
+class TestBackpressureLoad:
+    def test_load_smoke_10k_events_8_edges_all_accounted(self, tmp_path):
+        log = tmp_path / "load.jsonl"
+        scenario = ScenarioConfig(
+            dataset="synthetic",
+            num_edges=8,
+            horizon=100,
+            num_models=4,
+            n_test=400,
+            seed=3,
+        )
+        config = ServeConfig(
+            scenario=scenario,
+            seed=3,
+            virtual_clock=False,
+            slot_duration=0.0,
+            backpressure="shed",
+            queue_capacity=64,
+            pipeline_depth=8,
+        )
+        tracer = Tracer([JsonlSink(log)])
+        runtime = ServeRuntime(config, tracer=tracer)
+        result = runtime.run()
+        tracer.close()
+
+        counters = tracer.metrics_snapshot()["counters"]
+        events_in = counters["serve/events_in"]
+        assert events_in >= 10_000
+        accounted = (
+            counters.get("serve/events_served", 0)
+            + counters.get("serve/events_shed", 0)
+            + counters.get("serve/events_dropped_offline", 0)
+        )
+        assert events_in == accounted, "events leaked from the accounting"
+        assert counters["serve/slots_completed"] == scenario.horizon
+        assert counters["serve/events_served"] == int(result.arrivals.sum())
+
+        # Queue depth stays bounded: above capacity only via the documented
+        # single-oversized-burst admission on an empty queue.
+        max_burst = max(
+            e.count for e in _read_arrivals(log)
+        )
+        for queue in runtime.queues:
+            assert queue.stats.peak_events <= max(
+                config.queue_capacity, max_burst
+            )
+            assert queue.depth_items == 0
+
+        # The trace's own accounting agrees with the live counters.
+        summary = summarize_trace(log)
+        traced_in = sum(s.arrivals for s in summary.edges.values())
+        traced_shed = sum(s.shed for s in summary.edges.values())
+        assert traced_in == events_in
+        assert traced_shed == counters.get("serve/events_shed", 0)
+
+    def test_blocking_backpressure_sheds_nothing(self):
+        scenario = ScenarioConfig(
+            dataset="synthetic", num_edges=4, horizon=40, seed=2
+        )
+        config = ServeConfig(
+            scenario=scenario,
+            seed=2,
+            virtual_clock=False,
+            queue_capacity=8,
+            pipeline_depth=4,
+        )
+        tracer = Tracer()
+        serve_run(config, tracer=tracer)
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/events_in"] == counters["serve/events_served"]
+        assert counters.get("serve/events_shed", 0) == 0
+
+
+def _read_arrivals(path):
+    from repro.obs import read_events
+
+    return [e for e in read_events(path) if e.type == "arrival"]
+
+
+class TestWorkerFailures:
+    def test_adapter_exception_propagates(self):
+        runtime = ServeRuntime(serve_config("A", 0))
+
+        class BrokenAdapter:
+            edge = 0
+
+            def next_item(self, t):
+                raise RuntimeError("stream died")
+
+        runtime.adapters[0] = BrokenAdapter()
+        with pytest.raises(RuntimeError, match="stream died"):
+            runtime.run()
+
+    def test_max_slots_validated(self):
+        runtime = ServeRuntime(serve_config("A", 0))
+        with pytest.raises(ValueError, match="max_slots"):
+            runtime.run(max_slots=0)
+
+
+class TestStatusEndpoint:
+    @staticmethod
+    async def _get(port, path):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        return status, json.loads(body) if body else None
+
+    def test_routes_and_errors(self):
+        async def scenario():
+            server = StatusServer({"/healthz": lambda: {"ok": True}})
+            await server.start()
+            try:
+                ok = await self._get(server.port, "/healthz")
+                missing = await self._get(server.port, "/nope")
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"POST /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return ok, missing, int(raw.split()[1]), server.requests_served
+            finally:
+                await server.stop()
+
+        ok, missing, post_status, served = asyncio.run(scenario())
+        assert ok == (200, {"ok": True})
+        assert missing[0] == 404 and "/healthz" in missing[1]["routes"]
+        assert post_status == 405
+        assert served == 3
+
+    def test_healthz_and_metrics_during_a_run(self):
+        async def scenario():
+            scenario_cfg = ScenarioConfig(
+                dataset="synthetic", num_edges=2, horizon=25, seed=4
+            )
+            config = ServeConfig(
+                scenario=scenario_cfg,
+                seed=4,
+                virtual_clock=False,
+                slot_duration=0.02,
+                health_port=0,
+            )
+            runtime = ServeRuntime(config, tracer=Tracer())
+            task = asyncio.create_task(runtime.run_async())
+            while (
+                runtime.status_server is None
+                or runtime.status_server.port is None
+            ):
+                await asyncio.sleep(0.005)
+            health = await self._get(runtime.status_server.port, "/healthz")
+            metrics = await self._get(runtime.status_server.port, "/metrics")
+            result = await task
+            return health, metrics, result
+
+        health, metrics, result = asyncio.run(scenario())
+        assert health[0] == 200
+        assert health[1]["status"] in ("serving", "done")
+        assert health[1]["horizon"] == 25
+        assert len(health[1]["queues"]) == 2
+        assert metrics[0] == 200
+        assert "counters" in metrics[1] and "events" in metrics[1]
+        assert result is not None and result.horizon == 25
+
+
+class TestServeCli:
+    def test_serve_command_prints_summary_and_counters(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "serve.jsonl"
+        code = main([
+            "serve",
+            "--edges", "2",
+            "--horizon", "16",
+            "--seed", "5",
+            "--trace-output", str(log),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Served: Ours-Ours" in out
+        assert "events_in" in out
+        assert log.exists()
+
+    def test_serve_snapshot_resume_cycle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        snap = tmp_path / "state.pkl"
+        code = main([
+            "serve",
+            "--edges", "2",
+            "--horizon", "16",
+            "--seed", "5",
+            "--snapshot-every", "4",
+            "--snapshot-path", str(snap),
+            "--max-slots", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0 and "resume with --resume" in out
+        code = main(["serve", "--resume", str(snap)])
+        out = capsys.readouterr().out
+        assert code == 0 and "resuming Ours-Ours" in out
+        assert "Served: Ours-Ours" in out
+
+    def test_serve_config_file_with_override(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = ServeConfig(
+            scenario=ScenarioConfig(
+                dataset="synthetic", num_edges=2, horizon=12, seed=1
+            ),
+            seed=1,
+        )
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(config.to_dict()), encoding="utf-8")
+        code = main(["serve", "--config", str(path), "--label", "renamed"])
+        out = capsys.readouterr().out
+        assert code == 0 and "Served: renamed" in out
+
+    def test_trace_replay_renders_tables(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "serve.jsonl"
+        main([
+            "serve",
+            "--edges", "2",
+            "--horizon", "12",
+            "--trace-output", str(log),
+        ])
+        capsys.readouterr()
+        code = main(["trace", "--replay", str(log)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Trace replay" in out
+        assert "Per-edge aggregates" in out
+        assert "arrival" in out
