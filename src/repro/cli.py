@@ -213,11 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories (default: the repro package)")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     lint.add_argument("--select", metavar="CODES", default=None,
                       help="comma-separated rule codes to run (default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rule codes and exit")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="gate only on findings absent from this baseline")
+    lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                      help="record current findings to FILE and exit 0")
 
     return parser
 
@@ -580,6 +584,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
     return lint_main(argv)
 
 

@@ -1,0 +1,108 @@
+"""Baseline workflow: record today's findings, gate only on new ones.
+
+Adopting a new rule family over a large tree usually surfaces legacy
+findings that are not worth fixing in the same change.  The baseline
+workflow makes that adoption incremental without weakening the gate for
+new code:
+
+* ``repro-lint --write-baseline lint-baseline.json src/`` records every
+  current finding;
+* ``repro-lint --baseline lint-baseline.json src/`` reports all findings
+  but exit-gates only those *not* in the baseline.
+
+Findings are matched by a content fingerprint (path, rule code, message),
+deliberately excluding line/column so unrelated edits that shift code do
+not resurrect baselined findings.  Identical fingerprints are counted: a
+file that had two baselined ``RPL010`` prints and grows a third fails the
+gate with exactly one new finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "filter_new_findings",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Bump when the baseline file layout changes; loading a newer (or garbage)
+#: file raises so a stale baseline cannot silently disable the gate.
+BASELINE_SCHEMA_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable content fingerprint of one finding (line/column excluded)."""
+    payload = f"{finding.path}|{finding.code}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Write the baseline file recording ``findings`` (fingerprint counts)."""
+    counts = Counter(fingerprint(f) for f in findings)
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "total_findings": len(findings),
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> Counter[str]:
+    """Load fingerprint counts from a baseline file.
+
+    Raises ``ValueError`` on a malformed file or unknown schema version —
+    a corrupt baseline must fail loudly, not admit everything.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"baseline file {path} must hold a JSON object")
+    version = payload.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline file {path} has schema_version {version!r}; "
+            f"this build reads version {BASELINE_SCHEMA_VERSION} — "
+            "regenerate with --write-baseline"
+        )
+    fingerprints = payload.get("fingerprints")
+    if not isinstance(fingerprints, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v >= 0
+        for k, v in fingerprints.items()
+    ):
+        raise ValueError(
+            f"baseline file {path}: 'fingerprints' must map strings to "
+            "non-negative counts"
+        )
+    return Counter(fingerprints)
+
+
+def filter_new_findings(
+    findings: Sequence[Finding], baseline: Counter[str]
+) -> list[Finding]:
+    """The findings not covered by ``baseline`` (fingerprint-count aware).
+
+    Each baselined fingerprint absorbs up to its recorded count of matching
+    findings (in report order); the remainder — new findings — are
+    returned and should gate the exit code.
+    """
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -20,8 +20,14 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.lint.baseline import (
+    filter_new_findings,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.engine import iter_python_files, lint_file
-from repro.lint.reporters import render_json, render_text
+from repro.lint.project import build_project
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.rules import DEFAULT_PATH_RULES, DEFAULT_PATH_SEVERITY, all_rules
 
 __all__ = ["build_parser", "main", "run"]
@@ -43,9 +49,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "gate only on findings absent from this baseline file; all "
+            "findings are still reported"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current findings to FILE and exit 0",
     )
     parser.add_argument(
         "--select",
@@ -82,6 +103,8 @@ def run(
     select: list[str] | None = None,
     path_rules: dict[str, frozenset[str]] | None = None,
     path_severity: dict[str, dict[str, str]] | None = None,
+    baseline: str | None = None,
+    write_baseline_to: str | None = None,
 ) -> tuple[str, int]:
     """Lint ``paths``; return ``(report, exit_code)`` per the CLI contract.
 
@@ -90,13 +113,23 @@ def run(
     :data:`repro.lint.rules.DEFAULT_PATH_SEVERITY` (pass ``{}`` to disable
     either).  Only error-severity findings set exit code 1 — warnings are
     reported but never fatal.
+
+    With ``baseline``, findings whose fingerprints the baseline file covers
+    are still reported but no longer gate the exit code; with
+    ``write_baseline_to``, the current findings are recorded to that file
+    and the run exits 0.
     """
     if path_rules is None:
         path_rules = DEFAULT_PATH_RULES
     if path_severity is None:
         path_severity = DEFAULT_PATH_SEVERITY
     try:
+        known = load_baseline(baseline) if baseline is not None else None
+    except (OSError, ValueError) as exc:
+        return f"repro-lint: error: {exc}", 2
+    try:
         files = list(iter_python_files(paths))
+        project = build_project(files)
         findings = []
         for target in files:
             findings.extend(
@@ -105,16 +138,38 @@ def run(
                     select=select,
                     path_rules=path_rules,
                     path_severity=path_severity,
+                    project=project,
                 )
             )
     except (FileNotFoundError, ValueError, OSError) as exc:
         return f"repro-lint: error: {exc}", 2
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    if write_baseline_to is not None:
+        try:
+            write_baseline(write_baseline_to, findings)
+        except OSError as exc:
+            return f"repro-lint: error: {exc}", 2
+        return (
+            f"reprolint: baseline with {len(findings)} finding(s) written "
+            f"to {write_baseline_to}",
+            0,
+        )
+    gating = findings
+    baseline_note = ""
+    if known is not None:
+        gating = filter_new_findings(findings, known)
+        absorbed = len(findings) - len(gating)
+        baseline_note = (
+            f"\nreprolint: {absorbed} finding(s) matched the baseline; "
+            f"gating on {len(gating)} new"
+        )
     if output_format == "json":
         report = render_json(findings, checked_files=len(files))
+    elif output_format == "sarif":
+        report = render_sarif(findings, checked_files=len(files))
     else:
-        report = render_text(findings, checked_files=len(files))
-    errors = sum(1 for f in findings if f.is_error)
+        report = render_text(findings, checked_files=len(files)) + baseline_note
+    errors = sum(1 for f in gating if f.is_error)
     return report, 1 if errors else 0
 
 
@@ -133,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
         select=select,
         path_rules={} if args.no_path_rules else None,
         path_severity={} if args.no_path_rules else None,
+        baseline=args.baseline,
+        write_baseline_to=args.write_baseline,
     )
     stream = sys.stderr if code == 2 else sys.stdout
     print(report, file=stream)

@@ -19,6 +19,13 @@ Beyond line-level ``noqa``, whole path classes can waive specific rules via
 stem) to the rule codes waived there, e.g. ``{"examples": {"RPL010"}}`` —
 examples are user-facing scripts, so their prints are by design.  The
 default configuration lives in :data:`repro.lint.rules.DEFAULT_PATH_RULES`.
+
+Since the project-level pass, :func:`lint_paths` builds one shared
+:class:`~repro.lint.project.ProjectContext` over every discovered file and
+hands it to rules that declare ``requires_project = True`` alongside their
+``FileContext``.  Single-blob entry points (:func:`lint_source`,
+:func:`lint_file`) accept an optional ``project`` argument; without one,
+project-aware rules fall back to per-file precision.
 """
 
 from __future__ import annotations
@@ -240,6 +247,7 @@ def lint_source(
     select: Iterable[str] | None = None,
     path_rules: Mapping[str, Iterable[str]] | None = None,
     path_severity: Mapping[str, Mapping[str, str]] | None = None,
+    project=None,
 ) -> list[Finding]:
     """Lint one in-memory source blob; ``path`` steers path-scoped rules.
 
@@ -279,7 +287,10 @@ def lint_source(
     for rule in rules:
         if rule.code in waived:
             continue
-        findings.extend(rule.check(context))
+        if getattr(rule, "requires_project", False):
+            findings.extend(rule.check(context, project=project))
+        else:
+            findings.extend(rule.check(context))
     findings = [f for f in findings if not _is_suppressed(f, suppressions)]
     if overrides:
         findings = [
@@ -296,6 +307,7 @@ def lint_file(
     select: Iterable[str] | None = None,
     path_rules: Mapping[str, Iterable[str]] | None = None,
     path_severity: Mapping[str, Mapping[str, str]] | None = None,
+    project=None,
 ) -> list[Finding]:
     """Lint one file on disk."""
     target = Path(path)
@@ -306,6 +318,7 @@ def lint_file(
         select=select,
         path_rules=path_rules,
         path_severity=path_severity,
+        project=project,
     )
 
 
@@ -316,15 +329,25 @@ def lint_paths(
     path_rules: Mapping[str, Iterable[str]] | None = None,
     path_severity: Mapping[str, Mapping[str, str]] | None = None,
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``; findings sorted by location."""
+    """Lint every Python file under ``paths``; findings sorted by location.
+
+    Builds one :class:`~repro.lint.project.ProjectContext` over the whole
+    file set first, so project-aware rules see imports and symbols across
+    all linted files — not just the one being checked.
+    """
+    from repro.lint.project import build_project
+
+    files = list(iter_python_files(paths))
+    project = build_project(files)
     findings: list[Finding] = []
-    for target in iter_python_files(paths):
+    for target in files:
         findings.extend(
             lint_file(
                 target,
                 select=select,
                 path_rules=path_rules,
                 path_severity=path_severity,
+                project=project,
             )
         )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))

@@ -1,4 +1,4 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: human-readable text, JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
@@ -9,10 +9,17 @@ from typing import Sequence
 from repro.lint.engine import Finding
 from repro.lint.rules import all_rules
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 #: JSON schema version; bump when the payload shape changes.
 JSON_SCHEMA_VERSION = 1
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
@@ -60,5 +67,71 @@ def render_json(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
                 sorted(Counter(f.code for f in findings).items())
             ),
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_sarif(findings: Sequence[Finding], *, checked_files: int = 0) -> str:
+    """A SARIF 2.1.0 document (the format CI code-scanning UIs ingest).
+
+    One run, one driver (``reprolint``), one ``rules`` entry per registered
+    rule, one ``result`` per finding.  Severity maps ``error`` -> SARIF
+    ``error`` and ``warning`` -> SARIF ``warning``; columns are converted
+    from the engine's 0-based offsets to SARIF's 1-based convention.
+    """
+    rules = all_rules()
+    rule_index = {rule.code: i for i, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": rule_index.get(f.code, -1),
+            "level": "error" if f.is_error else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "shortDescription": {"text": rule.summary},
+                                "defaultConfiguration": {
+                                    "level": (
+                                        "error"
+                                        if rule.severity == "error"
+                                        else "warning"
+                                    )
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "properties": {"checked_files": checked_files},
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)

@@ -52,6 +52,7 @@ from repro.obs.sinks import (
     EdgeFilterSink,
     InMemorySink,
     JsonlSink,
+    iter_events,
     read_events,
 )
 from repro.obs.tracer import NULL_TRACER, EventSink, NullTracer, Tracer
@@ -86,6 +87,7 @@ __all__ = [
     "TradeRejectedEvent",
     "Tracer",
     "event_from_dict",
+    "iter_events",
     "read_events",
     "register_event",
     "summarize_events",

@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.obs.events import Event
-from repro.obs.sinks import read_events
+from repro.obs.sinks import iter_events
 
 __all__ = ["EdgeSummary", "TraceSummary", "summarize_events", "summarize_trace"]
 
@@ -165,5 +165,11 @@ def summarize_events(events: Iterable[Event]) -> TraceSummary:
 
 
 def summarize_trace(path: str | Path) -> TraceSummary:
-    """Load a JSONL trace from disk and summarize it."""
-    return summarize_events(read_events(path))
+    """Stream a JSONL trace from disk and summarize it in O(1) memory.
+
+    Events are folded incrementally via :func:`repro.obs.sinks.iter_events`,
+    so the trace is never materialized — ``repro trace --replay`` handles
+    multi-GB serve logs without loading them.  A truncated final line
+    (crashed writer) ends the stream cleanly; corruption elsewhere raises.
+    """
+    return summarize_events(iter_events(path))

@@ -27,6 +27,7 @@ __all__ = [
     "EdgeFilterSink",
     "InMemorySink",
     "JsonlSink",
+    "iter_events",
     "read_events",
 ]
 
@@ -240,6 +241,34 @@ class EdgeFilterSink:
     def close(self) -> None:
         """Close the wrapped sink."""
         self.inner.close()
+
+
+def iter_events(path: str | Path) -> Iterator[Event]:
+    """Stream a JSONL event log lazily, one typed event at a time.
+
+    Unlike :func:`read_events` this never materializes the log: memory use
+    is O(1) in the trace size, so multi-GB serve logs replay fine.  Blank
+    lines are skipped.  A *final* line that fails to parse and has no
+    trailing newline is treated as the torn write of a crashed producer and
+    silently ends the stream; a malformed line anywhere else (or a complete
+    final line) raises ``ValueError`` with the line number — corruption in
+    the middle of a log must surface, only an honest truncation is
+    forgiven.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                if not raw.endswith("\n"):
+                    return
+                raise ValueError(
+                    f"{path}:{lineno}: malformed JSONL event: {exc}"
+                ) from exc
+            yield event_from_dict(payload)
 
 
 def read_events(path: str | Path) -> list[Event]:

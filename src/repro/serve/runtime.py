@@ -428,10 +428,10 @@ class ServeRuntime:
 
             every = self.config.snapshot_every
             if every and (t + 1) % every == 0 and t + 1 < self.horizon:
-                self._take_snapshot(t)
+                await self._take_snapshot(t)
             await self._release_through(self._release_target(t))
 
-    def _take_snapshot(self, t: int) -> None:
+    async def _take_snapshot(self, t: int) -> None:
         busy = [i for i, queue in enumerate(self.queues) if queue.depth_items]
         if busy:
             raise RuntimeError(
@@ -440,7 +440,11 @@ class ServeRuntime:
             )
         path = self.config.snapshot_path
         assert path is not None  # enforced by ServeConfig validation
-        save_snapshot(path, self.snapshot_state())
+        # Capture state synchronously at the quiescent boundary, then hand
+        # the blocking file write to a worker thread: feeders resumed during
+        # the await cannot perturb what gets persisted.
+        state = self.snapshot_state()
+        await asyncio.to_thread(save_snapshot, path, state)
         self._snapshots_taken.increment()
         if self.tracer.enabled:
             self.tracer.emit(SnapshotEvent(t=t, path=str(path)))

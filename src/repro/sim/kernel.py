@@ -47,7 +47,7 @@ __all__ = [
 
 def class_index_map(scenario: Scenario) -> list[np.ndarray] | None:
     """Pool indices per class, when per-edge class mixes are in force."""
-    weights = scenario.edge_class_weights
+    weights = scenario.edge_class_weights  # (I, K) per-edge class mix
     if weights is None:
         return None
     labels = scenario.y_pool
@@ -71,7 +71,7 @@ def draw_pool_indices(
     """
     if class_indices is None:
         return rng.integers(0, pool_size, size=count)
-    weights = scenario.edge_class_weights[edge]
+    weights = scenario.edge_class_weights[edge]  # (K,) this edge's class mix
     classes = rng.choice(weights.size, size=count, p=weights)
     idx = np.empty(count, dtype=int)
     for k in np.unique(classes):

@@ -214,6 +214,54 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "RPL001" in out and "RPL008" in out
 
+    def test_sarif_format(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        assert main(["lint", "--format", "sarif", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        results = run["results"]
+        assert [r["ruleId"] for r in results] == ["RPL008"]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert results[0]["ruleIndex"] == rule_ids.index("RPL008")
+
+    def test_baseline_workflow(self, capsys, tmp_path):
+        # Write a baseline over the dirty file, then lint against it: the
+        # known finding is absorbed and the exit code drops 1 -> 0.  A new
+        # finding on top of the baseline gates again.
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        baseline = tmp_path / "lint-baseline.json"
+
+        assert main(
+            ["lint", "--write-baseline", str(baseline), str(target)]
+        ) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        assert main(["lint", str(target)]) == 1
+        capsys.readouterr()
+        assert main(["lint", "--baseline", str(baseline), str(target)]) == 0
+        assert "matched the baseline" in capsys.readouterr().out
+
+        target.write_text(self.DIRTY + "flag = (0.1 + 0.2) == 0.3\n")
+        assert main(["lint", "--baseline", str(baseline), str(target)]) == 1
+        out = capsys.readouterr().out
+        # Every finding is still reported; only the new one gates.
+        assert "RPL003" in out
+        assert "gating on 1 new" in out
+
+    def test_corrupt_baseline_exits_two(self, capsys, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(self.CLEAN)
+        baseline = tmp_path / "bad.json"
+        baseline.write_text("not json")
+        assert main(["lint", "--baseline", str(baseline), str(target)]) == 2
+
     def test_python_dash_m_contract(self, tmp_path):
         """``python -m repro.lint`` exits nonzero on findings, zero when clean."""
         src_root = Path(repro.__file__).parent.parent

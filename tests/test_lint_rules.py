@@ -128,6 +128,166 @@ RULE_CASES = [
         "def clamp(values: np.ndarray) -> np.ndarray:\n"
         "    return np.maximum(values, 0.0)\n",
     ),
+    (
+        "RPL012",
+        "repro/serve/module.py",
+        "import time\n"
+        "async def worker():\n"
+        "    time.sleep(0.1)\n",
+        "import asyncio\n"
+        "async def worker():\n"
+        "    await asyncio.sleep(0.1)\n",
+    ),
+    (
+        "RPL012",
+        "repro/serve/module.py",
+        # Transitive: the async def never blocks directly, but calls a sync
+        # helper that does — invisible to a rule that only scans call names
+        # inside the coroutine.
+        "import time\n"
+        "def persist():\n"
+        "    time.sleep(0.1)\n"
+        "async def coordinate():\n"
+        "    persist()\n",
+        "import asyncio\n"
+        "import time\n"
+        "def persist():\n"
+        "    time.sleep(0.1)\n"
+        "async def coordinate():\n"
+        "    await asyncio.to_thread(persist)\n",
+    ),
+    (
+        "RPL012",
+        "repro/serve/module.py",
+        "async def snapshot(path, state):\n"
+        "    path.write_text(state)\n",
+        "import asyncio\n"
+        "async def snapshot(path, state):\n"
+        "    await asyncio.to_thread(path.write_text, state)\n",
+    ),
+    (
+        "RPL013",
+        "repro/serve/module.py",
+        "import asyncio\n"
+        "async def launch(coro):\n"
+        "    asyncio.create_task(coro)\n",
+        "import asyncio\n"
+        "async def launch(coro):\n"
+        "    task = asyncio.create_task(coro)\n"
+        "    await task\n",
+    ),
+    (
+        "RPL014",
+        "repro/serve/module.py",
+        "class Runtime:\n"
+        "    async def feeder(self):\n"
+        "        self.slot = 1\n"
+        "    async def actor(self):\n"
+        "        self.slot = 2\n",
+        "class Runtime:\n"
+        "    async def feeder(self):\n"
+        "        await self.queue.put(1)\n"
+        "    async def actor(self):\n"
+        "        self.slot = await self.queue.get()\n",
+    ),
+    (
+        "RPL015",
+        "repro/sim/module.py",
+        "import numpy as np\n"
+        "rng = np.random.default_rng(7)\n",
+        "from repro.utils.rng import spawn_generator\n"
+        "rng = spawn_generator(7, 'workload')\n",
+    ),
+    (
+        "RPL015",
+        "repro/sim/module.py",
+        "from numpy.random import Generator, PCG64\n"
+        "rng = Generator(PCG64(3))\n",
+        "from repro.utils.rng import RngFactory\n"
+        "rng = RngFactory(seed=3).get('faults')\n",
+    ),
+    (
+        "RPL016",
+        "repro/faults/module.py",
+        "class Injector:\n"
+        "    def __init__(self, rng):\n"
+        "        self._rng = rng\n"
+        "    def apply(self, t):\n"
+        "        return self._rng.random() < 0.5\n",
+        "class Injector:\n"
+        "    def __init__(self, rng, horizon):\n"
+        "        self._mask = rng.random(horizon) < 0.5\n"
+        "    def apply(self, t):\n"
+        "        return self._mask[t]\n",
+    ),
+    (
+        "RPL017",
+        "repro/sim/module.py",
+        "def cost(latencies):\n"
+        '    """Total cost.\n'
+        "\n"
+        "    Parameters\n"
+        "    ----------\n"
+        "    latencies:\n"
+        "        (I, N) latency matrix.\n"
+        '    """\n'
+        "    return latencies[0, 1, 2]\n",
+        "def cost(latencies):\n"
+        '    """Total cost.\n'
+        "\n"
+        "    Parameters\n"
+        "    ----------\n"
+        "    latencies:\n"
+        "        (I, N) latency matrix.\n"
+        '    """\n'
+        "    return latencies[0, 1]\n",
+    ),
+    (
+        "RPL017",
+        "repro/sim/module.py",
+        "import numpy as np\n"
+        "def fold(weights):\n"
+        '    """Sum.\n'
+        "\n"
+        "    Parameters\n"
+        "    ----------\n"
+        "    weights:\n"
+        "        (N,) simplex weights.\n"
+        '    """\n'
+        "    return np.sum(weights, axis=1)\n",
+        "import numpy as np\n"
+        "def fold(weights):\n"
+        '    """Sum.\n'
+        "\n"
+        "    Parameters\n"
+        "    ----------\n"
+        "    weights:\n"
+        "        (N,) simplex weights.\n"
+        '    """\n'
+        "    return np.sum(weights, axis=0)\n",
+    ),
+    (
+        "RPL017",
+        "repro/sim/module.py",
+        "def peak(workload_means):\n"
+        '    """Busiest slot.\n'
+        "\n"
+        "    Parameters\n"
+        "    ----------\n"
+        "    workload_means:\n"
+        "        (I, T) per-edge mean arrivals.\n"
+        '    """\n'
+        "    return workload_means.shape[2]\n",
+        "def peak(workload_means):\n"
+        '    """Busiest slot.\n'
+        "\n"
+        "    Parameters\n"
+        "    ----------\n"
+        "    workload_means:\n"
+        "        (I, T) per-edge mean arrivals.\n"
+        '    """\n'
+        "    return workload_means.shape[1]\n",
+    ),
 ]
 
 CASE_IDS = [f"{code}-{i}" for i, (code, *_rest) in enumerate(RULE_CASES)]

@@ -409,3 +409,75 @@ class TestTraceSummaries:
         _, summary, _ = self._trace(tmp_path, num_edges=3)
         rows = summary.edge_rows()
         assert [row[0] for row in rows] == sorted(row[0] for row in rows)
+
+
+class TestStreamingIterEvents:
+    """iter_events: lazy decode, truncation tolerance, corruption surfacing."""
+
+    def _write_trace(self, path):
+        sink = JsonlSink(path)
+        for event in ALL_EVENTS:
+            sink.write(event)
+        sink.close()
+
+    def test_matches_read_events(self, tmp_path):
+        from repro.obs import iter_events
+
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        assert list(iter_events(path)) == read_events(path)
+
+    def test_is_lazy(self, tmp_path):
+        from repro.obs import iter_events
+
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        stream = iter_events(path)
+        assert next(stream) == ALL_EVENTS[0]  # nothing else decoded yet
+        stream.close()
+
+    def test_truncated_tail_is_forgiven(self, tmp_path):
+        # A crashed writer leaves a torn final line with no newline; the
+        # stream must end cleanly with every complete event intact.
+        from repro.obs import iter_events
+
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        full = path.read_text(encoding="utf-8")
+        torn = full.rstrip("\n")[: len(full) - 20]
+        path.write_text(torn, encoding="utf-8")
+        events = list(iter_events(path))
+        assert events == ALL_EVENTS[:-1]
+
+    def test_complete_malformed_line_raises(self, tmp_path):
+        # Corruption in the middle of a log (newline-terminated garbage)
+        # must surface, not be skipped as if it were a truncation.
+        from repro.obs import iter_events
+
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[4] = lines[4][:-15] + "<GARBAGE>"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="malformed JSONL event"):
+            list(iter_events(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        from repro.obs import iter_events
+
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        body = path.read_text(encoding="utf-8").replace("\n", "\n\n")
+        path.write_text(body, encoding="utf-8")
+        assert list(iter_events(path)) == ALL_EVENTS
+
+    def test_summarize_trace_streams_torn_log(self, tmp_path):
+        from repro.obs import summarize_trace
+
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        full = path.read_text(encoding="utf-8")
+        path.write_text(full.rstrip("\n")[: len(full) - 20], encoding="utf-8")
+        summary = summarize_trace(path)
+        assert summary.events_total == len(ALL_EVENTS) - 1
+        assert "snapshot" not in summary.event_counts
