@@ -1,8 +1,11 @@
 """Microbenchmarks of the paper's algorithmic kernels.
 
 These run many rounds (unlike the figure benchmarks) and track the hot
-paths: the Tsallis OMD solve, block-schedule construction, one Algorithm-1
+paths: the Tsallis OMD solve (scalar and the batched per-block form the
+vectorized engine uses), block-schedule construction, one Algorithm-1
 block transition, and one Algorithm-2 primal-dual step.
+``test_emit_bench_report`` writes ``BENCH_core.json`` when
+``REPRO_BENCH_OUT`` is set.
 """
 
 import numpy as np
@@ -10,7 +13,10 @@ import numpy as np
 from repro.core.blocks import build_schedule
 from repro.core.carbon_trading import OnlineCarbonTrading
 from repro.core.model_selection import OnlineModelSelection
-from repro.core.tsallis import tsallis_inf_probabilities
+from repro.core.tsallis import (
+    tsallis_inf_probabilities,
+    tsallis_inf_probabilities_batch,
+)
 from repro.policies.trading import TradeDecision, TradingContext
 
 
@@ -24,6 +30,15 @@ def test_tsallis_solver_many_arms(benchmark):
     losses = np.random.default_rng(1).uniform(0, 100, size=256)
     p = benchmark(tsallis_inf_probabilities, losses, 0.1)
     assert abs(p.sum() - 1.0) < 1e-6
+
+
+def test_tsallis_solver_batched(benchmark):
+    """64 independent solves in one call — the per-block vectorized form."""
+    rng = np.random.default_rng(2)
+    losses = rng.uniform(0, 100, size=(64, 6))
+    etas = rng.uniform(0.1, 2.5, size=64)
+    p = benchmark(tsallis_inf_probabilities_batch, losses, etas)
+    assert np.allclose(p.sum(axis=1), 1.0, atol=1e-6)
 
 
 def test_block_schedule_construction(benchmark):
@@ -61,3 +76,7 @@ def test_algorithm2_step(benchmark):
 
     decision = benchmark(step)
     assert decision.buy >= 0.0
+
+
+def test_emit_bench_report(emit_bench_report):
+    emit_bench_report("core")

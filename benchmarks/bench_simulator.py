@@ -1,28 +1,43 @@
-"""End-to-end simulator throughput and scenario-build latency."""
+"""End-to-end simulator throughput: scalar reference loop vs vectorized engine.
 
-from repro.experiments.runner import run_combo
-from repro.sim import ScenarioConfig, build_scenario
+Every case comes from the :mod:`repro.bench` registry, which builds its
+workloads from a :class:`repro.RunSpec` — the same construction path
+``repro.run`` and the sweep engine use — so these numbers describe what
+users actually execute.  ``test_emit_bench_report`` writes the suite's
+``BENCH_simulator.json`` when ``REPRO_BENCH_OUT`` is set; committed
+baselines live in ``benchmarks/baselines/``.
+"""
+
+import pytest
+
+from repro.bench import suite_cases
+from repro.sim import ScenarioConfig, Simulator
+from repro.sim.io import result_digest
+from repro.spec import RunSpec
+
+CASES = {case.name: case for case in suite_cases("simulator")}
 
 
-def test_scenario_build(benchmark):
-    config = ScenarioConfig(dataset="synthetic", num_edges=10, horizon=160)
-    scenario = benchmark(build_scenario, config)
-    assert scenario.num_edges == 10
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_simulator_case(benchmark, name):
+    case = CASES[name]
+    thunk = case.build()
+    benchmark.pedantic(thunk, rounds=case.rounds, iterations=1)
 
 
-def test_full_simulation_ours(benchmark):
-    config = ScenarioConfig(dataset="synthetic", num_edges=10, horizon=160)
-    scenario = build_scenario(config)
-    result = benchmark.pedantic(
-        run_combo, args=(scenario, "Ours", "Ours", 0), rounds=3, iterations=1
+def test_engines_agree_bitwise():
+    """The two engines the suite compares must produce one digest."""
+    spec = RunSpec(
+        scenario=ScenarioConfig(dataset="synthetic", num_edges=10, horizon=160),
+        selection="Ours",
+        trading="Ours",
+        seed=0,
     )
-    assert result.horizon == 160
+    scenario = spec.build_scenario()
+    scalar = Simulator.from_spec(scenario, spec).run(vectorized=False)
+    vector = Simulator.from_spec(scenario, spec).run(vectorized=True)
+    assert result_digest(scalar) == result_digest(vector)
 
 
-def test_full_simulation_random(benchmark):
-    config = ScenarioConfig(dataset="synthetic", num_edges=10, horizon=160)
-    scenario = build_scenario(config)
-    result = benchmark.pedantic(
-        run_combo, args=(scenario, "Ran", "Ran", 0), rounds=3, iterations=1
-    )
-    assert result.horizon == 160
+def test_emit_bench_report(emit_bench_report):
+    emit_bench_report("simulator")

@@ -3,11 +3,21 @@
 Figure benchmarks execute a full (fast-mode) experiment once per benchmark
 round — they measure end-to-end experiment latency and, as a side effect,
 verify the figure's headline shape assertions on every run.
+
+Engine and kernel benchmarks draw their workloads from the
+:mod:`repro.bench` case registry (built on :class:`repro.RunSpec`), so
+pytest-benchmark runs and ``repro bench`` measure exactly the same code
+path users run.  Set ``REPRO_BENCH_OUT=<dir>`` to also emit the
+schema-versioned ``BENCH_<suite>.json`` reports from a pytest run.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.bench import report_filename, run_suite
 
 
 @pytest.fixture()
@@ -18,3 +28,24 @@ def run_once(benchmark):
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture(scope="session")
+def emit_bench_report():
+    """Write a suite's ``BENCH_<suite>.json`` when ``REPRO_BENCH_OUT`` is set.
+
+    The emission re-measures through :func:`repro.bench.run_suite` (smoke
+    mode) so the written report carries the registry's canonical timing
+    protocol, machine fingerprint, and derived ratios — identical in shape
+    to what ``repro bench`` writes.
+    """
+    outdir = os.environ.get("REPRO_BENCH_OUT")
+
+    def emit(suite: str) -> str:
+        if not outdir:
+            pytest.skip("set REPRO_BENCH_OUT=<dir> to emit BENCH reports")
+        os.makedirs(outdir, exist_ok=True)
+        report = run_suite(suite, smoke=True)
+        return report.write(os.path.join(outdir, report_filename(suite)))
+
+    return emit

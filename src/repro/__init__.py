@@ -10,7 +10,9 @@ Public API highlights:
 * :class:`repro.sim.ScenarioConfig` / :func:`repro.sim.build_scenario` /
   :class:`repro.sim.Simulator` — the trace-driven cloud-edge evaluation
   engine.
-* :func:`repro.run` — one-call scenario + registry-named policies + simulate.
+* :class:`repro.RunSpec` — the typed, JSON-round-trippable description of
+  one run (scenario recipe, policy names, seed, faults, trace options).
+* :func:`repro.run` — one-call spec -> scenario -> simulate.
 * :mod:`repro.policies` — policy interfaces and the name registry
   (``@register_selection`` / ``@register_trading``).
 * :mod:`repro.obs` — structured simulation tracing (:class:`repro.obs.Tracer`).
@@ -31,14 +33,16 @@ from repro.sim import (
     Simulator,
     build_scenario,
 )
+from repro.spec import RunSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "OnlineModelSelection",
     "OnlineCarbonTrading",
     "CostWeights",
     "FaultPlan",
+    "RunSpec",
     "Scenario",
     "ScenarioConfig",
     "SimulationResult",

@@ -5,16 +5,31 @@ pipeline into a single call for scripts and notebooks::
 
     import repro
 
-    result = repro.run(repro.ScenarioConfig(num_edges=10, horizon=160),
-                       selection="Ours", trading="Ours", seed=42)
+    spec = repro.RunSpec(
+        scenario=repro.ScenarioConfig(num_edges=10, horizon=160),
+        selection="Ours",
+        trading="Ours",
+        seed=42,
+    )
+    result = repro.run(spec)
 
-It accepts a :class:`~repro.sim.config.ScenarioConfig` (built into a
-scenario), an already-built :class:`~repro.sim.scenario.Scenario` (reuse it
-across calls for common-random-number comparisons), or ``None`` for the
-paper's default synthetic setup.
+The canonical argument is a :class:`~repro.spec.RunSpec` — the typed,
+JSON-round-trippable value identifying one run.  For common-random-number
+comparisons, build the scenario once and pass it alongside each spec::
+
+    scenario = spec.build_scenario()
+    ours = repro.run(spec, scenario=scenario)
+    rand = repro.run(spec.with_overrides(selection="Ran"), scenario=scenario)
+
+The pre-1.2 forms — a :class:`~repro.sim.config.ScenarioConfig`, a built
+:class:`~repro.sim.scenario.Scenario`, or ``None`` as the first argument,
+with the run options as a keyword tail — still work; the keyword tail emits
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.faults.plan import FaultPlan
 from repro.obs.tracer import Tracer
@@ -22,46 +37,89 @@ from repro.sim.config import ScenarioConfig
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario, build_scenario
 from repro.sim.simulator import Simulator
+from repro.spec import RunSpec
 
 __all__ = ["run"]
 
+_UNSET = object()
+
 
 def run(
-    config_or_scenario: ScenarioConfig | Scenario | None = None,
+    spec_or_config: RunSpec | ScenarioConfig | Scenario | None = None,
     *,
-    selection: str = "Ours",
-    trading: str = "Ours",
-    seed: int = 0,
-    label: str | None = None,
+    scenario: Scenario | None = None,
     tracer: Tracer | None = None,
-    faults: FaultPlan | None = None,
+    selection: str = _UNSET,  # type: ignore[assignment]
+    trading: str = _UNSET,  # type: ignore[assignment]
+    seed: int = _UNSET,  # type: ignore[assignment]
+    label: str | None = _UNSET,  # type: ignore[assignment]
+    faults: FaultPlan | None = _UNSET,  # type: ignore[assignment]
 ) -> SimulationResult:
-    """Simulate one (selection, trading) combination in a single call.
+    """Simulate one run in a single call.
 
-    Policy names resolve through the :mod:`repro.policies` registry; the
-    seed drives both the policies and the workload/data streams, so two
-    calls with the same arguments are bit-identical.  Pass a
-    :class:`~repro.obs.tracer.Tracer` to capture structured per-slot events,
-    and a :class:`~repro.faults.plan.FaultPlan` to run under deterministic
-    fault injection (the default empty plan changes nothing).
+    Pass a :class:`~repro.spec.RunSpec` (optionally with a pre-built
+    ``scenario`` to share across specs for common-random-number
+    comparisons); policy names resolve through the :mod:`repro.policies`
+    registry and the seed drives policies and workload/data streams alike,
+    so two calls with the same spec are bit-identical.  A programmatic
+    :class:`~repro.obs.tracer.Tracer` overrides the spec's file-based trace
+    options.
+
+    .. deprecated:: 1.2
+        Calling with the ``selection``/``trading``/``seed``/``label``/
+        ``faults`` keyword tail (on a config, scenario, or nothing) still
+        works but emits :class:`DeprecationWarning` — put those fields in
+        the :class:`RunSpec` instead.
     """
-    if config_or_scenario is None:
-        scenario = build_scenario(ScenarioConfig(dataset="synthetic"))
-    elif isinstance(config_or_scenario, Scenario):
-        scenario = config_or_scenario
-    elif isinstance(config_or_scenario, ScenarioConfig):
-        scenario = build_scenario(config_or_scenario)
+    legacy = {
+        name: value
+        for name, value in (
+            ("selection", selection),
+            ("trading", trading),
+            ("seed", seed),
+            ("label", label),
+            ("faults", faults),
+        )
+        if value is not _UNSET
+    }
+
+    if isinstance(spec_or_config, RunSpec):
+        if legacy:
+            raise TypeError(
+                "pass run options inside the RunSpec, not as keywords: "
+                + ", ".join(sorted(legacy))
+            )
+        spec = spec_or_config
+        built = scenario if scenario is not None else spec.build_scenario()
+        return Simulator.from_spec(built, spec, tracer=tracer).run()
+
+    if scenario is not None:
+        raise TypeError(
+            "the scenario keyword accompanies a RunSpec; pass the scenario "
+            "positionally with the legacy keyword tail"
+        )
+    if legacy:
+        warnings.warn(
+            "the repro.run keyword tail is deprecated; build a repro.RunSpec "
+            "and call repro.run(spec) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    legacy_faults = legacy.pop("faults", None)
+    spec = RunSpec(
+        faults=legacy_faults if legacy_faults is not None else FaultPlan(),
+        **legacy,
+    )
+
+    if spec_or_config is None:
+        built = build_scenario(ScenarioConfig(dataset="synthetic"))
+    elif isinstance(spec_or_config, Scenario):
+        built = spec_or_config
+    elif isinstance(spec_or_config, ScenarioConfig):
+        built = build_scenario(spec_or_config)
     else:
         raise TypeError(
-            "expected a ScenarioConfig, a Scenario, or None, got "
-            f"{type(config_or_scenario).__name__}"
+            "expected a RunSpec, a ScenarioConfig, a Scenario, or None, got "
+            f"{type(spec_or_config).__name__}"
         )
-    return Simulator.from_names(
-        scenario,
-        selection=selection,
-        trading=trading,
-        seed=seed,
-        label=label,
-        tracer=tracer,
-        faults=faults,
-    ).run()
+    return Simulator.from_spec(built, spec, tracer=tracer).run()

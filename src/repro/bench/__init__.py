@@ -1,0 +1,60 @@
+"""Measured performance suites and the ``BENCH_*.json`` regression gate.
+
+The package has three layers:
+
+* :mod:`repro.bench.report` — the schema-versioned report format
+  (:class:`BenchResult` / :class:`BenchReport`), machine fingerprinting,
+  and the wall-time / speedup-ratio comparison logic;
+* :mod:`repro.bench.cases` — the registered suites (``simulator``,
+  ``core``, ``nn``) and the warmup + best-of-rounds measurement loop;
+* :mod:`repro.bench.cli` — the ``repro bench`` command: run, write,
+  ``--check`` against the committed baselines in ``benchmarks/baselines/``
+  (exit 1 beyond the 15% wall / 50% ratio gate).
+
+Typical use::
+
+    from repro.bench import run_suite
+
+    report = run_suite("simulator")
+    print(report.ratios["vectorized_speedup_i64"])
+"""
+
+from repro.bench.cases import (
+    SUITE_NAMES,
+    BenchCase,
+    derive_ratios,
+    run_case,
+    run_suite,
+    suite_cases,
+)
+from repro.bench.report import (
+    BENCH_FORMAT_VERSION,
+    BenchReport,
+    BenchResult,
+    CaseComparison,
+    RatioComparison,
+    compare_ratios,
+    compare_reports,
+    load_report,
+    machine_fingerprint,
+    report_filename,
+)
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "BenchCase",
+    "BenchReport",
+    "BenchResult",
+    "CaseComparison",
+    "RatioComparison",
+    "SUITE_NAMES",
+    "compare_ratios",
+    "compare_reports",
+    "derive_ratios",
+    "load_report",
+    "machine_fingerprint",
+    "report_filename",
+    "run_case",
+    "run_suite",
+    "suite_cases",
+]

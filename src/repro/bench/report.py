@@ -1,0 +1,302 @@
+"""Schema-versioned benchmark reports (``BENCH_*.json``).
+
+A :class:`BenchReport` is the unit the perf-regression gate trades in: one
+suite's measured :class:`BenchResult` rows plus the machine fingerprint they
+were taken on and any suite-derived speedup ratios.  Reports serialize to
+``BENCH_<suite>.json`` files; committed baselines live under
+``benchmarks/baselines/`` and ``repro bench --check`` compares fresh (or
+replayed) reports against them.
+
+Two kinds of comparison feed the gate:
+
+* **wall-time** — per-case wall seconds against the baseline, gated only
+  for full-mode reports taken on a matching machine fingerprint (absolute
+  timings from a different machine, or from a single smoke round, are
+  informational, not actionable);
+* **ratio** — suite-derived speedups (e.g. scalar/vectorized simulator
+  time), which are machine-relative and therefore always gated.  A
+  vectorization regression shows up here no matter where the check runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "BenchReport",
+    "BenchResult",
+    "CaseComparison",
+    "RatioComparison",
+    "compare_reports",
+    "compare_ratios",
+    "load_report",
+    "machine_fingerprint",
+    "report_filename",
+]
+
+#: Format tag written into serialized reports; bump on incompatible changes.
+BENCH_FORMAT_VERSION = 1
+
+#: Default wall-time regression threshold (fraction over baseline).
+DEFAULT_THRESHOLD = 0.15
+
+#: Default slack on derived ratios: a current ratio may fall to
+#: ``baseline * (1 - slack)`` before the gate fails.  Ratios are noisy in
+#: one-round smoke mode, so the slack is generous — the gate exists to
+#: catch "the vectorized path stopped being faster", not 10% jitter.
+DEFAULT_RATIO_SLACK = 0.5
+
+
+def machine_fingerprint() -> dict[str, object]:
+    """An identifying (not secret-bearing) summary of the measuring host.
+
+    Wall-time comparisons are only gating when two reports carry an equal
+    fingerprint; everything here is stable across runs on one machine.
+    """
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+    }
+
+
+def report_filename(suite: str) -> str:
+    """The canonical on-disk name for a suite's report."""
+    return f"BENCH_{suite}.json"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured benchmark case.
+
+    ``wall_seconds`` / ``cpu_seconds`` are the best (minimum) round — the
+    standard estimator for "how fast can this go", robust to scheduler
+    noise.  ``work`` and ``unit`` describe how much work one round performs
+    (e.g. 10240 ``slot-edges``), from which :attr:`throughput` derives.
+    """
+
+    name: str
+    wall_seconds: float
+    cpu_seconds: float
+    rounds: int
+    work: float
+    unit: str
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.wall_seconds <= 0.0:
+            raise ValueError(
+                f"wall_seconds must be positive, got {self.wall_seconds}"
+            )
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+
+    @property
+    def throughput(self) -> float:
+        """Work units per wall second."""
+        return self.work / self.wall_seconds
+
+    def to_dict(self) -> dict[str, object]:
+        payload = dataclasses.asdict(self)
+        payload["throughput"] = self.throughput
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchResult":
+        fields = dict(payload)
+        fields.pop("throughput", None)  # derived; recomputed on access
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """All of one suite's results, plus fingerprint and derived ratios.
+
+    ``mode`` records how the numbers were taken: ``"full"`` (warmup +
+    best-of-rounds, the only mode whose wall times are gate-worthy) or
+    ``"smoke"`` (warmup + best of two rounds — fast CI numbers that gate
+    on derived ratios and case coverage only).
+    """
+
+    suite: str
+    machine: dict[str, object]
+    results: tuple[BenchResult, ...]
+    ratios: dict[str, float] = field(default_factory=dict)
+    mode: str = "full"
+
+    def get(self, name: str) -> BenchResult | None:
+        """The named case's result, or ``None``."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        return None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "format_version": BENCH_FORMAT_VERSION,
+            "suite": self.suite,
+            "mode": self.mode,
+            "machine": dict(self.machine),
+            "results": [result.to_dict() for result in self.results],
+            "ratios": dict(self.ratios),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> str:
+        """Write the report as JSON; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchReport":
+        if not isinstance(payload, dict):
+            raise ValueError(f"bench report must be an object, got {payload!r}")
+        version = payload.get("format_version")
+        if version != BENCH_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported bench format_version {version!r} "
+                f"(this build reads {BENCH_FORMAT_VERSION})"
+            )
+        return cls(
+            suite=payload["suite"],
+            machine=dict(payload.get("machine", {})),
+            results=tuple(
+                BenchResult.from_dict(row) for row in payload.get("results", ())
+            ),
+            ratios={k: float(v) for k, v in payload.get("ratios", {}).items()},
+            mode=payload.get("mode", "full"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchReport":
+        return cls.from_dict(json.loads(text))
+
+
+def load_report(path: str) -> BenchReport:
+    """Read a ``BENCH_*.json`` file."""
+    with open(path, encoding="utf-8") as handle:
+        return BenchReport.from_json(handle.read())
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One case's wall time against the baseline."""
+
+    name: str
+    baseline_wall: float | None
+    current_wall: float | None
+    threshold: float
+
+    @property
+    def ratio(self) -> float | None:
+        """current/baseline wall time (>1 means slower), if both exist."""
+        if self.baseline_wall is None or self.current_wall is None:
+            return None
+        return self.current_wall / self.baseline_wall
+
+    @property
+    def regressed(self) -> bool:
+        """Slower than baseline by more than ``threshold``, or missing."""
+        if self.baseline_wall is None:
+            return False  # new case: nothing to regress against
+        if self.current_wall is None:
+            return True  # baseline coverage lost
+        return self.current_wall > self.baseline_wall * (1.0 + self.threshold)
+
+
+@dataclass(frozen=True)
+class RatioComparison:
+    """One derived speedup ratio against the baseline (machine-relative)."""
+
+    name: str
+    baseline_ratio: float | None
+    current_ratio: float | None
+    slack: float
+
+    @property
+    def regressed(self) -> bool:
+        """Fell below ``baseline * (1 - slack)``, or coverage lost."""
+        if self.baseline_ratio is None:
+            return False
+        if self.current_ratio is None:
+            return True
+        return self.current_ratio < self.baseline_ratio * (1.0 - self.slack)
+
+
+def compare_reports(
+    baseline: BenchReport,
+    current: BenchReport,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[CaseComparison]:
+    """Per-case wall-time comparisons, baseline order first, new cases last."""
+    if baseline.suite != current.suite:
+        raise ValueError(
+            f"cannot compare suites {baseline.suite!r} and {current.suite!r}"
+        )
+    comparisons = []
+    seen = set()
+    for base in baseline.results:
+        seen.add(base.name)
+        cur = current.get(base.name)
+        comparisons.append(
+            CaseComparison(
+                name=base.name,
+                baseline_wall=base.wall_seconds,
+                current_wall=None if cur is None else cur.wall_seconds,
+                threshold=threshold,
+            )
+        )
+    for cur in current.results:
+        if cur.name not in seen:
+            comparisons.append(
+                CaseComparison(
+                    name=cur.name,
+                    baseline_wall=None,
+                    current_wall=cur.wall_seconds,
+                    threshold=threshold,
+                )
+            )
+    return comparisons
+
+
+def compare_ratios(
+    baseline: BenchReport,
+    current: BenchReport,
+    *,
+    slack: float = DEFAULT_RATIO_SLACK,
+) -> list[RatioComparison]:
+    """Derived-ratio comparisons (always gating; machine-independent)."""
+    comparisons = []
+    seen = set()
+    for name, base_value in baseline.ratios.items():
+        seen.add(name)
+        comparisons.append(
+            RatioComparison(
+                name=name,
+                baseline_ratio=base_value,
+                current_ratio=current.ratios.get(name),
+                slack=slack,
+            )
+        )
+    for name, value in current.ratios.items():
+        if name not in seen:
+            comparisons.append(
+                RatioComparison(
+                    name=name, baseline_ratio=None, current_ratio=value, slack=slack
+                )
+            )
+    return comparisons

@@ -6,8 +6,8 @@ Examples::
     python -m repro.cli simulate --selection UCB --trading LY --seed 3 \
         --save-json run.json
     python -m repro.cli trace --selection Ours --trading Ours > events.jsonl
-    python -m repro.cli trace --output run.jsonl --summary
-    python -m repro.cli trace --edge 0 --summary --output edge0.jsonl
+    python -m repro.cli trace --trace-output run.jsonl --summary
+    python -m repro.cli trace --edge 0 --summary --trace-output edge0.jsonl
     python -m repro.cli trace --replay run.jsonl
     python -m repro.cli serve --edges 4 --horizon 80 --trace-output serve.jsonl
     python -m repro.cli serve --config serve.json --snapshot-every 16 \
@@ -23,6 +23,8 @@ Examples::
     python -m repro.cli faults validate plan.json
     python -m repro.cli faults run plan.json --selection Ours --trading Ours
     python -m repro.cli cache prune --max-age-days 30 --max-size-mb 512 --dry-run
+    python -m repro.cli bench --smoke --check
+    python -m repro.cli bench simulator --output-dir bench-out
     python -m repro.cli lint src/repro --format json
 """
 
@@ -56,6 +58,43 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--switching-weight", type=float, default=1.0)
 
 
+#: The unified execution-options group shared by ``experiment``, ``serve``,
+#: and ``bench`` (and ``trace`` for the trace-output member).  One canonical
+#: spelling and help string per flag — commands attach the members that
+#: apply to them via :func:`_add_shared_run_options`, so the same concept is
+#: never spelled two ways on two subcommands.
+_SHARED_RUN_OPTIONS: dict[str, tuple[tuple[str, ...], dict]] = {
+    "workers": (("--workers",),
+                dict(type=int, default=1, metavar="N",
+                     help="process-pool size for sweep execution "
+                          "(1 = serial)")),
+    "cache": (("--cache",),
+              dict(metavar="DIR", default=None,
+                   help="result-cache directory (default: .repro_cache)")),
+    "no-cache": (("--no-cache",),
+                 dict(action="store_true",
+                      help="disable the result cache entirely")),
+    "faults": (("--faults",),
+               dict(metavar="PLAN.json", default=None,
+                    help="fault plan injected into the run "
+                         "(see `repro faults template`)")),
+    "trace-output": (("--trace-output",),
+                     dict(metavar="LOG.jsonl", default=None,
+                          help="stream structured events to this JSONL "
+                               "file")),
+}
+
+
+def _add_shared_run_options(
+    parser: argparse.ArgumentParser, *names: str
+) -> None:
+    """Attach the named members of the shared execution-options group."""
+    group = parser.add_argument_group("shared run options")
+    for name in names:
+        flags, kwargs = _SHARED_RUN_OPTIONS[name]
+        group.add_argument(*flags, **kwargs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -80,9 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--selection", choices=SELECTION_NAMES, default="Ours")
     trace.add_argument("--trading", choices=TRADING_NAMES, default="Ours")
     _add_scenario_options(trace)
-    trace.add_argument("--output", metavar="PATH", default=None,
-                       help="write events to this JSONL file "
-                            "(default: stream to stdout)")
+    _add_shared_run_options(trace, "trace-output")
+    trace.add_argument("--output", dest="legacy_output", metavar="PATH",
+                       default=None,
+                       help="deprecated alias of --trace-output")
     trace.add_argument("--summary", action="store_true",
                        help="print per-type event counts after the run")
     trace.add_argument("--edge", type=int, default=None, metavar="I",
@@ -138,11 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resume", metavar="SNAPSHOT", default=None,
                        help="resume a killed run from its snapshot file "
                             "(ignores --config and scenario flags)")
-    serve.add_argument("--faults", metavar="PLAN.json", default=None,
-                       help="fault plan injected into the run")
-    serve.add_argument("--trace-output", metavar="LOG.jsonl", default=None,
-                       help="stream events to this JSONL file through a "
-                            "background-drained async sink")
+    _add_shared_run_options(serve, "faults", "trace-output")
     serve.add_argument("--health-port", type=int, default=None, metavar="PORT",
                        help="serve /healthz and /metrics JSON on this port "
                             "while running (0 = ephemeral)")
@@ -161,16 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run paper-figure experiments")
     exp.add_argument("figures", nargs="*", help="e.g. fig10 fig11 (default: all)")
     exp.add_argument("--full", action="store_true", help="paper-scale settings")
-    exp.add_argument("--workers", type=int, default=1, metavar="N",
-                     help="process-pool size for seed sweeps (1 = serial)")
-    exp.add_argument("--cache", metavar="DIR", default=None,
-                     help="result-cache directory (default: .repro_cache)")
-    exp.add_argument("--no-cache", action="store_true",
-                     help="disable the result cache entirely")
-    exp.add_argument("--faults", metavar="PLAN.json", default=None,
-                     help="fault plan applied to every sweep cell")
+    _add_shared_run_options(exp, "workers", "cache", "no-cache", "faults")
     exp.add_argument("--checkpoint", metavar="PATH", default=None,
                      help="sweep-checkpoint journal for crash-safe resume")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the measured perf suites and gate against BENCH baselines",
+    )
+    from repro.bench.cli import add_arguments as add_bench_arguments
+
+    add_bench_arguments(bench)
+    _add_shared_run_options(bench, "faults", "trace-output")
 
     faults = sub.add_parser(
         "faults", help="author, validate, and exercise fault-injection plans"
@@ -297,6 +335,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.replay is not None:
         return _cmd_trace_replay(args)
 
+    if args.legacy_output is not None:
+        print("repro trace --output is deprecated; use --trace-output",
+              file=sys.stderr)
+        if args.trace_output is None:
+            args.trace_output = args.legacy_output
+
     config = ScenarioConfig(
         dataset=args.dataset,
         num_edges=args.edges,
@@ -305,7 +349,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         switching_weight=args.switching_weight,
     )
     scenario = build_scenario(config)
-    sink = JsonlSink(args.output if args.output else sys.stdout)
+    sink = JsonlSink(args.trace_output if args.trace_output else sys.stdout)
     tracer_sink = sink if args.edge is None else EdgeFilterSink(sink, args.edge)
     tracer = Tracer([tracer_sink])
     try:
@@ -324,11 +368,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         counts = tracer_sink.forwarded_counts
     # When streaming, stdout is the event log — keep the summary off it.
-    report = sys.stdout if args.output else sys.stderr
+    report = sys.stdout if args.trace_output else sys.stderr
     scope = "" if args.edge is None else f" (edge {args.edge})"
     print(
         f"traced {result.label}: {sink.events_written} events{scope}"
-        + (f" -> {args.output}" if args.output else ""),
+        + (f" -> {args.trace_output}" if args.trace_output else ""),
         file=report,
     )
     if args.summary:
@@ -553,6 +597,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.cli import run as bench_run
+
+    return bench_run(args)
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.cache import ResultCache
 
@@ -604,6 +654,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_zoo(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "cache":

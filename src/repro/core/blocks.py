@@ -79,11 +79,24 @@ class BlockSchedule:
         """First slot of each block."""
         return np.concatenate(([0], np.cumsum(self.lengths)[:-1])).astype(int)
 
+    def _slot_table(self) -> np.ndarray:
+        """Memoized slot -> block lookup table.
+
+        Computed lazily (not in ``__post_init__``) so schedules restored
+        from older pickles — serve snapshots carry policies, which carry
+        schedules — rebuild it transparently on first use.
+        """
+        table = self.__dict__.get("_slot_to_block")
+        if table is None:
+            table = np.repeat(np.arange(self.lengths.size), self.lengths)
+            object.__setattr__(self, "_slot_to_block", table)
+        return table
+
     def block_of_slot(self, t: int) -> int:
         """Index of the block containing slot ``t``."""
         if not 0 <= t < self.horizon:
             raise ValueError(f"slot {t} outside [0, {self.horizon})")
-        return int(np.searchsorted(np.cumsum(self.lengths), t, side="right"))
+        return int(self._slot_table()[t])
 
     def is_block_start(self, t: int) -> bool:
         """Whether slot ``t`` opens a new block (a model may switch here)."""

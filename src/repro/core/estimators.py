@@ -33,12 +33,30 @@ class ImportanceWeightedEstimator:
         """Current ``C_hat`` vector (copy)."""
         return self._cumulative.copy()
 
+    def cumulative_view(self) -> np.ndarray:
+        """Current ``C_hat`` vector as a read-only view (no copy).
+
+        Batch drivers stack one row per arm-set into the ``(B, N)`` input of
+        :func:`~repro.core.tsallis.tsallis_inf_probabilities_batch`; the
+        write lock keeps the zero-copy hand-off safe.
+        """
+        view = self._cumulative.view()
+        view.flags.writeable = False
+        return view
+
     @property
     def observations(self) -> int:
         """Number of block observations folded in so far."""
         return self._observations
 
-    def update(self, chosen_arm: int, observed_loss: float, probabilities: np.ndarray) -> np.ndarray:
+    def update(
+        self,
+        chosen_arm: int,
+        observed_loss: float,
+        probabilities: np.ndarray,
+        *,
+        trusted: bool = False,
+    ) -> np.ndarray:
         """Fold in one block's observation; return that block's ``c_hat``.
 
         Parameters
@@ -49,12 +67,24 @@ class ImportanceWeightedEstimator:
             The realized cumulative block loss ``c_{k, J_k}``.
         probabilities:
             The sampling distribution ``p_k`` used to draw ``J_k``.
+        trusted:
+            Skip the defensive validation of ``probabilities`` while keeping
+            its sanitizing arithmetic bit-for-bit (clip at zero, renormalize
+            by the sum).  For distributions we computed ourselves — Tsallis
+            solver outputs already past their simplex postcondition — the
+            checks can never fire, and this path drops them from the block
+            -close hot loop without moving a digest.
         """
         if not 0 <= chosen_arm < self.num_arms:
             raise ValueError(f"arm {chosen_arm} outside [0, {self.num_arms})")
         if not np.isfinite(observed_loss):
             raise ValueError(f"observed loss must be finite, got {observed_loss!r}")
-        p = check_probability_vector(probabilities, "probabilities")
+        if trusted:
+            arr = np.asarray(probabilities, dtype=float)
+            # Exactly check_probability_vector's output arithmetic.
+            p = np.maximum(arr, 0.0) / max(float(arr.sum()), 1e-300)
+        else:
+            p = check_probability_vector(probabilities, "probabilities")
         if p.size != self.num_arms:
             raise ValueError("probability vector length must equal num_arms")
         if p[chosen_arm] <= 0:

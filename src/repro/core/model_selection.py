@@ -18,6 +18,7 @@ the paper's Algorithm 1.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -113,20 +114,120 @@ class OnlineModelSelection(SelectionPolicy):
             raise ValueError(f"slot {t} outside horizon [0, {self.horizon})")
         block = self._schedule.block_of_slot(t)
         if block not in self._blocks:
-            if block != self._latest_block + 1:
-                raise RuntimeError(
-                    f"slots must be visited in order: at block {block}, "
-                    f"expected {self._latest_block + 1}"
-                )
             self._open_block(block, t)
         model = self._blocks[block].model
         self._selection_counts[model] += 1
         return model
 
+    def pending_block(self, t: int) -> int | None:
+        """The block ``select(t)`` would have to open, or ``None``.
+
+        Batch drivers (the vectorized simulator) use this to collect the
+        edges whose block boundaries coincide at slot ``t`` so a single
+        :func:`~repro.core.tsallis.tsallis_inf_probabilities_batch` call can
+        solve all of their OMD steps at once.
+        """
+        if not 0 <= t < self.horizon:
+            raise ValueError(f"slot {t} outside horizon [0, {self.horizon})")
+        block = self._schedule.block_of_slot(t)
+        return None if block in self._blocks else block
+
+    def cumulative_estimates(self) -> np.ndarray:
+        """Read-only view of the current ``C_hat`` vector (no copy).
+
+        This is the exact array the next :meth:`select` would feed to the
+        Tsallis solve; batch drivers stack one row per edge from it.
+        """
+        return self._estimator.cumulative_view()
+
+    def block_eta(self, block: int) -> float:
+        """The learning rate the schedule assigns to ``block``."""
+        return float(self._schedule.etas[block])
+
+    def open_block_with(
+        self, block: int, t: int, probabilities: np.ndarray, *, validated: bool = False
+    ) -> int:
+        """Lines 4-5 given a precomputed OMD distribution (batch opens).
+
+        The distribution must be exactly what the scalar solve would have
+        produced (the batched solver guarantees this bitwise); sampling the
+        block model still happens here, on this edge's own RNG stream, so
+        per-stream draw order is untouched.  Pass ``validated=True`` when
+        the caller already ran the simplex postcondition on ``probabilities``
+        (both Tsallis solvers do) — the check never alters values, so
+        skipping the re-check is behavior-neutral.  Returns the sampled
+        block model.
+        """
+        if block != self._latest_block + 1:
+            raise RuntimeError(
+                f"slots must be visited in order: at block {block}, "
+                f"expected {self._latest_block + 1}"
+            )
+        if not validated:
+            probabilities = check_simplex(
+                probabilities, f"block {block} sampling distribution"
+            )
+        model = int(self._rng.choice(self.num_models, p=probabilities))
+        length = int(self._schedule.lengths[block])
+        self._blocks[block] = _BlockRecord(
+            model=model,
+            probabilities=probabilities,
+            length=length,
+        )
+        self._latest_block = block
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                BlockBoundaryEvent(
+                    t=t,
+                    edge=self.trace_edge,
+                    block=block,
+                    length=length,
+                    eta=self.block_eta(block),
+                    model=model,
+                )
+            )
+        return model
+
+    def observe_block(self, block: int, slot_losses: list[float]) -> None:
+        """Fold one whole block's slot losses in a single call (line 7, bulk).
+
+        Bitwise-identical to calling :meth:`observe` once per slot in slot
+        order on a freshly opened block: the loss sum accumulates left to
+        right as Python floats, and the block closes (folding into the
+        estimator) exactly when the last slot's loss lands.  Because this
+        replaces the per-slot ``select`` calls too, it also accounts the
+        block's slots in :attr:`selection_counts`.  Batch drivers pair it
+        with :meth:`open_block_with`; a block that already received partial
+        per-slot feedback must finish through :meth:`observe`.
+        """
+        record = self._blocks.get(block)
+        if record is None:
+            raise RuntimeError(f"observed block {block} before it was opened")
+        if record.closed or record.observed or record.lost:
+            raise RuntimeError(
+                f"block {block} already has slot feedback; finish it through "
+                "observe()"
+            )
+        if len(slot_losses) != record.length:
+            raise ValueError(
+                f"block {block} spans {record.length} slots, got "
+                f"{len(slot_losses)} losses"
+            )
+        total = record.loss_sum
+        for loss in slot_losses:
+            if not math.isfinite(loss):
+                raise ValueError(f"loss must be finite, got {loss!r}")
+            total += float(loss)
+        record.loss_sum = total
+        record.observed = record.length
+        self._selection_counts[record.model] += record.length
+        self._close_block(record)
+
     def observe(self, t: int, model: int, loss: float) -> None:
         """Accumulate a (possibly delayed) slot loss into its block (line 7)."""
         self._check_model(model)
-        if not np.isfinite(loss):
+        if not math.isfinite(loss):
             raise ValueError(f"loss must be finite, got {loss!r}")
         block = self._schedule.block_of_slot(t)
         record = self._blocks.get(block)
@@ -176,31 +277,10 @@ class OnlineModelSelection(SelectionPolicy):
         outstanding blocks — the distribution is simply computed from what
         has arrived, the standard delayed-bandit semantics.
         """
-        eta = float(self._schedule.etas[block])
-        probabilities = check_simplex(
-            tsallis_inf_probabilities(self._estimator.cumulative, eta),
-            f"block {block} sampling distribution",
+        probabilities = tsallis_inf_probabilities(
+            self._estimator.cumulative, self.block_eta(block)
         )
-        model = int(self._rng.choice(self.num_models, p=probabilities))
-        length = int(self._schedule.lengths[block])
-        self._blocks[block] = _BlockRecord(
-            model=model,
-            probabilities=probabilities,
-            length=length,
-        )
-        self._latest_block = block
-        tracer = self.tracer
-        if tracer.enabled:
-            tracer.emit(
-                BlockBoundaryEvent(
-                    t=t,
-                    edge=self.trace_edge,
-                    block=block,
-                    length=length,
-                    eta=eta,
-                    model=model,
-                )
-            )
+        self.open_block_with(block, t, probabilities)
 
     def _close_block(self, record: _BlockRecord) -> None:
         """Lines 8-9: fold the complete block loss into the estimator.
@@ -209,7 +289,9 @@ class OnlineModelSelection(SelectionPolicy):
         distribution for later blocks is computed from observed blocks only.
         """
         if record.observed > 0:
+            # The block's distribution is our own Tsallis solve, already past
+            # its simplex postcondition — skip the defensive re-validation.
             self._estimator.update(
-                record.model, record.loss_sum, record.probabilities
+                record.model, record.loss_sum, record.probabilities, trusted=True
             )
         record.closed = True

@@ -63,6 +63,22 @@ class ArrivalProcess:
         """Draw ``M_i^t`` for slot ``t``."""
         return int(max(self._rng.poisson(self.mean(t)), 1))
 
+    def sample_slots(self, horizon: int) -> np.ndarray:
+        """Draw ``M_i^t`` for slots ``0..horizon-1`` in one call.
+
+        NumPy's ``Generator.poisson`` with an array of means draws one
+        variate per element in order, consuming the bit stream exactly as
+        ``horizon`` scalar :meth:`sample` calls would — part of the
+        ``Generator`` stream-stability contract — so the vectorized
+        simulator can pre-draw a whole horizon without moving any digest.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        # Tiled trace == [self.mean(t) for t in range(horizon)] (wrap-around).
+        reps = -(-horizon // self._means.size)
+        means = np.tile(self._means, reps)[:horizon]
+        return np.maximum(self._rng.poisson(means), 1).astype(np.int64)
+
 
 class DataStream:
     """IID sampling with replacement from a fixed data pool."""

@@ -158,6 +158,39 @@ class EnergyModel:
             energy += self.transfer_energy_kwh(edge, model)
         return self.emissions_kg(energy)
 
+    def transfer_table_kwh(self) -> np.ndarray:
+        """``(I, N)`` table of transfer energies ``F_{i,n} = theta_i * W_n``.
+
+        Row ``i``, column ``n`` is the exact single multiplication
+        :meth:`transfer_energy_kwh` performs, so table lookups are bitwise
+        interchangeable with the scalar method — the vectorized simulator
+        precomputes this once per run.
+        """
+        return self.theta_kwh_per_byte[:, None] * self.model_sizes_bytes[None, :]
+
+    def slot_emissions_kg_batch(
+        self,
+        models: np.ndarray,
+        arrivals: np.ndarray,
+        switched: np.ndarray,
+        transfer_kwh: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`slot_emissions_kg` over many edge-slots at once.
+
+        ``transfer_kwh`` carries the already-gathered per-element transfer
+        energies (rows/cells of :meth:`transfer_table_kwh`).  The scalar
+        method's floating-point operation order is preserved element by
+        element — ``((phi_n * M) * scale)`` then ``+ F_{i,n}`` only where
+        switched (adding literal ``+0.0`` elsewhere, which is bit-exact for
+        the non-negative energies here), then ``* rho`` — so every entry
+        matches the scalar call bitwise.
+        """
+        if np.any(arrivals < 0):
+            raise ValueError("arrivals must be non-negative")
+        energy = (self.phi_kwh[models] * arrivals) * self.requests_per_arrival
+        energy = energy + np.where(switched, transfer_kwh, 0.0)
+        return self.rho_kg_per_kwh * energy
+
     def with_rho(self, rho_kg_per_kwh: float) -> "EnergyModel":
         """Copy of this model with a different emission rate (fig06 sweep)."""
         return EnergyModel(

@@ -108,13 +108,17 @@ def cell_key(
     *,
     kind: str = "combo",
     faults: "FaultPlan | None" = None,
+    label_delay: int = 0,
+    live_inference: bool = False,
 ) -> str:
     """The content-addressed cache key of one sweep cell (SHA-256 hex).
 
     ``kind`` distinguishes execution shapes beyond plain combinations
     (``"offline"`` for the two-pass LP reference); ``faults`` folds a
-    non-empty fault plan into the key.  Both enter the payload only when
-    non-default, so every pre-existing combo key is unchanged.
+    non-empty fault plan into the key, and ``label_delay`` /
+    ``live_inference`` fold in the run-spec options that change a cell's
+    numbers.  All of them enter the payload only when non-default, so every
+    pre-existing combo key is unchanged.
     """
     payload = {
         "schema_version": FORMAT_VERSION,
@@ -128,6 +132,10 @@ def cell_key(
         payload["kind"] = str(kind)
     if faults is not None and not faults.is_empty:
         payload["faults"] = faults.to_dict()
+    if label_delay:
+        payload["label_delay"] = int(label_delay)
+    if live_inference:
+        payload["live_inference"] = True
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -49,6 +50,7 @@ from repro.experiments.checkpoint import SweepCheckpoint
 from repro.policies import selection_names, trading_names
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
+from repro.spec import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
@@ -79,6 +81,8 @@ class SweepCell:
     ``kind`` selects the execution shape: ``"combo"`` is one registry-named
     simulation, ``"offline"`` the two-pass clairvoyant reference (whose
     selection/trading names are fixed placeholders, not registry lookups).
+    ``label_delay`` and ``live_inference`` carry the run-spec options that
+    change a combo cell's numbers (and therefore its cache key).
     """
 
     selection: str
@@ -86,6 +90,51 @@ class SweepCell:
     seed: int
     label: str | None = None
     kind: str = "combo"
+    label_delay: int = 0
+    live_inference: bool = False
+
+    @classmethod
+    def from_spec(cls, spec: RunSpec) -> "SweepCell":
+        """The cell that executes ``spec`` (see :meth:`SweepEngine.run_specs`).
+
+        Scenario, faults, and tracing are engine-level concerns: the
+        scenario is the sweep's shared argument, faults attach to the
+        engine (folding into every key), and tracing runs don't belong in a
+        cache-keyed sweep — so specs carrying a non-empty fault plan or a
+        trace output are rejected here.
+        """
+        if not spec.faults.is_empty:
+            raise ValueError(
+                "sweep cells take fault plans from the engine "
+                "(SweepEngine(faults=...)), not from individual specs"
+            )
+        if spec.trace_output is not None:
+            raise ValueError(
+                "tracing runs don't go through the sweep engine; run the "
+                "spec directly via repro.run or Simulator.from_spec"
+            )
+        return cls(
+            selection=spec.selection,
+            trading=spec.trading,
+            seed=int(spec.seed),
+            label=spec.label,
+            label_delay=int(spec.label_delay),
+            live_inference=bool(spec.live_inference),
+        )
+
+    def to_spec(self, faults: "FaultPlan | None" = None) -> RunSpec:
+        """The :class:`RunSpec` a worker executes for this (combo) cell."""
+        from repro.faults.plan import FaultPlan
+
+        return RunSpec(
+            selection=self.selection,
+            trading=self.trading,
+            seed=self.seed,
+            label=self.label,
+            label_delay=self.label_delay,
+            live_inference=self.live_inference,
+            faults=faults if faults is not None else FaultPlan(),
+        )
 
 
 @dataclass
@@ -145,19 +194,13 @@ def _execute_cell(
     scenario: Scenario, cell: SweepCell, faults: "FaultPlan | None" = None
 ) -> SimulationResult:
     """Run one cell (module-level so worker processes can unpickle it)."""
-    from repro.experiments.runner import run_combo, run_offline
+    from repro.experiments.runner import run_offline
+    from repro.sim.simulator import Simulator
 
     _maybe_fire_test_hooks(cell)
     if cell.kind == "offline":
         return run_offline(scenario, cell.seed, faults=faults)
-    return run_combo(
-        scenario,
-        cell.selection,
-        cell.trading,
-        cell.seed,
-        label=cell.label,
-        faults=faults,
-    )
+    return Simulator.from_spec(scenario, cell.to_spec(faults)).run()
 
 
 class _PoolRoundFailed(Exception):
@@ -248,6 +291,8 @@ class SweepEngine:
                     cell.label,
                     kind=cell.kind,
                     faults=self.faults,
+                    label_delay=cell.label_delay,
+                    live_inference=cell.live_inference,
                 )
         for index, cell in enumerate(cells):
             if self.checkpoint is not None:
@@ -300,6 +345,23 @@ class SweepEngine:
         if self.checkpoint is not None and key not in self.checkpoint:
             self.checkpoint.append(key, result)
 
+    def run_specs(
+        self, scenario: Scenario, specs: Sequence[RunSpec]
+    ) -> list[SimulationResult]:
+        """Simulate one cell per :class:`RunSpec`; results align with ``specs``.
+
+        The canonical sweep entry point: any mix of combinations, seeds,
+        labels, and per-spec ``label_delay`` / ``live_inference`` options,
+        sharing one pre-built ``scenario`` (each spec's own ``scenario``
+        field is ignored, as everywhere a scenario is passed explicitly).
+        Specs carrying fault plans or trace outputs are rejected — faults
+        attach to the engine, tracing runs don't sweep.
+        """
+        if not specs:
+            raise ValueError("need at least one run spec")
+        cells = [SweepCell.from_spec(spec) for spec in specs]
+        return self.run_cells(scenario, cells)
+
     def run_many(
         self,
         scenario: Scenario,
@@ -308,7 +370,18 @@ class SweepEngine:
         seeds: Sequence[int],
         label: str | None = None,
     ) -> list[SimulationResult]:
-        """One cell per seed for a fixed combination (``run_many`` shape)."""
+        """Deprecated: one cell per seed from a keyword tail.
+
+        .. deprecated:: 1.2
+            Use :meth:`run_specs` with one :class:`repro.RunSpec` per seed;
+            results are bit-identical through either entry point.
+        """
+        warnings.warn(
+            "SweepEngine.run_many is deprecated; build repro.RunSpec values "
+            "and call run_specs(scenario, specs) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not seeds:
             raise ValueError("need at least one seed")
         cells = [SweepCell(selection, trading, int(s), label) for s in seeds]

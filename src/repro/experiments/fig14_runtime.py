@@ -17,18 +17,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core import OnlineCarbonTrading, OnlineModelSelection
 from repro.experiments.reporting import format_table
 from repro.experiments.settings import default_config
 from repro.obs import Timer, Tracer
+from repro.policies import make_selection_policies, make_trading_policy
 from repro.policies.trading import TradeDecision, TradingContext
 from repro.sim.scenario import build_scenario
+from repro.spec import RunSpec
 from repro.utils.rng import RngFactory
 
 __all__ = ["Fig14Result", "run", "format_result", "main"]
 
 PAPER_EDGE_COUNTS = (10, 20, 30, 40, 50)
 FAST_EDGE_COUNTS = (5, 10, 20)
+
+
+def _spec_policies(config, scenario):
+    """Policies wired exactly as ``Simulator.from_spec`` would wire them.
+
+    The timed algorithm instances come from the :mod:`repro.policies`
+    registry with the same RNG stream layout users get, so the measurement
+    covers the code path of a real ``RunSpec`` run (not a hand-rolled
+    construction that could drift from it).
+    """
+    spec = RunSpec(scenario=config, selection="Ours", trading="Ours", seed=0)
+    rng_factory = RngFactory(spec.seed).child(f"{spec.selection}-{spec.trading}")
+    policies = make_selection_policies(spec.selection, scenario, rng_factory)
+    trader = make_trading_policy(spec.trading, scenario, rng_factory)
+    return policies, trader
 
 
 @dataclass(frozen=True)
@@ -48,17 +64,8 @@ def _time_algorithm1(num_edges: int, horizon: int, fast: bool, timer: Timer) -> 
     """Seconds per slot spent in Algorithm 1 select/observe across edges."""
     config = default_config(fast, num_edges=num_edges, horizon=horizon)
     scenario = build_scenario(config)
-    rng_factory = RngFactory(0)
-    policies = [
-        OnlineModelSelection(
-            scenario.num_models,
-            horizon,
-            float(scenario.effective_switch_costs()[i]),
-            rng_factory.get(f"sel-{i}"),
-        )
-        for i in range(num_edges)
-    ]
-    loss_rng = rng_factory.get("losses")
+    policies, _ = _spec_policies(config, scenario)
+    loss_rng = RngFactory(0).get("losses")
     losses = loss_rng.uniform(0.0, 2.0, size=(horizon, num_edges))
     for t in range(horizon):
         with timer:
@@ -72,7 +79,7 @@ def _time_algorithm2(num_edges: int, horizon: int, fast: bool, timer: Timer) -> 
     """Seconds per slot spent in Algorithm 2 decide/observe."""
     config = default_config(fast, num_edges=num_edges, horizon=horizon)
     scenario = build_scenario(config)
-    policy = OnlineCarbonTrading()
+    _, policy = _spec_policies(config, scenario)
     emissions_rng = RngFactory(1).get("emissions")
     emissions = emissions_rng.uniform(
         0.0, 2.0 * scenario.estimated_slot_emissions(), size=horizon

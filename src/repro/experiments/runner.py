@@ -36,6 +36,7 @@ from repro.policies import (
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
 from repro.sim.simulator import Simulator
+from repro.spec import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.experiments.engine import SweepEngine
@@ -62,15 +63,14 @@ def run_combo(
     faults: FaultPlan | None = None,
 ) -> SimulationResult:
     """Simulate one (selection, trading) combination on ``scenario``."""
-    return Simulator.from_names(
-        scenario,
+    spec = RunSpec(
         selection=selection,
         trading=trading,
         seed=seed,
         label=label,
-        tracer=tracer,
-        faults=faults,
-    ).run()
+        faults=faults if faults is not None else FaultPlan(),
+    )
+    return Simulator.from_spec(scenario, spec, tracer=tracer).run()
 
 
 def run_many(
@@ -95,7 +95,11 @@ def run_many(
 
     if engine is None:
         engine = get_default_engine()
-    return engine.run_many(scenario, selection, trading, seeds, label=label)
+    specs = [
+        RunSpec(selection=selection, trading=trading, seed=int(s), label=label)
+        for s in seeds
+    ]
+    return engine.run_specs(scenario, specs)
 
 
 def run_offline(

@@ -11,8 +11,8 @@ Typical use::
     from repro.obs import InMemorySink, Tracer
 
     sink = InMemorySink()
-    result = repro.run(config, selection="Ours", trading="Ours",
-                       tracer=Tracer([sink]))
+    spec = repro.RunSpec(scenario=config, selection="Ours", trading="Ours")
+    result = repro.run(spec, tracer=Tracer([sink]))
     switches = sink.of_type("model_switch")
 
 or from the command line: ``repro trace --selection Ours --trading Ours``.

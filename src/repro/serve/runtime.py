@@ -41,6 +41,7 @@ from repro.sim.kernel import EdgeSlotOutcome
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import build_scenario
 from repro.sim.simulator import Simulator
+from repro.spec import RunSpec
 
 __all__ = ["ServeRuntime", "serve_run"]
 
@@ -77,16 +78,15 @@ class ServeRuntime:
         self.scenario = build_scenario(config.scenario)
         self.horizon = self.scenario.horizon
         self.num_edges = self.scenario.num_edges
-        self._sim = Simulator.from_names(
-            self.scenario,
-            config.selection,
-            config.trading,
+        spec = RunSpec(
+            selection=config.selection,
+            trading=config.trading,
             seed=config.seed,
             label=self.label,
             label_delay=config.label_delay,
-            tracer=tracer,
-            faults=faults,
+            faults=faults if faults is not None else FaultPlan(),
         )
+        self._sim = Simulator.from_spec(self.scenario, spec, tracer=tracer)
         arrivals, self.edge_kernels, self.trading_kernel = self._sim.build_kernels()
         self.adapters = make_adapters(
             config.adapter,

@@ -28,6 +28,8 @@ simulator is the lockstep driver of those kernels.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.data.streams import ArrivalProcess
@@ -43,6 +45,11 @@ from repro.sim.kernel import EdgeSlotKernel, TradingSlotKernel, class_index_map
 from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
 from repro.utils.rng import RngFactory
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.spec import RunSpec
 
 __all__ = ["Simulator"]
 
@@ -97,6 +104,46 @@ class Simulator:
             trading_policy.bind_tracer(tracer)
 
     @classmethod
+    def from_spec(
+        cls,
+        scenario: Scenario,
+        spec: "RunSpec",
+        *,
+        tracer: Tracer | None = None,
+    ) -> "Simulator":
+        """Build a simulator for ``spec`` on an already-built ``scenario``.
+
+        This is the constructor behind every name-based entry point
+        (``repro.run``, ``run_combo``, the sweep engine, the CLI).  Policy
+        names resolve through the :mod:`repro.policies` registry, and the
+        RNG stream layout is a pure function of
+        ``(selection, trading, seed)``, so a given spec is bit-identical
+        everywhere it runs.  ``scenario`` is taken pre-built so callers can
+        share one across specs for common-random-number comparisons; pass
+        ``spec.build_scenario()`` when no sharing is needed.  ``tracer``
+        overrides the spec's ``trace_output``/``trace_edge`` options.
+        """
+        from repro.policies import make_selection_policies, make_trading_policy
+
+        selection, trading = spec.selection, spec.trading
+        rng_factory = RngFactory(spec.seed).child(f"{selection}-{trading}")
+        policies = make_selection_policies(selection, scenario, rng_factory)
+        trader = make_trading_policy(trading, scenario, rng_factory)
+        if tracer is None:
+            tracer = spec.make_tracer()
+        return cls(
+            scenario,
+            policies,
+            trader,
+            run_seed=spec.seed,
+            label=spec.resolved_label,
+            live_inference=spec.live_inference,
+            label_delay=spec.label_delay,
+            tracer=tracer,
+            faults=spec.faults if not spec.faults.is_empty else None,
+        )
+
+    @classmethod
     def from_names(
         cls,
         scenario: Scenario,
@@ -110,30 +157,32 @@ class Simulator:
         tracer: Tracer | None = None,
         faults: FaultPlan | None = None,
     ) -> "Simulator":
-        """Build a simulator from registered policy-family names.
+        """Deprecated: build from a keyword tail instead of a :class:`RunSpec`.
 
-        Names resolve through the :mod:`repro.policies` registry, so custom
-        families registered with ``@register_selection`` /
-        ``@register_trading`` work here too.  The RNG stream layout matches
-        :func:`repro.experiments.runner.run_combo`, so a given
-        ``(selection, trading, seed)`` triple is bit-identical either way.
+        .. deprecated:: 1.2
+            Use :meth:`from_spec` with a :class:`repro.spec.RunSpec`; this
+            keyword tail is frozen and will eventually go away.  Behavior is
+            unchanged: a given ``(selection, trading, seed)`` triple is
+            bit-identical through either constructor.
         """
-        from repro.policies import make_selection_policies, make_trading_policy
+        warnings.warn(
+            "Simulator.from_names is deprecated; build a repro.RunSpec and "
+            "call Simulator.from_spec(scenario, spec) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.spec import RunSpec
 
-        rng_factory = RngFactory(seed).child(f"{selection}-{trading}")
-        policies = make_selection_policies(selection, scenario, rng_factory)
-        trader = make_trading_policy(trading, scenario, rng_factory)
-        return cls(
-            scenario,
-            policies,
-            trader,
-            run_seed=seed,
-            label=label if label is not None else f"{selection}-{trading}",
+        spec = RunSpec(
+            selection=selection,
+            trading=trading,
+            seed=seed,
+            label=label,
             live_inference=live_inference,
             label_delay=label_delay,
-            tracer=tracer,
-            faults=faults,
+            faults=faults if faults is not None else FaultPlan(),
         )
+        return cls.from_spec(scenario, spec, tracer=tracer)
 
     def build_kernels(
         self,
@@ -193,8 +242,32 @@ class Simulator:
         )
         return arrival_processes, edge_kernels, trading_kernel
 
-    def run(self) -> SimulationResult:
-        """Simulate the full horizon and return per-slot records."""
+    def run(self, *, vectorized: bool | None = None) -> SimulationResult:
+        """Simulate the full horizon and return per-slot records.
+
+        ``vectorized=None`` (the default) picks the vectorized fast path
+        whenever the run qualifies (no tracing, faults, or delayed labels)
+        and the scalar reference loop otherwise — the two are bit-identical,
+        locked by the golden digests.  Pass ``False`` to force the scalar
+        loop (the reference for equivalence tests and benchmarks) or
+        ``True`` to require the fast path (raises if the run does not
+        qualify).
+        """
+        from repro.sim.vector import can_vectorize, run_vectorized
+
+        if vectorized is None:
+            vectorized = can_vectorize(self)
+        elif vectorized and not can_vectorize(self):
+            raise ValueError(
+                "run cannot use the vectorized fast path: tracing, fault "
+                "injection, or label delay is enabled"
+            )
+        if vectorized:
+            return run_vectorized(self)
+        return self._run_scalar()
+
+    def _run_scalar(self) -> SimulationResult:
+        """The scalar reference loop: one kernel step per edge per slot."""
         scenario = self.scenario
         cfg = scenario.config
         horizon, num_edges = scenario.horizon, scenario.num_edges
