@@ -9,12 +9,17 @@ Examples::
     python -m repro.cli trace --trace-output run.jsonl --summary
     python -m repro.cli trace --edge 0 --summary --trace-output edge0.jsonl
     python -m repro.cli trace --replay run.jsonl
+    python -m repro.cli trace --replay parent.jsonl shard0.jsonl shard1.jsonl
     python -m repro.cli serve --edges 4 --horizon 80 --trace-output serve.jsonl
     python -m repro.cli serve --config serve.json --snapshot-every 16 \
         --snapshot-path state.pkl
     python -m repro.cli serve --resume state.pkl
     python -m repro.cli serve --wall-clock --slot-duration 0.05 \
         --backpressure shed --health-port 8080
+    python -m repro.cli serve --edges 64 --workers 4 --wall-clock \
+        --backpressure shed
+    python -m repro.cli soak --smoke
+    python -m repro.cli soak --shape spike --edges 64 --workers 4
     python -m repro.cli zoo --dataset mnist
     python -m repro.cli experiment fig10 fig11 --full
     python -m repro.cli experiment fig03 fig04 --workers 4 --cache .repro_cache
@@ -128,9 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--edge", type=int, default=None, metavar="I",
                        help="keep only per-edge events (model switches, "
                             "block boundaries) of edge I")
-    trace.add_argument("--replay", metavar="LOG.jsonl", default=None,
-                       help="re-aggregate a recorded trace into summary "
-                            "tables instead of running anything")
+    trace.add_argument("--replay", metavar="LOG.jsonl", nargs="+", default=None,
+                       help="re-aggregate recorded trace(s) into summary "
+                            "tables instead of running anything; several "
+                            "logs (e.g. a sharded run's parent + per-shard "
+                            "traces) merge deterministically by slot")
 
     serve = sub.add_parser(
         "serve",
@@ -147,13 +154,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run label (default: '<selection>-<trading>')")
     serve.add_argument("--label-delay", type=int, default=None, metavar="D",
                        help="deliver bandit feedback D slots late")
-    serve.add_argument("--adapter", choices=("poisson", "replay", "dataset"),
+    serve.add_argument("--adapter",
+                       choices=("poisson", "replay", "dataset", "shape"),
                        default=None,
                        help="stream adapter feeding the edges "
                             "(default: poisson)")
     serve.add_argument("--replay-log", metavar="LOG.jsonl", default=None,
                        help="trace whose arrival events drive the replay "
                             "adapter")
+    serve.add_argument("--shape", choices=("constant", "sawtooth", "spike",
+                                           "step"),
+                       default=None,
+                       help="load shape for the shape adapter")
+    serve.add_argument("--shape-events", type=int, default=None, metavar="N",
+                       help="total events the shape grid carries")
+    serve.add_argument("--shape-seed", type=int, default=None, metavar="S",
+                       help="seed of the shape grid's jitter stream")
     clock = serve.add_mutually_exclusive_group()
     clock.add_argument("--virtual-clock", dest="clock", action="store_true",
                        default=None,
@@ -185,6 +201,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-slots", type=int, default=None, metavar="K",
                        help="stop after K completed slots (resume later "
                             "from the snapshot)")
+    serve.add_argument("--workers", dest="serve_workers", type=int,
+                       default=None, metavar="W",
+                       help="shard the edge tier across W worker processes "
+                            "(1 = in-process runtime; default: 1)")
+    serve.add_argument("--on-worker-death", choices=("fail", "degrade"),
+                       default=None,
+                       help="sharded runs: raise on a dead worker (fail, "
+                            "default) or mark its edges offline and finish "
+                            "the horizon (degrade)")
+
+    soak = sub.add_parser(
+        "soak",
+        help="soak the sharded edge tier under deterministic load shapes",
+    )
+    from repro.serve.cli import add_arguments as add_soak_arguments
+
+    add_soak_arguments(soak)
 
     zoo = sub.add_parser("zoo", help="train and describe a model zoo")
     zoo.add_argument("--dataset", choices=("mnist", "cifar10"), default="mnist")
@@ -292,9 +325,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_replay(args: argparse.Namespace) -> int:
-    from repro.obs import summarize_trace
+    from repro.obs import summarize_traces
 
-    summary = summarize_trace(args.replay)
+    summary = summarize_traces(args.replay)
+    source = ", ".join(args.replay)
     overview = [
         ["events", summary.events_total],
         ["slots seen", summary.slots_seen],
@@ -311,7 +345,7 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     if summary.final_dual is not None:
         overview.append(["final dual", round(summary.final_dual, 6)])
     print(format_table(["metric", "value"], overview,
-                       title=f"Trace replay: {args.replay}"))
+                       title=f"Trace replay: {source}"))
     print(format_table(["event type", "count"], summary.event_rows(),
                        title="Events by type"))
     if summary.edges:
@@ -383,7 +417,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import AsyncQueueSink, JsonlSink, Tracer
-    from repro.serve import ServeConfig, ServeRuntime
+    from repro.serve import (
+        ServeConfig,
+        make_runtime,
+        runtime_from_snapshot,
+        shard_edges,
+    )
 
     plan = None
     if args.faults is not None:
@@ -398,7 +437,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracer.add_sink(sink)
 
     if args.resume is not None:
-        runtime = ServeRuntime.from_snapshot(
+        runtime = runtime_from_snapshot(
             args.resume, tracer=tracer, faults=plan
         )
         print(f"resuming {runtime.label} from {args.resume} "
@@ -433,6 +472,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ("snapshot_every", args.snapshot_every),
                 ("snapshot_path", args.snapshot_path),
                 ("health_port", args.health_port),
+                ("shape", args.shape),
+                ("shape_total_events", args.shape_events),
+                ("shape_seed", args.shape_seed),
+                ("num_workers", args.serve_workers),
+                ("on_worker_death", args.on_worker_death),
             )
             if value is not None
         }
@@ -440,7 +484,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             overrides["virtual_clock"] = args.clock
         if overrides:
             config = config.with_overrides(**overrides)
-        runtime = ServeRuntime(config, tracer=tracer, faults=plan)
+        shard_kwargs = {}
+        if config.num_workers > 1 and args.trace_output is not None:
+            # One log per worker shard beside the parent's; merge them back
+            # with ``repro trace --replay out.jsonl out.jsonl.shard*``.
+            shards = shard_edges(config.scenario.num_edges, config.num_workers)
+            shard_kwargs["shard_trace_paths"] = [
+                f"{args.trace_output}.shard{w}" for w in range(len(shards))
+            ]
+        runtime = make_runtime(config, tracer=tracer, faults=plan, **shard_kwargs)
 
     result = runtime.run(max_slots=args.max_slots)
     tracer.close()
@@ -603,6 +655,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_run(args)
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run as soak_run
+
+    return soak_run(args)
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.cache import ResultCache
 
@@ -650,6 +708,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "zoo":
         return _cmd_zoo(args)
     if args.command == "experiment":

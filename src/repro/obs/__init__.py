@@ -43,8 +43,10 @@ from repro.obs.metrics import Counter, Timer
 from repro.obs.replay import (
     EdgeSummary,
     TraceSummary,
+    merge_events,
     summarize_events,
     summarize_trace,
+    summarize_traces,
 )
 from repro.obs.sinks import (
     AsyncQueueSink,
@@ -88,8 +90,10 @@ __all__ = [
     "Tracer",
     "event_from_dict",
     "iter_events",
+    "merge_events",
     "read_events",
     "register_event",
     "summarize_events",
     "summarize_trace",
+    "summarize_traces",
 ]

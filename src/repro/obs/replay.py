@@ -12,14 +12,23 @@ belongs to the caller.
 
 from __future__ import annotations
 
+import heapq
+import operator
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator, Sequence
 
 from repro.obs.events import Event
 from repro.obs.sinks import iter_events
 
-__all__ = ["EdgeSummary", "TraceSummary", "summarize_events", "summarize_trace"]
+__all__ = [
+    "EdgeSummary",
+    "TraceSummary",
+    "merge_events",
+    "summarize_events",
+    "summarize_trace",
+    "summarize_traces",
+]
 
 
 @dataclass(frozen=True)
@@ -162,6 +171,42 @@ def summarize_events(events: Iterable[Event]) -> TraceSummary:
         final_violation_kg=violation,
         final_dual=dual,
     )
+
+
+def merge_events(paths: Sequence[str | Path]) -> Iterator[Event]:
+    """K-way merge of several JSONL traces into one deterministic stream.
+
+    Sharded serve runs write one log per tier — the parent's (slot starts,
+    trades, snapshots) and each worker shard's (arrivals, kernel events).
+    Events are merged by slot, ties broken by the *position* of the source
+    path in ``paths`` and then by within-file order, so the interleaving is
+    a pure function of the path list — independent of file sizes, worker
+    timing, or how the logs happened to flush.
+
+    Each file is streamed lazily (``iter_events``), so the merge stays O(1)
+    in memory per file, like :func:`summarize_trace`.
+    """
+
+    def keyed(index: int, path: str | Path):
+        for seq, event in enumerate(iter_events(path)):
+            yield (int(getattr(event, "t", 0)), index, seq), event
+
+    streams = [keyed(i, path) for i, path in enumerate(paths)]
+    for _, event in heapq.merge(*streams, key=operator.itemgetter(0)):
+        yield event
+
+
+def summarize_traces(paths: Sequence[str | Path]) -> TraceSummary:
+    """Summarize one or many traces as a single logical run.
+
+    With one path this is exactly :func:`summarize_trace`; with several it
+    folds the deterministic :func:`merge_events` interleaving, so a sharded
+    run's parent + per-shard logs summarize to the same :class:`TraceSummary`
+    an equivalent single-process run would produce.
+    """
+    if len(paths) == 1:
+        return summarize_trace(paths[0])
+    return summarize_events(merge_events(paths))
 
 
 def summarize_trace(path: str | Path) -> TraceSummary:

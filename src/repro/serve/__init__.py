@@ -5,24 +5,45 @@ carbon-allowance trading) as long-lived asyncio tasks over pluggable stream
 adapters, with bounded-queue backpressure, periodic snapshot/restore, a
 stdlib health endpoint, and a deterministic virtual-clock mode that is
 bit-identical to :meth:`repro.sim.simulator.Simulator.run`.
+
+The edge tier also runs *process-sharded* (:mod:`repro.serve.shard`):
+edges partitioned across worker processes behind the same coordinator
+protocol, with identical virtual-clock results, and a wall-clock soak
+harness (:mod:`repro.serve.soak`, ``repro soak``) that drives the shards
+under deterministic load shapes (:mod:`repro.serve.load`).
 """
 
 from repro.serve.adapters import (
     DatasetAdapter,
     PoissonAdapter,
+    ShapeAdapter,
     StreamAdapter,
     TraceReplayAdapter,
     arrival_counts_from_trace,
     make_adapters,
 )
-from repro.serve.clock import SlotClock, VirtualClock, WallClock
+from repro.serve.clock import SlotClock, VirtualClock, WallClock, release_target
 from repro.serve.config import ServeConfig
 from repro.serve.http import StatusServer
+from repro.serve.load import SHAPE_NAMES, make_load_grid, shape_profile
 from repro.serve.queues import BoundedWorkQueue, QueueStats, WorkItem
-from repro.serve.runtime import ServeRuntime, serve_run
+from repro.serve.runtime import (
+    ServeRuntime,
+    SlotAggregator,
+    build_serve_kernels,
+    serve_run,
+)
+from repro.serve.shard import (
+    ShardRuntime,
+    make_runtime,
+    runtime_from_snapshot,
+    shard_edges,
+)
 from repro.serve.snapshot import SNAPSHOT_VERSION, load_snapshot, save_snapshot
+from repro.serve.soak import SoakReport, run_soak, run_soak_suite
 
 __all__ = [
+    "SHAPE_NAMES",
     "SNAPSHOT_VERSION",
     "BoundedWorkQueue",
     "DatasetAdapter",
@@ -30,7 +51,11 @@ __all__ = [
     "QueueStats",
     "ServeConfig",
     "ServeRuntime",
+    "ShapeAdapter",
+    "ShardRuntime",
+    "SlotAggregator",
     "SlotClock",
+    "SoakReport",
     "StatusServer",
     "StreamAdapter",
     "TraceReplayAdapter",
@@ -38,8 +63,17 @@ __all__ = [
     "WallClock",
     "WorkItem",
     "arrival_counts_from_trace",
+    "build_serve_kernels",
     "load_snapshot",
     "make_adapters",
+    "make_load_grid",
+    "make_runtime",
+    "release_target",
+    "run_soak",
+    "run_soak_suite",
+    "runtime_from_snapshot",
     "save_snapshot",
     "serve_run",
+    "shape_profile",
+    "shard_edges",
 ]

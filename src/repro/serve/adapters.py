@@ -1,12 +1,14 @@
 """Stream adapters: where each edge's per-slot workload comes from.
 
-Three sources, all reusing existing subsystems:
+Four sources, all reusing existing subsystems:
 
 * :class:`PoissonAdapter` — synthetic arrivals from the scenario's workload
   trace via :class:`repro.data.streams.ArrivalProcess` (the simulator's own
   ``arrivals-<edge>`` stream, so serve runs see the identical workload);
 * :class:`TraceReplayAdapter` — counts replayed verbatim from the
   ``arrival`` events of a recorded JSONL trace (:mod:`repro.obs`);
+* :class:`ShapeAdapter` — counts from a seeded load-shape grid
+  (:mod:`repro.serve.load`) for the soak harness;
 * :class:`DatasetAdapter` — arrivals plus *pre-drawn* data-pool indices
   from the edge's ``data-<edge>`` stream, for dataset-backed (MNIST/CIFAR
   via :mod:`repro.nn`) serving where the adapter owns sample selection.
@@ -33,6 +35,7 @@ from repro.sim.scenario import Scenario
 __all__ = [
     "DatasetAdapter",
     "PoissonAdapter",
+    "ShapeAdapter",
     "StreamAdapter",
     "TraceReplayAdapter",
     "arrival_counts_from_trace",
@@ -95,6 +98,18 @@ class TraceReplayAdapter(StreamAdapter):
 
     def next_item(self, t: int) -> WorkItem:
         return WorkItem(t=t, count=int(self.counts[t]))
+
+
+class ShapeAdapter(TraceReplayAdapter):
+    """Replays a deterministic load-shape grid (:mod:`repro.serve.load`).
+
+    Mechanically a :class:`TraceReplayAdapter` over a generated count
+    column: stateless, snapshot-free, and rebuildable from the serve config
+    alone — sharded workers derive their own columns without shipping the
+    grid over the pipe.
+    """
+
+    name = "shape"
 
 
 class DatasetAdapter(StreamAdapter):
@@ -184,9 +199,23 @@ def make_adapters(
     edge_kernels: list[EdgeSlotKernel],
     *,
     replay_log: str | Path | None = None,
+    load_counts: np.ndarray | None = None,
 ) -> list[StreamAdapter]:
     """Build one adapter per edge for the named source."""
     num_edges = scenario.num_edges
+    if name == "shape":
+        if load_counts is None:
+            raise ValueError(
+                'adapter "shape" requires a load grid '
+                "(see repro.serve.load.make_load_grid)"
+            )
+        counts = np.asarray(load_counts, dtype=int)
+        if counts.shape != (scenario.horizon, num_edges):
+            raise ValueError(
+                f"load grid shape {counts.shape} does not match "
+                f"({scenario.horizon}, {num_edges})"
+            )
+        return [ShapeAdapter(i, counts[:, i]) for i in range(num_edges)]
     if name == "poisson":
         return [
             PoissonAdapter(i, arrival_processes[i]) for i in range(num_edges)

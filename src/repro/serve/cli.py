@@ -1,0 +1,132 @@
+"""CLI for the soak harness (mounted as ``repro soak``).
+
+Thin argparse surface over :func:`repro.serve.soak.run_soak`; also
+runnable standalone as ``python -m repro.serve.cli``.  All printing of
+the serve package lives here — the library modules stay silent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.serve.load import SHAPE_NAMES
+from repro.serve.soak import SOAK_FORMAT_VERSION, run_soak
+
+__all__ = ["add_arguments", "main", "run"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the soak options to ``parser`` (shared with ``repro soak``)."""
+    parser.add_argument(
+        "--shape",
+        choices=SHAPE_NAMES + ("all",),
+        default="all",
+        help="load shape to soak (default: all four)",
+    )
+    parser.add_argument(
+        "--edges", type=int, default=64, help="fleet size (default: 64)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker processes (default: 4)"
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=96, help="slots to serve (default: 96)"
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=20000,
+        help="total events across the grid (default: 20000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="run seed")
+    parser.add_argument(
+        "--slot-duration",
+        type=float,
+        default=0.0,
+        help="wall seconds per slot; 0 free-runs (default: 0)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: 4 edges x 2 workers x 48 slots x 2000 events",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the soak report JSON here (default: stdout)",
+    )
+    parser.add_argument(
+        "--bench-output",
+        default=None,
+        metavar="DIR",
+        help="also write BENCH_soak_<shape>.json files for repro bench --check",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the soak; returns a process exit code (1 = accounting broke)."""
+    edges, workers = args.edges, args.workers
+    horizon, events = args.horizon, args.events
+    if args.smoke:
+        edges, workers, horizon, events = 4, 2, 48, 2000
+    shapes = SHAPE_NAMES if args.shape == "all" else (args.shape,)
+    reports = []
+    for shape in shapes:
+        report = run_soak(
+            shape,
+            num_edges=edges,
+            num_workers=workers,
+            horizon=horizon,
+            total_events=events,
+            seed=args.seed,
+            slot_duration=args.slot_duration,
+        )
+        reports.append(report)
+        slot = report.stages["slot"]
+        print(
+            f"soak {shape:>9}: {report.events_in} in = "
+            f"{report.events_served} served + {report.events_shed} shed + "
+            f"{report.events_dropped_offline} offline "
+            f"[{'OK' if report.accounting_ok else 'BROKEN'}] "
+            f"{report.throughput_eps:,.0f} ev/s "
+            f"slot p50/p95/p99 = {slot['p50_s'] * 1e3:.1f}/"
+            f"{slot['p95_s'] * 1e3:.1f}/{slot['p99_s'] * 1e3:.1f} ms",
+            file=sys.stderr,
+        )
+    payload = {
+        "format_version": SOAK_FORMAT_VERSION,
+        "reports": [report.to_dict() for report in reports],
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    if args.bench_output:
+        for report in reports:
+            bench = report.to_bench_report()
+            path = f"{args.bench_output.rstrip('/')}/BENCH_{bench.suite}.json"
+            bench.write(path)
+            print(f"wrote {path}", file=sys.stderr)
+    if not all(report.accounting_ok for report in reports):
+        print("soak FAILED: accounting equation violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point mirroring ``repro soak``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-soak", description="Soak the sharded edge tier."
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -14,7 +14,34 @@ from __future__ import annotations
 
 import asyncio
 
-__all__ = ["SlotClock", "VirtualClock", "WallClock"]
+__all__ = ["SlotClock", "VirtualClock", "WallClock", "release_target"]
+
+
+def release_target(
+    completed: int,
+    *,
+    horizon: int,
+    lockstep: bool,
+    pipeline_depth: int,
+    snapshot_every: int = 0,
+) -> int:
+    """Furthest slot safe to release after completing ``completed``.
+
+    Lockstep mode (virtual clocks) releases one slot at a time — the
+    schedule that is bit-identical to ``Simulator.run``; otherwise up to
+    ``pipeline_depth`` slots may be in flight.  Releases never cross the
+    next snapshot boundary, so when the coordinator reaches one, every
+    worker is provably quiescent.  Shared by the in-process coordinator
+    (:class:`~repro.serve.runtime.ServeRuntime`) and the sharded parent
+    (:class:`~repro.serve.shard.ShardRuntime`) so the two runtimes release
+    identical schedules.
+    """
+    depth = 1 if lockstep else pipeline_depth
+    target = completed + depth
+    if snapshot_every:
+        boundary = ((completed + 1) // snapshot_every + 1) * snapshot_every
+        target = min(target, boundary - 1)
+    return min(target, horizon - 1)
 
 
 class SlotClock:

@@ -23,13 +23,24 @@ from pathlib import Path
 
 from repro.sim.config import CostWeights, ScenarioConfig
 
-__all__ = ["ADAPTER_NAMES", "BACKPRESSURE_MODES", "ServeConfig"]
+__all__ = [
+    "ADAPTER_NAMES",
+    "BACKPRESSURE_MODES",
+    "WORKER_DEATH_POLICIES",
+    "ServeConfig",
+]
 
 #: Stream adapters selectable by name in a serve config.
-ADAPTER_NAMES = ("poisson", "replay", "dataset")
+ADAPTER_NAMES = ("poisson", "replay", "dataset", "shape")
 
 #: What a feeder does when an edge's work queue is full.
 BACKPRESSURE_MODES = ("block", "shed")
+
+#: What the sharded parent does when a worker process dies mid-horizon:
+#: ``"fail"`` raises immediately; ``"degrade"`` marks the dead shard's
+#: edges offline for the remaining slots and completes the run with the
+#: accounting equation (and the ledger) intact.
+WORKER_DEATH_POLICIES = ("fail", "degrade")
 
 
 def _scenario_from_dict(payload: dict) -> ScenarioConfig:
@@ -58,6 +69,9 @@ class ServeConfig:
     label_delay: int = 0
     adapter: str = "poisson"
     replay_log: str | None = None
+    shape: str | None = None
+    shape_total_events: int = 0
+    shape_seed: int = 0
     virtual_clock: bool = True
     slot_duration: float = 0.0
     queue_capacity: int = 1024
@@ -66,6 +80,8 @@ class ServeConfig:
     snapshot_every: int = 0
     snapshot_path: str | None = None
     health_port: int | None = None
+    num_workers: int = 1
+    on_worker_death: str = "fail"
 
     def __post_init__(self) -> None:
         if self.adapter not in ADAPTER_NAMES:
@@ -84,6 +100,41 @@ class ServeConfig:
             )
         if self.adapter == "replay" and not self.replay_log:
             raise ValueError('adapter "replay" requires replay_log')
+        if self.adapter == "shape":
+            from repro.serve.load import SHAPE_NAMES
+
+            if self.shape not in SHAPE_NAMES:
+                raise ValueError(
+                    f'adapter "shape" requires shape, one of {SHAPE_NAMES}; '
+                    f"got {self.shape!r}"
+                )
+            if self.shape_total_events < 1:
+                raise ValueError(
+                    f'adapter "shape" requires shape_total_events >= 1, '
+                    f"got {self.shape_total_events}"
+                )
+        elif self.shape is not None:
+            from repro.serve.load import SHAPE_NAMES
+
+            if self.shape not in SHAPE_NAMES:
+                raise ValueError(
+                    f"unknown load shape {self.shape!r}; "
+                    f"expected one of {SHAPE_NAMES}"
+                )
+        if self.shape_total_events < 0:
+            raise ValueError(
+                f"shape_total_events must be non-negative, "
+                f"got {self.shape_total_events}"
+            )
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.on_worker_death not in WORKER_DEATH_POLICIES:
+            raise ValueError(
+                f"unknown worker-death policy {self.on_worker_death!r}; "
+                f"expected one of {WORKER_DEATH_POLICIES}"
+            )
         if self.queue_capacity < 1:
             raise ValueError(
                 f"queue_capacity must be >= 1, got {self.queue_capacity}"

@@ -1,0 +1,111 @@
+"""Length-prefixed pickle frames between the shard parent and its workers.
+
+The wire protocol of :mod:`repro.serve.shard`.  A frame is a plain dict
+with a ``"type"`` key, pickled and written with
+``multiprocessing.Connection.send_bytes`` — the OS pipe carries a 4-byte
+length header before each payload, so frames are explicitly
+length-prefixed and a dead peer surfaces as ``EOFError`` on the next read
+rather than a torn message.
+
+Frame vocabulary (all carry ``"worker"`` where a sender index matters):
+
+=====================  ======  ==================================================
+type                   dir     payload
+=====================  ======  ==================================================
+``ready``              w -> p  worker built its kernels and entered its loop
+``release``            p -> w  ``upto``: run slots through this index
+``slot``               w -> p  ``t``, ``outcomes`` (edge order within the
+                               shard), ``queue_s``/``serve_s`` per-edge stage
+                               latencies in seconds
+``heartbeat``          w -> p  liveness proof while slots are long
+``snapshot_request``   p -> w  capture kernel/adapter state at the (quiescent)
+                               boundary
+``state``              w -> p  ``edges``/``adapters``: per-edge state dicts
+``drain``              p -> w  finish sending, then exit cleanly
+``bye``                w -> p  clean exit imminent; EOF after this is not a death
+``error``              w -> p  ``message``/``traceback``: a task crashed
+=====================  ======  ==================================================
+
+Frames deliberately carry picklable simulator objects (outcomes, state
+dicts) rather than JSON projections: the parent folds the *same*
+:class:`~repro.sim.kernel.EdgeSlotOutcome` values an in-process run would,
+which is what keeps sharded virtual-clock runs bit-identical to
+``Simulator.run``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing.connection import Connection
+from typing import Iterator
+
+__all__ = [
+    "BYE",
+    "DRAIN",
+    "ERROR",
+    "FRAME_TYPES",
+    "HEARTBEAT",
+    "READY",
+    "RELEASE",
+    "SLOT",
+    "SNAPSHOT_REQUEST",
+    "STATE",
+    "drain_frames",
+    "recv_frame",
+    "send_frame",
+]
+
+READY = "ready"
+RELEASE = "release"
+SLOT = "slot"
+HEARTBEAT = "heartbeat"
+SNAPSHOT_REQUEST = "snapshot_request"
+STATE = "state"
+DRAIN = "drain"
+BYE = "bye"
+ERROR = "error"
+
+#: Every frame type either side may legally send.
+FRAME_TYPES = (
+    READY,
+    RELEASE,
+    SLOT,
+    HEARTBEAT,
+    SNAPSHOT_REQUEST,
+    STATE,
+    DRAIN,
+    BYE,
+    ERROR,
+)
+
+
+def send_frame(conn: Connection, frame: dict) -> None:
+    """Pickle ``frame`` and write it as one length-prefixed message."""
+    if frame.get("type") not in FRAME_TYPES:
+        raise ValueError(
+            f"frame type {frame.get('type')!r} is not one of {FRAME_TYPES}"
+        )
+    conn.send_bytes(pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def recv_frame(conn: Connection) -> dict:
+    """Read one frame; raises ``EOFError`` when the peer is gone."""
+    frame = pickle.loads(conn.recv_bytes())
+    if not isinstance(frame, dict) or frame.get("type") not in FRAME_TYPES:
+        raise ValueError(f"malformed frame on the wire: {frame!r}")
+    return frame
+
+
+def drain_frames(conn: Connection) -> Iterator[dict]:
+    """Yield every frame already buffered on ``conn`` without blocking.
+
+    Stops at an ``EOFError`` (peer closed) so callers can drain the last
+    frames of a dying worker before handling its death.
+    """
+    while True:
+        try:
+            if not conn.poll():
+                return
+            yield recv_frame(conn)
+        except (EOFError, OSError):
+            return

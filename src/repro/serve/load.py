@@ -1,0 +1,119 @@
+"""Deterministic load-shape grids for the soak harness.
+
+A load shape turns ``(shape, horizon, num_edges, total_events, seed)`` into
+a ``(horizon, num_edges)`` integer arrival grid.  The grid is a pure
+function of those five values — every process that knows the serve config
+can rebuild the identical workload, which is what lets sharded workers
+derive their own feed without any grid bytes crossing the pipe.
+
+Three guarantees, locked by ``tests/test_soak_properties.py``:
+
+* **conservation** — the grid sums to exactly ``total_events``, achieved by
+  largest-remainder rounding of the real-valued shape profile (floor
+  quotas, then one extra event to the cells with the largest fractional
+  parts, ties broken by cell index);
+* **reproducibility** — the per-cell jitter stream comes from
+  :class:`repro.utils.rng.RngFactory`, so equal seeds give bit-equal grids;
+* **non-negativity** — profiles are strictly positive before rounding and
+  floors cannot go below zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngFactory
+
+__all__ = ["SHAPE_NAMES", "make_load_grid", "shape_profile"]
+
+#: Load shapes the soak harness can generate.
+SHAPE_NAMES = ("constant", "sawtooth", "spike", "step")
+
+#: Default multiplicative jitter half-width applied per (slot, edge) cell.
+DEFAULT_JITTER = 0.2
+
+
+def shape_profile(shape: str, horizon: int) -> np.ndarray:
+    """The per-slot relative intensity of a named shape (length ``horizon``).
+
+    Profiles are strictly positive and dimensionless; :func:`make_load_grid`
+    scales them to the requested event total.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    t = np.arange(horizon, dtype=float)
+    if shape == "constant":
+        return np.ones(horizon)
+    if shape == "sawtooth":
+        # Rising ramps, four teeth across the horizon (at least 4 slots each).
+        period = max(4, horizon // 4)
+        return 1.0 + np.mod(t, period)
+    if shape == "spike":
+        # Quiet baseline with one 20x burst window around mid-horizon.
+        profile = np.ones(horizon)
+        width = max(1, horizon // 16)
+        start = horizon // 2
+        profile[start : start + width] = 20.0
+        return profile
+    if shape == "step":
+        # Low first half, 4x second half — the classic capacity step.
+        profile = np.ones(horizon)
+        profile[horizon // 2 :] = 4.0
+        return profile
+    raise ValueError(
+        f"unknown load shape {shape!r}; expected one of {SHAPE_NAMES}"
+    )
+
+
+def _largest_remainder(weights: np.ndarray, total: int) -> np.ndarray:
+    """Integerize ``weights`` to sum exactly to ``total`` (non-negative).
+
+    Floor the proportional quotas, then hand the remaining events to the
+    cells with the largest fractional parts; the stable sort makes the
+    tie-break (lower flat index first) deterministic.
+    """
+    quotas = weights / weights.sum() * float(total)
+    base = np.floor(quotas).astype(np.int64)
+    remainder = int(total - base.sum())
+    if remainder:
+        fractions = quotas - base
+        order = np.argsort(-fractions, kind="stable")
+        base[order[:remainder]] += 1
+    return base
+
+
+def make_load_grid(
+    shape: str,
+    *,
+    horizon: int,
+    num_edges: int,
+    total_events: int,
+    seed: int = 0,
+    jitter: float = DEFAULT_JITTER,
+) -> np.ndarray:
+    """A ``(horizon, num_edges)`` arrival grid for the named shape.
+
+    The slot profile is broadcast across edges, each cell multiplied by a
+    seeded jitter factor in ``[1 - jitter, 1 + jitter]`` so edges are not
+    mirror images of each other, then integerized with exact conservation:
+    ``grid.sum() == total_events`` always holds.
+    """
+    if num_edges < 1:
+        raise ValueError(f"num_edges must be >= 1, got {num_edges}")
+    if total_events < 0:
+        raise ValueError(
+            f"total_events must be non-negative, got {total_events}"
+        )
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    profile = shape_profile(shape, horizon)
+    weights = np.repeat(profile[:, None], num_edges, axis=1)
+    if jitter:
+        rng = RngFactory(seed).child("load").get(f"jitter-{shape}")
+        weights = weights * rng.uniform(
+            1.0 - jitter, 1.0 + jitter, size=weights.shape
+        )
+    if total_events == 0:
+        return np.zeros((horizon, num_edges), dtype=np.int64)
+    flat = _largest_remainder(weights.ravel(), total_events)
+    return flat.reshape(horizon, num_edges)

@@ -31,19 +31,20 @@ import numpy as np
 from repro.faults.plan import FaultPlan
 from repro.obs.events import ArrivalEvent, QueueShedEvent, SlotStartEvent, SnapshotEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.serve.adapters import make_adapters
-from repro.serve.clock import SlotClock, VirtualClock, WallClock
+from repro.serve.adapters import StreamAdapter, make_adapters
+from repro.serve.clock import SlotClock, VirtualClock, WallClock, release_target
 from repro.serve.config import ServeConfig
 from repro.serve.http import StatusServer
+from repro.serve.load import make_load_grid
 from repro.serve.queues import BoundedWorkQueue, WorkItem
 from repro.serve.snapshot import load_snapshot, save_snapshot
-from repro.sim.kernel import EdgeSlotOutcome
+from repro.sim.kernel import EdgeSlotKernel, EdgeSlotOutcome, TradingSlotKernel
 from repro.sim.results import SimulationResult
-from repro.sim.scenario import build_scenario
+from repro.sim.scenario import Scenario, build_scenario
 from repro.sim.simulator import Simulator
 from repro.spec import RunSpec
 
-__all__ = ["ServeRuntime", "serve_run"]
+__all__ = ["ServeRuntime", "SlotAggregator", "build_serve_kernels", "serve_run"]
 
 
 class _WorkerFailure:
@@ -51,6 +52,150 @@ class _WorkerFailure:
 
     def __init__(self, exc: BaseException) -> None:
         self.exc = exc
+
+
+def build_serve_kernels(
+    config: ServeConfig,
+    *,
+    tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
+) -> tuple[Scenario, list[StreamAdapter], list[EdgeSlotKernel], TradingSlotKernel]:
+    """Materialize one serve run's scenario, adapters, and slot kernels.
+
+    This is the determinism seam shared by the in-process runtime and every
+    sharded worker: kernels and RNG streams are a pure function of the
+    config (streams are keyed by *name*, not creation order), so any
+    process that calls this with an equal config holds bit-identical
+    kernels.  A shard worker steps only its own edges; the untouched rest
+    cost nothing because streams draw lazily.
+    """
+    scenario = build_scenario(config.scenario)
+    spec = RunSpec(
+        selection=config.selection,
+        trading=config.trading,
+        seed=config.seed,
+        label=config.effective_label,
+        label_delay=config.label_delay,
+        faults=faults if faults is not None else FaultPlan(),
+    )
+    sim = Simulator.from_spec(scenario, spec, tracer=tracer)
+    arrivals, edge_kernels, trading_kernel = sim.build_kernels()
+    load_counts = None
+    if config.adapter == "shape":
+        load_counts = make_load_grid(
+            config.shape,
+            horizon=scenario.horizon,
+            num_edges=scenario.num_edges,
+            total_events=config.shape_total_events,
+            seed=config.shape_seed,
+        )
+    adapters = make_adapters(
+        config.adapter,
+        scenario,
+        arrivals,
+        edge_kernels,
+        replay_log=config.replay_log,
+        load_counts=load_counts,
+    )
+    return scenario, adapters, edge_kernels, trading_kernel
+
+
+class SlotAggregator:
+    """The per-slot edge-order fold into result arrays plus the trade step.
+
+    Extracted from the coordinator so the in-process runtime and the
+    sharded parent aggregate *identically*: outcomes are folded in global
+    edge order (the simulator's float-summation order), then the trading
+    kernel steps once on the slot's system emissions.  Holds the result
+    arrays, their snapshot/restore halves, and the final
+    :class:`SimulationResult` assembly.
+    """
+
+    def __init__(self, scenario: Scenario, trading_kernel: TradingSlotKernel) -> None:
+        self.scenario = scenario
+        self.trading_kernel = trading_kernel
+        horizon, num_edges = scenario.horizon, scenario.num_edges
+        self.arrays: dict[str, np.ndarray] = {
+            "expected_inference": np.zeros(horizon),
+            "realized_loss": np.zeros(horizon),
+            "compute_cost": np.zeros(horizon),
+            "switching_cost": np.zeros(horizon),
+            "emissions": np.zeros(horizon),
+            "bought": np.zeros(horizon),
+            "sold": np.zeros(horizon),
+            "trading_cost": np.zeros(horizon),
+            "arrivals_total": np.zeros(horizon),
+            "accuracy": np.zeros(horizon),
+            "selections": np.zeros((horizon, num_edges), dtype=int),
+            "switches": np.zeros((horizon, num_edges), dtype=bool),
+        }
+
+    def fold(self, t: int, outcomes: list[EdgeSlotOutcome]) -> None:
+        """Fold slot ``t``'s outcomes (edge order) and step the trading kernel."""
+        arrays = self.arrays
+        slot_emissions = 0.0
+        slot_correct = 0.0
+        slot_arrivals = 0
+        for i, outcome in enumerate(outcomes):
+            arrays["selections"][t, i] = outcome.model
+            arrays["switches"][t, i] = outcome.switched
+            if outcome.offline:
+                continue
+            arrays["expected_inference"][t] += outcome.expected_loss
+            arrays["realized_loss"][t] += outcome.slot_loss
+            arrays["compute_cost"][t] += outcome.latency
+            if outcome.switched:
+                arrays["switching_cost"][t] += outcome.switch_cost
+            slot_emissions += outcome.emissions_kg
+            slot_correct += outcome.correct
+            slot_arrivals += outcome.served
+
+        arrays["emissions"][t] = slot_emissions
+        arrays["arrivals_total"][t] = slot_arrivals
+        arrays["accuracy"][t] = (
+            slot_correct / slot_arrivals if slot_arrivals else np.nan
+        )
+        (
+            arrays["bought"][t],
+            arrays["sold"][t],
+            arrays["trading_cost"][t],
+        ) = self.trading_kernel.step(t, slot_emissions)
+
+    def partial_arrays(self, next_slot: int) -> dict[str, np.ndarray]:
+        """Snapshot copies of the arrays' completed prefix."""
+        return {
+            name: array[:next_slot].copy()
+            for name, array in self.arrays.items()
+        }
+
+    def load_arrays(self, saved: dict[str, np.ndarray]) -> None:
+        """Restore the completed prefix captured by :meth:`partial_arrays`."""
+        for name, prefix in saved.items():
+            self.arrays[name][: len(prefix)] = prefix
+
+    def result(self, label: str) -> SimulationResult:
+        """Assemble the completed run's :class:`SimulationResult`."""
+        scenario, arrays = self.scenario, self.arrays
+        return SimulationResult(
+            label=label,
+            horizon=scenario.horizon,
+            num_edges=scenario.num_edges,
+            carbon_cap=scenario.config.carbon_cap_kg,
+            expected_inference_cost=arrays["expected_inference"],
+            realized_inference_loss=arrays["realized_loss"],
+            compute_cost=arrays["compute_cost"],
+            switching_cost=arrays["switching_cost"],
+            emissions=arrays["emissions"],
+            bought=arrays["bought"],
+            sold=arrays["sold"],
+            trading_cost=arrays["trading_cost"],
+            buy_prices=scenario.prices.buy.copy(),
+            sell_prices=scenario.prices.sell.copy(),
+            arrivals=arrays["arrivals_total"],
+            accuracy=arrays["accuracy"],
+            selections=arrays["selections"],
+            switches=arrays["switches"],
+        )
 
 
 class ServeRuntime:
@@ -75,26 +220,14 @@ class ServeRuntime:
         self.label = config.effective_label
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._rebind_tracer = tracer is not None
-        self.scenario = build_scenario(config.scenario)
+        (
+            self.scenario,
+            self.adapters,
+            self.edge_kernels,
+            self.trading_kernel,
+        ) = build_serve_kernels(config, tracer=tracer, faults=faults)
         self.horizon = self.scenario.horizon
         self.num_edges = self.scenario.num_edges
-        spec = RunSpec(
-            selection=config.selection,
-            trading=config.trading,
-            seed=config.seed,
-            label=self.label,
-            label_delay=config.label_delay,
-            faults=faults if faults is not None else FaultPlan(),
-        )
-        self._sim = Simulator.from_spec(self.scenario, spec, tracer=tracer)
-        arrivals, self.edge_kernels, self.trading_kernel = self._sim.build_kernels()
-        self.adapters = make_adapters(
-            config.adapter,
-            self.scenario,
-            arrivals,
-            self.edge_kernels,
-            replay_log=config.replay_log,
-        )
         self.clock: SlotClock = (
             VirtualClock()
             if config.virtual_clock
@@ -105,21 +238,11 @@ class ServeRuntime:
         ]
         self.completed_slot = -1
         self.status_server: StatusServer | None = None
-        horizon, num_edges = self.horizon, self.num_edges
-        self._arrays: dict[str, np.ndarray] = {
-            "expected_inference": np.zeros(horizon),
-            "realized_loss": np.zeros(horizon),
-            "compute_cost": np.zeros(horizon),
-            "switching_cost": np.zeros(horizon),
-            "emissions": np.zeros(horizon),
-            "bought": np.zeros(horizon),
-            "sold": np.zeros(horizon),
-            "trading_cost": np.zeros(horizon),
-            "arrivals_total": np.zeros(horizon),
-            "accuracy": np.zeros(horizon),
-            "selections": np.zeros((horizon, num_edges), dtype=int),
-            "switches": np.zeros((horizon, num_edges), dtype=bool),
-        }
+        #: Set once run_async has spawned the fleet (and the status server,
+        #: when one is configured) — the event-driven "server is up" wait.
+        self.server_ready = asyncio.Event()
+        self.aggregator = SlotAggregator(self.scenario, self.trading_kernel)
+        self._arrays = self.aggregator.arrays
         tracer_obj = self.tracer
         self._events_in = tracer_obj.counter("serve/events_in")
         self._events_served = tracer_obj.counter("serve/events_served")
@@ -169,8 +292,7 @@ class ServeRuntime:
             self.trading_kernel.policy.bind_tracer(self.tracer)
             self.trading_kernel.market.bind_tracer(self.tracer)
             self.trading_kernel.ledger.bind_tracer(self.tracer)
-        for name, saved in state["arrays"].items():
-            self._arrays[name][: len(saved)] = saved
+        self.aggregator.load_arrays(state["arrays"])
         self.completed_slot = next_slot - 1
 
     def snapshot_state(self) -> dict[str, object]:
@@ -183,10 +305,7 @@ class ServeRuntime:
             "edges": [kernel.state_dict() for kernel in self.edge_kernels],
             "adapters": [adapter.state_dict() for adapter in self.adapters],
             "trading": self.trading_kernel.state_dict(),
-            "arrays": {
-                name: array[:next_slot].copy()
-                for name, array in self._arrays.items()
-            },
+            "arrays": self.aggregator.partial_arrays(next_slot),
         }
 
     def health(self) -> dict[str, object]:
@@ -224,27 +343,7 @@ class ServeRuntime:
                 f"run stopped after slot {self.completed_slot}; "
                 f"horizon is {self.horizon} — resume it before asking for results"
             )
-        arrays = self._arrays
-        return SimulationResult(
-            label=self.label,
-            horizon=self.horizon,
-            num_edges=self.num_edges,
-            carbon_cap=self.scenario.config.carbon_cap_kg,
-            expected_inference_cost=arrays["expected_inference"],
-            realized_inference_loss=arrays["realized_loss"],
-            compute_cost=arrays["compute_cost"],
-            switching_cost=arrays["switching_cost"],
-            emissions=arrays["emissions"],
-            bought=arrays["bought"],
-            sold=arrays["sold"],
-            trading_cost=arrays["trading_cost"],
-            buy_prices=self.scenario.prices.buy.copy(),
-            sell_prices=self.scenario.prices.sell.copy(),
-            arrivals=arrays["arrivals_total"],
-            accuracy=arrays["accuracy"],
-            selections=arrays["selections"],
-            switches=arrays["switches"],
-        )
+        return self.aggregator.result(self.label)
 
     def run(self, *, max_slots: int | None = None) -> SimulationResult | None:
         """Serve the horizon (or ``max_slots`` of it) on a fresh event loop.
@@ -273,6 +372,7 @@ class ServeRuntime:
                 port=self.config.health_port,
             )
             await self.status_server.start()
+        self.server_ready.set()
         try:
             await self._release_through(self._release_target(start - 1))
             workers = [
@@ -300,20 +400,14 @@ class ServeRuntime:
         return self.result() if stop == self.horizon else None
 
     def _release_target(self, completed: int) -> int:
-        """Furthest slot safe to release after completing ``completed``.
-
-        Virtual clocks release one slot at a time (lockstep = parity);
-        wall clocks pipeline up to ``pipeline_depth`` slots.  Releases never
-        cross the next snapshot boundary, so when the coordinator reaches
-        one, every worker is provably quiescent.
-        """
-        depth = 1 if self.config.virtual_clock else self.config.pipeline_depth
-        target = completed + depth
-        every = self.config.snapshot_every
-        if every:
-            boundary = ((completed + 1) // every + 1) * every
-            target = min(target, boundary - 1)
-        return min(target, self.horizon - 1)
+        """Furthest slot safe to release after completing ``completed``."""
+        return release_target(
+            completed,
+            horizon=self.horizon,
+            lockstep=self.config.virtual_clock,
+            pipeline_depth=self.config.pipeline_depth,
+            snapshot_every=self.config.snapshot_every,
+        )
 
     async def _release_through(self, target: int) -> None:
         """Release slots up to ``target``, emitting their slot-start events."""
@@ -384,7 +478,6 @@ class ServeRuntime:
 
     async def _coordinate(self, start: int, stop: int) -> None:
         assert self._reports is not None
-        arrays = self._arrays
         num_edges = self.num_edges
         buffered: dict[tuple[int, int], EdgeSlotOutcome] = {}
         for t in range(start, stop):
@@ -394,35 +487,9 @@ class ServeRuntime:
                     raise report.exc
                 buffered[(report.t, report.edge)] = report
 
-            slot_emissions = 0.0
-            slot_correct = 0.0
-            slot_arrivals = 0
-            for i in range(num_edges):
-                outcome = buffered.pop((t, i))
-                arrays["selections"][t, i] = outcome.model
-                arrays["switches"][t, i] = outcome.switched
-                if outcome.offline:
-                    continue
-                arrays["expected_inference"][t] += outcome.expected_loss
-                arrays["realized_loss"][t] += outcome.slot_loss
-                arrays["compute_cost"][t] += outcome.latency
-                if outcome.switched:
-                    arrays["switching_cost"][t] += outcome.switch_cost
-                slot_emissions += outcome.emissions_kg
-                slot_correct += outcome.correct
-                slot_arrivals += outcome.served
-
-            arrays["emissions"][t] = slot_emissions
-            arrays["arrivals_total"][t] = slot_arrivals
-            arrays["accuracy"][t] = (
-                slot_correct / slot_arrivals if slot_arrivals else np.nan
+            self.aggregator.fold(
+                t, [buffered.pop((t, i)) for i in range(num_edges)]
             )
-            (
-                arrays["bought"][t],
-                arrays["sold"][t],
-                arrays["trading_cost"][t],
-            ) = self.trading_kernel.step(t, slot_emissions)
-
             self.completed_slot = t
             self._slots_completed.increment()
 

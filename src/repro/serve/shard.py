@@ -1,0 +1,1044 @@
+"""Multi-process sharded edge tier behind the coordinator protocol.
+
+Topology (one run): the fleet's edges are partitioned contiguously across
+``num_workers`` worker *processes*; each worker runs the same feeder/actor
+event loop as :class:`~repro.serve.runtime.ServeRuntime` over its shard of
+:class:`~repro.sim.kernel.EdgeSlotKernel`\\ s, while the parent process owns
+the :class:`~repro.sim.kernel.TradingSlotKernel`, the result arrays, the
+release schedule, and snapshot persistence.  The two sides exchange
+length-prefixed pickle frames (:mod:`repro.serve.frames`) over one duplex
+pipe per worker: the parent broadcasts slot releases, workers report
+per-slot outcome batches, heartbeats prove liveness during long slots, and
+a drain handshake ends the run with the ledger intact.
+
+Determinism: every worker rebuilds the *full* kernel set from the shared
+:class:`~repro.serve.config.ServeConfig` — bit-identical by the name-keyed
+RNG stream contract (:func:`~repro.serve.runtime.build_serve_kernels`) —
+and steps only its own edges, whose streams are independent of everyone
+else's.  The parent folds outcome batches in global edge order through the
+same :class:`~repro.serve.runtime.SlotAggregator` the in-process runtime
+uses, so a sharded virtual-clock run is bit-identical to ``Simulator.run``
+and is locked against the same golden digests.
+
+Worker death: the parent multiplexes pipe reads and process sentinels in
+one ``multiprocessing.connection.wait`` call, so a crashed worker surfaces
+immediately.  Policy ``"fail"`` raises; ``"degrade"`` marks the dead
+shard's edges offline for every remaining slot (synthesized zero-cost
+outcomes, so ``in == served + shed + offline`` still holds exactly), keeps
+trading every slot on the surviving emissions, and completes the horizon —
+surviving edges' trajectories are untouched because edges only couple
+through the trading loop, which does not feed back into selection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.faults.plan import FaultPlan
+from repro.obs.events import SlotStartEvent, SnapshotEvent
+from repro.obs.sinks import JsonlSink
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.clock import VirtualClock, WallClock, release_target
+from repro.serve.config import ServeConfig
+from repro.serve.frames import (
+    BYE,
+    DRAIN,
+    ERROR,
+    HEARTBEAT,
+    READY,
+    RELEASE,
+    SLOT,
+    SNAPSHOT_REQUEST,
+    STATE,
+    drain_frames,
+    recv_frame,
+    send_frame,
+)
+from repro.serve.http import StatusServer
+from repro.serve.queues import BoundedWorkQueue, WorkItem
+from repro.serve.runtime import ServeRuntime, SlotAggregator, build_serve_kernels
+from repro.serve.snapshot import load_snapshot, save_snapshot
+from repro.sim.kernel import EdgeSlotOutcome
+from repro.sim.results import SimulationResult
+
+__all__ = [
+    "ShardRuntime",
+    "make_runtime",
+    "runtime_from_snapshot",
+    "shard_edges",
+]
+
+#: Zero-cost field values for synthesized offline outcomes of a dead shard.
+_OFFLINE_COSTS = dict(
+    expected_loss=0.0,
+    slot_loss=0.0,
+    latency=0.0,
+    switch_cost=0.0,
+    emissions_kg=0.0,
+    correct=0.0,
+)
+
+
+def shard_edges(num_edges: int, num_workers: int) -> list[tuple[int, ...]]:
+    """Partition ``range(num_edges)`` into contiguous near-even shards.
+
+    At most ``num_workers`` shards; never an empty shard (extra workers are
+    simply not spawned when there are fewer edges than workers).
+    """
+    if num_edges < 1:
+        raise ValueError(f"num_edges must be >= 1, got {num_edges}")
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    shards = min(num_workers, num_edges)
+    base, extra = divmod(num_edges, shards)
+    out: list[tuple[int, ...]] = []
+    next_edge = 0
+    for w in range(shards):
+        size = base + (1 if w < extra else 0)
+        out.append(tuple(range(next_edge, next_edge + size)))
+        next_edge += size
+    return out
+
+
+def _mp_context():
+    """Fork where the platform has it (fast spawns), spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+
+def _worker_main(
+    index: int,
+    conn,
+    config: ServeConfig,
+    edges: list[int],
+    start: int,
+    stop: int,
+    faults: FaultPlan | None,
+    trace_path: str | None,
+    resume: dict | None,
+    heartbeat_interval: float,
+    die_at_slot: int | None,
+) -> None:
+    """Worker process entry point: run the shard, report, exit cleanly."""
+    tracer: Tracer | None = None
+    try:
+        if trace_path is not None:
+            tracer = Tracer([JsonlSink(trace_path)])
+        asyncio.run(
+            _worker_async(
+                index,
+                conn,
+                config,
+                edges,
+                start,
+                stop,
+                faults,
+                tracer,
+                resume,
+                heartbeat_interval,
+                die_at_slot,
+            )
+        )
+        try:
+            send_frame(conn, {"type": BYE, "worker": index})
+        except (BrokenPipeError, OSError):
+            pass
+    except BaseException as exc:  # noqa: BLE001 - last-resort wire report
+        try:
+            send_frame(
+                conn,
+                {
+                    "type": ERROR,
+                    "worker": index,
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                },
+            )
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        if tracer is not None:
+            tracer.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+async def _worker_async(
+    index: int,
+    conn,
+    config: ServeConfig,
+    edges: list[int],
+    start: int,
+    stop: int,
+    faults: FaultPlan | None,
+    tracer: Tracer | None,
+    resume: dict | None,
+    heartbeat_interval: float,
+    die_at_slot: int | None,
+) -> None:
+    """One shard's event loop: feeders + actors + the pipe-facing tasks.
+
+    Concurrency layout keeps every shared resource single-writer: all pipe
+    writes flow through one **sender** task fed by ``outbox``; all pipe
+    reads enter through one ``add_reader`` callback feeding ``control``;
+    per-slot outcomes funnel through one **reporter** task that batches a
+    slot's shard outcomes into a single frame.
+    """
+    scenario, adapters, edge_kernels, _ = build_serve_kernels(
+        config, tracer=tracer, faults=faults
+    )
+    horizon = scenario.horizon
+    kernels = {e: edge_kernels[e] for e in edges}
+    my_adapters = {e: adapters[e] for e in edges}
+    if resume is not None:
+        for e in edges:
+            kernels[e].load_state(resume["edges"][e])
+            my_adapters[e].load_state(resume["adapters"][e])
+        if tracer is not None:
+            for e in edges:
+                kernels[e].policy.bind_tracer(tracer, edge=e)
+    clock = (
+        VirtualClock() if config.virtual_clock else WallClock(config.slot_duration)
+    )
+    queues = {e: BoundedWorkQueue(config.queue_capacity) for e in edges}
+    trace = tracer if tracer is not None else NULL_TRACER
+    loop = asyncio.get_running_loop()
+    outbox: asyncio.Queue = asyncio.Queue()
+    reports: asyncio.Queue = asyncio.Queue()
+    control: asyncio.Queue = asyncio.Queue()
+    shutdown = asyncio.Event()
+    enqueue_ts: dict[int, dict[int, float]] = {e: {} for e in edges}
+
+    def _on_readable() -> None:
+        try:
+            while conn.poll():
+                control.put_nowait(recv_frame(conn))
+        except (EOFError, OSError):
+            # Parent is gone; treat as a drain order.
+            control.put_nowait({"type": DRAIN})
+            loop.remove_reader(conn.fileno())
+
+    loop.add_reader(conn.fileno(), _on_readable)
+
+    async def _fail(exc: Exception) -> None:
+        await outbox.put(
+            {
+                "type": ERROR,
+                "worker": index,
+                "message": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        )
+        shutdown.set()
+
+    async def _control() -> None:
+        while True:
+            frame = await control.get()
+            kind = frame["type"]
+            if kind == RELEASE:
+                await clock.release(int(frame["upto"]))
+            elif kind == SNAPSHOT_REQUEST:
+                # Only requested at quiescent boundaries (release capping),
+                # so kernel/adapter state is settled for every shard edge.
+                await outbox.put(
+                    {
+                        "type": STATE,
+                        "worker": index,
+                        "edges": {e: kernels[e].state_dict() for e in edges},
+                        "adapters": {
+                            e: my_adapters[e].state_dict() for e in edges
+                        },
+                    }
+                )
+            elif kind == DRAIN:
+                shutdown.set()
+                return
+
+    async def _sender() -> None:
+        while True:
+            frame = await outbox.get()
+            send_frame(conn, frame)
+            outbox.task_done()
+
+    async def _heartbeat() -> None:
+        while True:
+            await asyncio.sleep(heartbeat_interval)
+            await outbox.put({"type": HEARTBEAT, "worker": index})
+
+    async def _feeder(edge: int) -> None:
+        from repro.obs.events import ArrivalEvent, QueueShedEvent
+
+        adapter = my_adapters[edge]
+        queue = queues[edge]
+        shed_mode = config.backpressure == "shed"
+        stamps = enqueue_ts[edge]
+        try:
+            for t in range(start, stop):
+                await clock.wait_for_slot(t)
+                await clock.pace(t)
+                item = adapter.next_item(t)
+                if trace.enabled:
+                    trace.emit(ArrivalEvent(t=t, edge=edge, count=item.count))
+                # Stamped before put: a blocked put is queue latency too.
+                stamps[t] = loop.time()
+                if shed_mode:
+                    admitted = await queue.put(item, block=False)
+                    if not admitted:
+                        if trace.enabled:
+                            trace.emit(
+                                QueueShedEvent(t=t, edge=edge, count=item.count)
+                            )
+                        await queue.put(
+                            WorkItem(t=t, count=item.count, shed=True),
+                            block=False,
+                        )
+                else:
+                    await queue.put(item)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            await _fail(exc)
+
+    async def _actor(edge: int) -> None:
+        kernel = kernels[edge]
+        queue = queues[edge]
+        delay = config.label_delay
+        stamps = enqueue_ts[edge]
+        try:
+            for t in range(start, stop):
+                item = await queue.get()
+                dequeued = loop.time()
+                queue_s = dequeued - stamps.pop(item.t)
+                outcome = kernel.step(
+                    item.t, item.count, indices=item.indices, shed=item.shed
+                )
+                serve_s = loop.time() - dequeued
+                if delay:
+                    kernel.deliver_due(t - delay)
+                await reports.put((outcome, queue_s, serve_s))
+            if delay and stop == horizon:
+                kernel.deliver_due(horizon)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            await _fail(exc)
+
+    async def _reporter() -> None:
+        remaining = (stop - start) * len(edges)
+        pending: dict[int, list[tuple[EdgeSlotOutcome, float, float]]] = {}
+        while remaining:
+            outcome, queue_s, serve_s = await reports.get()
+            remaining -= 1
+            bucket = pending.setdefault(outcome.t, [])
+            bucket.append((outcome, queue_s, serve_s))
+            if len(bucket) == len(edges):
+                del pending[outcome.t]
+                bucket.sort(key=lambda row: row[0].edge)
+                if die_at_slot is not None and outcome.t >= die_at_slot:
+                    # Test-only chaos hook: abrupt, SIGKILL-like death with
+                    # this slot unreported — the parent sees a raw EOF.
+                    os._exit(1)
+                await outbox.put(
+                    {
+                        "type": SLOT,
+                        "worker": index,
+                        "t": outcome.t,
+                        "outcomes": [row[0] for row in bucket],
+                        "queue_s": [row[1] for row in bucket],
+                        "serve_s": [row[2] for row in bucket],
+                    }
+                )
+
+    tasks = [
+        asyncio.create_task(_control(), name=f"shard{index}-control"),
+        asyncio.create_task(_sender(), name=f"shard{index}-sender"),
+        asyncio.create_task(_heartbeat(), name=f"shard{index}-heartbeat"),
+    ]
+    tasks += [
+        asyncio.create_task(_feeder(e), name=f"shard{index}-feeder-{e}")
+        for e in edges
+    ]
+    tasks += [
+        asyncio.create_task(_actor(e), name=f"shard{index}-actor-{e}")
+        for e in edges
+    ]
+    reporter_task = asyncio.create_task(_reporter(), name=f"shard{index}-reporter")
+    shutdown_task = asyncio.create_task(
+        shutdown.wait(), name=f"shard{index}-shutdown"
+    )
+    await outbox.put({"type": READY, "worker": index})
+    try:
+        await asyncio.wait(
+            {reporter_task, shutdown_task},
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        if reporter_task.done() and not reporter_task.cancelled():
+            exc = reporter_task.exception()
+            if exc is not None:
+                raise exc
+            if stop < horizon:
+                # A partial run's stop slot may coincide with a snapshot
+                # boundary: the parent still needs this worker's STATE
+                # frame after the last SLOT, so hold the control channel
+                # open until it says DRAIN.
+                await shutdown_task
+        # Flush everything queued for the wire before tearing down.
+        await outbox.join()
+    finally:
+        for task in [reporter_task, shutdown_task, *tasks]:
+            if not task.done():
+                task.cancel()
+        await asyncio.gather(
+            reporter_task, shutdown_task, *tasks, return_exceptions=True
+        )
+        loop.remove_reader(conn.fileno())
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Shard:
+    """The parent's book-keeping for one worker process."""
+
+    index: int
+    edges: tuple[int, ...]
+    process: object
+    conn: object
+    ready: bool = False
+    running: bool = True
+    eof: bool = False
+    byed: bool = False
+    failed: bool = False
+    last_slot: int = -1
+    last_frame: float = field(default_factory=time.monotonic)
+
+
+class _StatusThread(threading.Thread):
+    """Runs the stdlib StatusServer on its own loop beside the sync parent."""
+
+    def __init__(self, routes: dict, port: int) -> None:
+        super().__init__(daemon=True, name="shard-status")
+        self._routes = routes
+        self._request_port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self.port: int | None = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via HTTP tests
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        server = StatusServer(self._routes, port=self._request_port)
+        await server.start()
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await server.stop()
+
+    def wait_started(self, timeout: float = 10.0) -> None:
+        if not self._started.wait(timeout):
+            raise RuntimeError("status server thread failed to start")
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self.join(timeout=5.0)
+
+
+class ShardRuntime:
+    """One serve run with the edge tier sharded across worker processes.
+
+    API mirror of :class:`~repro.serve.runtime.ServeRuntime`: construct
+    from a :class:`ServeConfig` (``num_workers`` decides the shard count)
+    or :meth:`from_snapshot`, then :meth:`run`.  Virtual-clock runs are
+    bit-identical to the in-process runtime and to ``Simulator.run``.
+
+    ``on_stage_sample(stage, seconds)``, when given, receives every
+    per-stage latency sample — ``queue`` (enqueue to dequeue, measured in
+    the worker), ``serve`` (kernel step, worker), ``trade`` (parent fold +
+    trading step), and ``slot`` (release to fold, end-to-end) — which is
+    how the soak harness feeds its quantile sketches without this module
+    depending on it.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        tracer: Tracer | None = None,
+        faults: FaultPlan | None = None,
+        shard_trace_paths: Sequence[str | Path] | None = None,
+        heartbeat_interval: float = 0.5,
+        stall_timeout: float = 120.0,
+        start_timeout: float = 120.0,
+        on_stage_sample: Callable[[str, float], None] | None = None,
+        _worker_chaos: dict[int, int] | None = None,
+    ) -> None:
+        self.config = config
+        self.label = config.effective_label
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._rebind_tracer = tracer is not None
+        self._faults = faults
+        # The parent builds the full kernel set too: it keeps the trading
+        # kernel (Algorithm 2 + market + ledger); the edge kernels are never
+        # stepped here and their streams stay untouched (draws are lazy).
+        self.scenario, _, _, self.trading_kernel = build_serve_kernels(
+            config, tracer=tracer, faults=faults
+        )
+        self.horizon = self.scenario.horizon
+        self.num_edges = self.scenario.num_edges
+        self.shards = shard_edges(self.num_edges, config.num_workers)
+        if shard_trace_paths is not None and len(shard_trace_paths) != len(
+            self.shards
+        ):
+            raise ValueError(
+                f"{len(shard_trace_paths)} shard trace paths for "
+                f"{len(self.shards)} shards"
+            )
+        self._shard_trace_paths = (
+            [str(p) for p in shard_trace_paths] if shard_trace_paths else None
+        )
+        self._heartbeat_interval = heartbeat_interval
+        self._stall_timeout = stall_timeout
+        self._start_timeout = start_timeout
+        self._on_stage_sample = on_stage_sample
+        self._chaos = dict(_worker_chaos) if _worker_chaos else {}
+        self.aggregator = SlotAggregator(self.scenario, self.trading_kernel)
+        self.completed_slot = -1
+        self._edge_state_slot = 0  # slot the (fresh/restored) edge state is at
+        self._resume: dict[str, list] | None = None
+        self._handles: list[_Shard] = []
+        self._owner: dict[int, _Shard] = {}
+        self._pending: dict[int, dict[int, EdgeSlotOutcome]] = {}
+        self._last_models: dict[int, int] = {}
+        self._release_ts: dict[int, float] = {}
+        self._released = -1
+        self._stop_slot = self.horizon
+        self._state_frames: dict[int, dict] = {}
+        self.status_thread: _StatusThread | None = None
+        tracer_obj = self.tracer
+        self._events_in = tracer_obj.counter("serve/events_in")
+        self._events_served = tracer_obj.counter("serve/events_served")
+        self._events_shed = tracer_obj.counter("serve/events_shed")
+        self._events_dropped_offline = tracer_obj.counter(
+            "serve/events_dropped_offline"
+        )
+        self._slots_completed = tracer_obj.counter("serve/slots_completed")
+        self._snapshots_taken = tracer_obj.counter("serve/snapshots")
+        self._heartbeats = tracer_obj.counter("serve/heartbeats")
+        self._shard_deaths = tracer_obj.counter("serve/shard_deaths")
+
+    # -- construction / restore -------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str | Path,
+        *,
+        tracer: Tracer | None = None,
+        faults: FaultPlan | None = None,
+        **kwargs,
+    ) -> "ShardRuntime":
+        """Rebuild a sharded runtime mid-horizon from a persisted snapshot.
+
+        Snapshots are runtime-agnostic: the same file restores into a
+        :class:`ServeRuntime` or a :class:`ShardRuntime` regardless of
+        which side wrote it.
+        """
+        state = load_snapshot(path)
+        config = ServeConfig.from_dict(state["config"])
+        runtime = cls(config, tracer=tracer, faults=faults, **kwargs)
+        runtime._restore(state)
+        return runtime
+
+    def _restore(self, state: dict) -> None:
+        if state["label"] != self.label:
+            raise ValueError(
+                f"snapshot is for run {state['label']!r}, "
+                f"this runtime serves {self.label!r}"
+            )
+        next_slot = int(state["next_slot"])
+        if not 0 <= next_slot <= self.horizon:
+            raise ValueError(
+                f"snapshot resumes at slot {next_slot}, "
+                f"horizon is {self.horizon}"
+            )
+        self.trading_kernel.load_state(state["trading"])
+        if self._rebind_tracer:
+            self.trading_kernel.policy.bind_tracer(self.tracer)
+            self.trading_kernel.market.bind_tracer(self.tracer)
+            self.trading_kernel.ledger.bind_tracer(self.tracer)
+        self.aggregator.load_arrays(state["arrays"])
+        self.completed_slot = next_slot - 1
+        self._edge_state_slot = next_slot
+        # Per-edge kernel/adapter states are handed to the workers, which
+        # rebuild and then restore their own shard (one pickle payload per
+        # worker keeps kernel/adapter shared-object identity intact).
+        self._resume = {
+            "edges": list(state["edges"]),
+            "adapters": list(state["adapters"]),
+        }
+        if next_slot > 0:
+            selections = state["arrays"]["selections"]
+            for e in range(self.num_edges):
+                self._last_models[e] = int(selections[-1][e])
+
+    # -- public surface ----------------------------------------------------
+
+    def health(self) -> dict[str, object]:
+        """Liveness payload for ``GET /healthz`` (adds shard status)."""
+        done = self.completed_slot >= self.horizon - 1
+        degraded = any(h.failed for h in self._handles)
+        status = "done" if done else ("degraded" if degraded else "serving")
+        return {
+            "status": status,
+            "label": self.label,
+            "completed_slot": self.completed_slot,
+            "released_slot": self._released,
+            "horizon": self.horizon,
+            "num_edges": self.num_edges,
+            "num_workers": len(self.shards),
+            "shards": [
+                {
+                    "worker": h.index,
+                    "edges": list(h.edges),
+                    "alive": h.running,
+                    "failed": h.failed,
+                    "last_slot": h.last_slot,
+                }
+                for h in self._handles
+            ],
+        }
+
+    def metrics(self) -> dict[str, object]:
+        """Tracer counters/timers and event tallies for ``GET /metrics``."""
+        payload: dict[str, object] = dict(self.tracer.metrics_snapshot())
+        payload["events"] = self.tracer.event_counts()
+        return payload
+
+    def result(self) -> SimulationResult:
+        """The completed run's records (requires the full horizon served)."""
+        if self.completed_slot < self.horizon - 1:
+            raise RuntimeError(
+                f"run stopped after slot {self.completed_slot}; "
+                f"horizon is {self.horizon} — resume it before asking for results"
+            )
+        return self.aggregator.result(self.label)
+
+    def run(self, *, max_slots: int | None = None) -> SimulationResult | None:
+        """Serve the horizon (or ``max_slots`` of it) across the shards.
+
+        Returns the :class:`SimulationResult` when the horizon completed,
+        ``None`` after a partial run (resume from the last snapshot via
+        :meth:`from_snapshot` — unlike the in-process runtime, the edge
+        state of a partial sharded run lives in its snapshot file, not in
+        this object).
+        """
+        start = self.completed_slot + 1
+        stop = self.horizon
+        if max_slots is not None:
+            if max_slots < 1:
+                raise ValueError(f"max_slots must be >= 1, got {max_slots}")
+            stop = min(stop, start + max_slots)
+        if start >= stop:
+            return self.result() if stop == self.horizon else None
+        if start != self._edge_state_slot:
+            raise RuntimeError(
+                f"edge state is at slot {self._edge_state_slot} but the run "
+                f"would start at {start}; sharded runs continue from their "
+                "snapshot file (ShardRuntime.from_snapshot)"
+            )
+        self._stop_slot = stop
+        self._released = start - 1
+        handles = self._spawn(start, stop)
+        self._handles = handles
+        self._owner = {e: h for h in handles for e in h.edges}
+        if self.config.health_port is not None:
+            self.status_thread = _StatusThread(
+                {"/healthz": self.health, "/metrics": self.metrics},
+                port=self.config.health_port,
+            )
+            self.status_thread.start()
+            self.status_thread.wait_started()
+        try:
+            self._await_ready(handles)
+            self._release_through(release_target(
+                start - 1,
+                horizon=self.horizon,
+                lockstep=self.config.virtual_clock,
+                pipeline_depth=self.config.pipeline_depth,
+                snapshot_every=self.config.snapshot_every,
+            ))
+            while self.completed_slot < stop - 1:
+                self._poll(handles, timeout=0.2)
+                self._fold_ready()
+                self._check_stalls(handles)
+        finally:
+            self._shutdown(handles)
+            if self.status_thread is not None:
+                self.status_thread.stop()
+        # A partial run's edge state exited with the workers; only a
+        # snapshot file can continue it.
+        self._edge_state_slot = -1 if stop < self.horizon else stop
+        return self.result() if stop == self.horizon else None
+
+    # -- process management ------------------------------------------------
+
+    def _spawn(self, start: int, stop: int) -> list[_Shard]:
+        ctx = _mp_context()
+        handles: list[_Shard] = []
+        for w, edges in enumerate(self.shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            resume = None
+            if self._resume is not None:
+                resume = {
+                    "edges": {e: self._resume["edges"][e] for e in edges},
+                    "adapters": {e: self._resume["adapters"][e] for e in edges},
+                }
+            trace_path = (
+                self._shard_trace_paths[w] if self._shard_trace_paths else None
+            )
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    w,
+                    child_conn,
+                    self.config,
+                    list(edges),
+                    start,
+                    stop,
+                    self._faults,
+                    trace_path,
+                    resume,
+                    self._heartbeat_interval,
+                    self._chaos.get(w),
+                ),
+                daemon=True,
+                name=f"repro-shard-{w}",
+            )
+            process.start()
+            # Close the child's end in the parent so a dead worker turns
+            # into EOF here instead of a silent hang.
+            child_conn.close()
+            handles.append(
+                _Shard(index=w, edges=edges, process=process, conn=parent_conn)
+            )
+        return handles
+
+    def _await_ready(self, handles: list[_Shard]) -> None:
+        deadline = time.monotonic() + self._start_timeout
+        while any(h.running and not h.ready for h in handles):
+            if time.monotonic() > deadline:
+                missing = [h.index for h in handles if not h.ready]
+                raise RuntimeError(
+                    f"timed out waiting for shard workers {missing} to start"
+                )
+            self._poll(handles, timeout=0.1)
+
+    def _poll(self, handles: list[_Shard], *, timeout: float) -> None:
+        """Multiplex pipe reads and process-death sentinels in one wait."""
+        conn_map = {h.conn: h for h in handles if h.running and not h.eof}
+        sentinel_map = {h.process.sentinel: h for h in handles if h.running}
+        waitables = list(conn_map) + list(sentinel_map)
+        if not waitables:
+            return
+        ready = multiprocessing.connection.wait(waitables, timeout)
+        for obj in ready:
+            handle = conn_map.get(obj)
+            if handle is not None:
+                try:
+                    while handle.conn.poll():
+                        self._dispatch(handle, recv_frame(handle.conn))
+                except (EOFError, OSError):
+                    self._handle_exit(handle)
+            else:
+                handle = sentinel_map[obj]
+                for frame in drain_frames(handle.conn):
+                    self._dispatch(handle, frame)
+                self._handle_exit(handle)
+
+    def _dispatch(self, handle: _Shard, frame: dict) -> None:
+        handle.last_frame = time.monotonic()
+        kind = frame["type"]
+        if kind == SLOT:
+            t = int(frame["t"])
+            bucket = self._pending.setdefault(t, {})
+            for outcome in frame["outcomes"]:
+                bucket[outcome.edge] = outcome
+                self._last_models[outcome.edge] = outcome.model
+            handle.last_slot = max(handle.last_slot, t)
+            observe = self._on_stage_sample
+            if observe is not None:
+                for value in frame["queue_s"]:
+                    observe("queue", value)
+                for value in frame["serve_s"]:
+                    observe("serve", value)
+        elif kind == READY:
+            handle.ready = True
+        elif kind == HEARTBEAT:
+            self._heartbeats.increment()
+        elif kind == STATE:
+            self._state_frames[handle.index] = frame
+        elif kind == BYE:
+            handle.byed = True
+        elif kind == ERROR:
+            trail = frame.get("traceback", "")
+            raise RuntimeError(
+                f"shard worker {handle.index} failed: {frame['message']}\n{trail}"
+            )
+
+    def _handle_exit(self, handle: _Shard) -> None:
+        if not handle.running:
+            return
+        handle.running = False
+        handle.eof = True
+        clean = handle.byed or handle.last_slot >= self._stop_slot - 1
+        if clean:
+            return
+        self._mark_failed(handle)
+
+    def _mark_failed(self, handle: _Shard) -> None:
+        if handle.failed:
+            return
+        handle.failed = True
+        self._shard_deaths.increment()
+        if self.config.on_worker_death == "fail":
+            raise RuntimeError(
+                f"shard worker {handle.index} (edges {list(handle.edges)}) "
+                f"died at slot {self.completed_slot + 1}; set "
+                "on_worker_death='degrade' to complete without it"
+            )
+
+    def _check_stalls(self, handles: list[_Shard]) -> None:
+        now = time.monotonic()
+        for handle in handles:
+            if not handle.running or handle.last_slot >= self._stop_slot - 1:
+                continue
+            if now - handle.last_frame > self._stall_timeout:
+                handle.running = False
+                handle.process.terminate()
+                self._mark_failed(handle)
+
+    def _shutdown(self, handles: list[_Shard]) -> None:
+        for handle in handles:
+            if handle.running and not handle.eof:
+                try:
+                    send_frame(handle.conn, {"type": DRAIN})
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + 10.0
+        for handle in handles:
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            handle.running = False
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+
+    # -- the slot fold -----------------------------------------------------
+
+    def _release_through(self, target: int) -> None:
+        if target <= self._released:
+            return
+        now = time.monotonic()
+        tracer = self.tracer
+        for t in range(self._released + 1, target + 1):
+            self._release_ts[t] = now
+            if tracer.enabled:
+                tracer.emit(SlotStartEvent(t=t, horizon=self.horizon))
+        frame = {"type": RELEASE, "upto": target}
+        for handle in self._handles:
+            if handle.running:
+                try:
+                    send_frame(handle.conn, frame)
+                except (BrokenPipeError, OSError):
+                    pass  # the death will surface via the sentinel
+        self._released = target
+
+    def _synthesize_offline(self, t: int, edge: int) -> EdgeSlotOutcome:
+        return EdgeSlotOutcome(
+            t=t,
+            edge=edge,
+            model=self._last_models.get(edge, -1),
+            switched=False,
+            offline=True,
+            shed=False,
+            arrivals=0,
+            served=0,
+            **_OFFLINE_COSTS,
+        )
+
+    def _count(self, outcome: EdgeSlotOutcome) -> None:
+        self._events_in.increment(outcome.arrivals)
+        if outcome.offline:
+            self._events_dropped_offline.increment(outcome.arrivals)
+        elif outcome.shed:
+            self._events_shed.increment(outcome.arrivals)
+        else:
+            self._events_served.increment(outcome.served)
+
+    def _slot_complete(self, t: int) -> bool:
+        bucket = self._pending.get(t, {})
+        return all(
+            e in bucket or self._owner[e].failed for e in range(self.num_edges)
+        )
+
+    def _fold_ready(self) -> None:
+        """Fold every slot whose outcomes (or death synthesis) are complete."""
+        observe = self._on_stage_sample
+        while self.completed_slot < self._stop_slot - 1:
+            t = self.completed_slot + 1
+            if not self._slot_complete(t):
+                return
+            bucket = self._pending.pop(t, {})
+            outcomes = []
+            for e in range(self.num_edges):
+                outcome = bucket.get(e)
+                if outcome is None:
+                    outcome = self._synthesize_offline(t, e)
+                self._count(outcome)
+                outcomes.append(outcome)
+            fold_start = time.monotonic()
+            self.aggregator.fold(t, outcomes)
+            folded = time.monotonic()
+            if observe is not None:
+                observe("trade", folded - fold_start)
+                released_at = self._release_ts.pop(t, None)
+                if released_at is not None:
+                    observe("slot", folded - released_at)
+            else:
+                self._release_ts.pop(t, None)
+            self.completed_slot = t
+            self._slots_completed.increment()
+            every = self.config.snapshot_every
+            if every and (t + 1) % every == 0 and t + 1 < self.horizon:
+                self._take_snapshot(t)
+            self._release_through(release_target(
+                t,
+                horizon=self.horizon,
+                lockstep=self.config.virtual_clock,
+                pipeline_depth=self.config.pipeline_depth,
+                snapshot_every=every,
+            ))
+
+    def _take_snapshot(self, t: int) -> None:
+        """Gather worker states at the quiescent boundary, persist one file.
+
+        Degraded runs are not resumable — once any shard is dead, snapshots
+        are skipped (the run still completes under ``degrade``).
+        """
+        if any(h.failed for h in self._handles):
+            return
+        self._state_frames = {}
+        live = [h for h in self._handles if h.running]
+        for handle in live:
+            try:
+                send_frame(handle.conn, {"type": SNAPSHOT_REQUEST})
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + self._stall_timeout
+        while True:
+            waiting = [
+                h for h in live if h.running and h.index not in self._state_frames
+            ]
+            if not waiting:
+                break
+            if any(h.failed for h in self._handles):
+                return  # a death raced the snapshot; skip persisting
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"timed out waiting for shard state from "
+                    f"{[h.index for h in waiting]}"
+                )
+            self._poll(self._handles, timeout=0.1)
+        edges: list[object] = [None] * self.num_edges
+        adapters: list[object] = [None] * self.num_edges
+        for frame in self._state_frames.values():
+            for e, kernel_state in frame["edges"].items():
+                edges[e] = kernel_state
+            for e, adapter_state in frame["adapters"].items():
+                adapters[e] = adapter_state
+        missing = [e for e in range(self.num_edges) if edges[e] is None]
+        if missing:
+            # Never persist a torn snapshot — resuming one would silently
+            # corrupt the run.
+            raise RuntimeError(
+                f"snapshot at slot {t + 1} is missing state for edges "
+                f"{missing}; a worker exited before answering"
+            )
+        state = {
+            "label": self.label,
+            "config": self.config.to_dict(),
+            "next_slot": t + 1,
+            "edges": edges,
+            "adapters": adapters,
+            "trading": self.trading_kernel.state_dict(),
+            "arrays": self.aggregator.partial_arrays(t + 1),
+        }
+        path = self.config.snapshot_path
+        assert path is not None  # enforced by ServeConfig validation
+        save_snapshot(path, state)
+        self._snapshots_taken.increment()
+        if self.tracer.enabled:
+            self.tracer.emit(SnapshotEvent(t=t, path=str(path)))
+
+
+# --------------------------------------------------------------------------
+# Dispatchers
+# --------------------------------------------------------------------------
+
+
+def make_runtime(
+    config: ServeConfig,
+    *,
+    tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
+    **shard_kwargs,
+) -> ServeRuntime | ShardRuntime:
+    """The runtime matching ``config.num_workers`` (1 = in-process)."""
+    if config.num_workers > 1:
+        return ShardRuntime(config, tracer=tracer, faults=faults, **shard_kwargs)
+    return ServeRuntime(config, tracer=tracer, faults=faults)
+
+
+def runtime_from_snapshot(
+    path: str | Path,
+    *,
+    tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
+    **shard_kwargs,
+) -> ServeRuntime | ShardRuntime:
+    """Resume whichever runtime class the snapshot's config asks for."""
+    state = load_snapshot(path)
+    config = ServeConfig.from_dict(state["config"])
+    if config.num_workers > 1:
+        return ShardRuntime.from_snapshot(
+            path, tracer=tracer, faults=faults, **shard_kwargs
+        )
+    return ServeRuntime.from_snapshot(path, tracer=tracer, faults=faults)

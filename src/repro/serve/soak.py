@@ -1,0 +1,359 @@
+"""Wall-clock soak harness for the sharded edge tier.
+
+``repro soak`` drives :class:`~repro.serve.shard.ShardRuntime` under the
+deterministic load shapes of :mod:`repro.serve.load` and reports, per
+shape:
+
+* per-stage latency quantiles (p50/p95/p99) from a streaming P² sketch —
+  ``queue`` (enqueue to dequeue inside a worker), ``serve`` (kernel step),
+  ``trade`` (parent fold + allowance-trading step), and ``slot``
+  (release to fold, end-to-end);
+* throughput (served events per wall second);
+* the accounting equation ``in == served + shed + offline``, checked
+  *exactly* — a soak that leaks or double-counts events fails its run.
+
+Reports are schema-versioned JSON (``SOAK_FORMAT_VERSION``) and project
+onto :class:`~repro.bench.report.BenchReport` via
+:meth:`SoakReport.to_bench_report`, so soak baselines ride the same
+``repro bench --check`` comparison gate as the microbenchmarks.
+
+The latency sketch is the P² algorithm (Jain & Chlamtac 1985): five
+markers per tracked quantile, O(1) memory and update time, no sample
+buffer — suitable for soaks of unbounded length.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.report import BenchReport, BenchResult, machine_fingerprint
+from repro.obs.tracer import Tracer
+from repro.serve.config import ServeConfig
+from repro.serve.load import SHAPE_NAMES
+from repro.serve.shard import ShardRuntime
+from repro.sim.config import ScenarioConfig
+
+__all__ = [
+    "SOAK_FORMAT_VERSION",
+    "P2Quantile",
+    "SoakReport",
+    "StageStats",
+    "run_soak",
+    "run_soak_suite",
+]
+
+#: Format tag written into serialized soak reports; bump on breaking changes.
+SOAK_FORMAT_VERSION = 1
+
+#: Latency stages a soak run tracks, in pipeline order.
+STAGES = ("queue", "serve", "trade", "slot")
+
+#: Quantiles every stage sketch tracks.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm.
+
+    Five markers track the running minimum, maximum, the target quantile,
+    and its two flanking mid-quantiles; marker heights move by parabolic
+    (falling back to linear) interpolation as observations arrive.  Exact
+    while fewer than five observations have been seen.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the sketch."""
+        self.count += 1
+        if self.count <= 5:
+            self._initial.append(float(x))
+            if self.count == 5:
+                q = self.q
+                self._heights = sorted(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0,
+                    1.0 + 2.0 * q,
+                    1.0 + 4.0 * q,
+                    3.0 + 2.0 * q,
+                    5.0,
+                ]
+            return
+        heights, positions = self._heights, self._positions
+        if x < heights[0]:
+            heights[0] = x
+            cell = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            cell = 3
+        else:
+            cell = 0
+            while x >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Nudge the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            drift = self._desired[i] - positions[i]
+            room_up = positions[i + 1] - positions[i]
+            room_down = positions[i - 1] - positions[i]
+            if (drift >= 1.0 and room_up > 1.0) or (
+                drift <= -1.0 and room_down < -1.0
+            ):
+                step = 1.0 if drift > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (``nan`` before any observation)."""
+        if self.count == 0:
+            return float("nan")
+        if self.count <= 5:
+            ordered = sorted(self._initial)
+            index = min(len(ordered) - 1, round(self.q * (len(ordered) - 1)))
+            return ordered[int(index)]
+        return self._heights[2]
+
+
+class StageStats:
+    """Count/mean/max plus P² quantile sketches for one pipeline stage."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+        self._sketches = {q: P2Quantile(q) for q in QUANTILES}
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.peak:
+            self.peak = seconds
+        for sketch in self._sketches.values():
+            sketch.add(seconds)
+
+    def summary(self) -> dict[str, float]:
+        mean = self.total / self.count if self.count else float("nan")
+        payload = {"count": self.count, "mean_s": mean, "max_s": self.peak}
+        for q, sketch in self._sketches.items():
+            payload[f"p{int(q * 100)}_s"] = sketch.value()
+        return payload
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """One load shape's soak outcome: accounting, throughput, latency."""
+
+    shape: str
+    seed: int
+    num_edges: int
+    num_workers: int
+    horizon: int
+    total_events: int
+    wall_seconds: float
+    events_in: int
+    events_served: int
+    events_shed: int
+    events_dropped_offline: int
+    accounting_ok: bool
+    throughput_eps: float
+    stages: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "format_version": SOAK_FORMAT_VERSION,
+            "shape": self.shape,
+            "seed": self.seed,
+            "num_edges": self.num_edges,
+            "num_workers": self.num_workers,
+            "horizon": self.horizon,
+            "total_events": self.total_events,
+            "wall_seconds": self.wall_seconds,
+            "events_in": self.events_in,
+            "events_served": self.events_served,
+            "events_shed": self.events_shed,
+            "events_dropped_offline": self.events_dropped_offline,
+            "accounting_ok": self.accounting_ok,
+            "throughput_eps": self.throughput_eps,
+            "stages": {name: dict(stats) for name, stats in self.stages.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SoakReport":
+        version = payload.get("format_version")
+        if version != SOAK_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported soak format_version {version!r} "
+                f"(this build reads {SOAK_FORMAT_VERSION})"
+            )
+        fields = dict(payload)
+        fields.pop("format_version")
+        return cls(**fields)
+
+    def to_bench_report(self, *, mode: str = "smoke") -> BenchReport:
+        """Project onto the bench schema so soaks ride the compare gate.
+
+        Each stage quantile becomes a wall-time case (``<stage>/p95`` etc.),
+        throughput and the served fraction become derived ratios — ratios
+        always gate, machine-independently, so a soak baseline catches
+        "the shard pipeline got slower relative to itself" anywhere.
+        """
+        results = []
+        meta = {"shape": self.shape, "seed": self.seed}
+        for stage, stats in self.stages.items():
+            for key in ("p50_s", "p95_s", "p99_s"):
+                value = stats.get(key)
+                if value is None or value != value:  # missing or NaN
+                    continue
+                results.append(
+                    BenchResult(
+                        name=f"{stage}/{key.removesuffix('_s')}",
+                        wall_seconds=max(float(value), 1e-9),
+                        cpu_seconds=0.0,
+                        rounds=1,
+                        work=1.0,
+                        unit="slot",
+                        meta=meta,
+                    )
+                )
+        results.append(
+            BenchResult(
+                name="soak/run",
+                wall_seconds=max(self.wall_seconds, 1e-9),
+                cpu_seconds=0.0,
+                rounds=1,
+                work=float(self.horizon * self.num_edges),
+                unit="slot-edges",
+                meta=meta,
+            )
+        )
+        served_fraction = (
+            self.events_served / self.events_in if self.events_in else 0.0
+        )
+        return BenchReport(
+            suite=f"soak_{self.shape}",
+            machine=machine_fingerprint(),
+            results=tuple(results),
+            ratios={
+                "throughput_eps": self.throughput_eps,
+                "served_fraction": served_fraction,
+            },
+            mode=mode,
+        )
+
+
+def run_soak(
+    shape: str,
+    *,
+    num_edges: int,
+    num_workers: int,
+    horizon: int,
+    total_events: int,
+    seed: int = 0,
+    slot_duration: float = 0.0,
+    num_models: int = 4,
+    n_test: int = 200,
+    queue_capacity: int = 4096,
+) -> SoakReport:
+    """Soak one load shape through a sharded wall-clock run.
+
+    Wall clock with shedding backpressure — the production-shaped
+    configuration — and ``slot_duration=0`` free-running by default so CI
+    smokes are bounded by compute, not by sleeping.
+    """
+    scenario = ScenarioConfig(
+        dataset="synthetic",
+        num_edges=num_edges,
+        horizon=horizon,
+        num_models=num_models,
+        n_test=n_test,
+        seed=seed,
+    )
+    config = ServeConfig(
+        scenario=scenario,
+        seed=seed,
+        label=f"soak-{shape}",
+        adapter="shape",
+        shape=shape,
+        shape_total_events=total_events,
+        shape_seed=seed,
+        virtual_clock=False,
+        backpressure="shed",
+        slot_duration=slot_duration,
+        queue_capacity=queue_capacity,
+        num_workers=num_workers,
+        on_worker_death="fail",
+    )
+    stats = {stage: StageStats() for stage in STAGES}
+
+    def observe(stage: str, seconds: float) -> None:
+        stats[stage].observe(seconds)
+
+    tracer = Tracer()  # fresh counters per run; no event sinks
+    runtime = ShardRuntime(config, tracer=tracer, on_stage_sample=observe)
+    started = time.monotonic()
+    runtime.run()
+    wall_seconds = time.monotonic() - started
+    events_in = tracer.counter("serve/events_in").value
+    events_served = tracer.counter("serve/events_served").value
+    events_shed = tracer.counter("serve/events_shed").value
+    events_dropped = tracer.counter("serve/events_dropped_offline").value
+    return SoakReport(
+        shape=shape,
+        seed=seed,
+        num_edges=num_edges,
+        num_workers=num_workers,
+        horizon=horizon,
+        total_events=total_events,
+        wall_seconds=wall_seconds,
+        events_in=events_in,
+        events_served=events_served,
+        events_shed=events_shed,
+        events_dropped_offline=events_dropped,
+        accounting_ok=(
+            events_in == events_served + events_shed + events_dropped
+            and events_in == total_events
+        ),
+        throughput_eps=(
+            events_served / wall_seconds if wall_seconds > 0 else 0.0
+        ),
+        stages={stage: stats[stage].summary() for stage in STAGES},
+    )
+
+
+def run_soak_suite(shapes: tuple[str, ...] = SHAPE_NAMES, **kwargs) -> list[SoakReport]:
+    """Run :func:`run_soak` for each shape with shared sizing kwargs."""
+    return [run_soak(shape, **kwargs) for shape in shapes]

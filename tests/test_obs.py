@@ -481,3 +481,94 @@ class TestStreamingIterEvents:
         summary = summarize_trace(path)
         assert summary.events_total == len(ALL_EVENTS) - 1
         assert "snapshot" not in summary.event_counts
+
+
+class TestMergeEvents:
+    """Deterministic multi-log merge (the sharded-trace replay path)."""
+
+    @staticmethod
+    def _write(path, events):
+        sink = JsonlSink(path)
+        for event in events:
+            sink.write(event)
+        sink.close()
+
+    def test_merges_by_slot_across_files(self, tmp_path):
+        from repro.obs import merge_events
+
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        self._write(a, [ArrivalEvent(t=0, edge=0, count=1),
+                        ArrivalEvent(t=2, edge=0, count=1)])
+        self._write(b, [ArrivalEvent(t=1, edge=1, count=1),
+                        ArrivalEvent(t=3, edge=1, count=1)])
+        merged = list(merge_events([a, b]))
+        assert [e.t for e in merged] == [0, 1, 2, 3]
+        assert [e.edge for e in merged] == [0, 1, 0, 1]
+
+    def test_equal_slots_tie_break_by_path_order_then_file_order(self, tmp_path):
+        from repro.obs import merge_events
+
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        self._write(a, [ArrivalEvent(t=5, edge=0, count=10),
+                        QueueShedEvent(t=5, edge=0, count=3)])
+        self._write(b, [ArrivalEvent(t=5, edge=1, count=20)])
+        first = list(merge_events([a, b]))
+        # Within a slot: everything from the first path (in file order),
+        # then the second — a pure function of the path list.
+        assert [type(e).__name__ for e in first] == [
+            "ArrivalEvent", "QueueShedEvent", "ArrivalEvent",
+        ]
+        assert [getattr(e, "edge", None) for e in first] == [0, 0, 1]
+        swapped = list(merge_events([b, a]))
+        assert [getattr(e, "edge", None) for e in swapped] == [1, 0, 0]
+
+    def test_interleaving_is_independent_of_file_sizes(self, tmp_path):
+        from repro.obs import merge_events
+
+        # The same events split unevenly across logs merge identically:
+        # the key is (slot, path index, in-file order), never file length.
+        short = tmp_path / "short.jsonl"
+        long = tmp_path / "long.jsonl"
+        self._write(short, [ArrivalEvent(t=4, edge=0, count=1)])
+        self._write(
+            long,
+            [ArrivalEvent(t=t, edge=1, count=1) for t in range(8)],
+        )
+        merged = [(e.t, e.edge) for e in merge_events([short, long])]
+        # Slots ascend, and within slot 4 the short file (path index 0)
+        # comes first even though the other log is eight times longer.
+        assert [t for t, _ in merged] == sorted(t for t, _ in merged)
+        slot4 = [edge for t, edge in merged if t == 4]
+        assert slot4 == [0, 1]
+
+    def test_slotless_events_sort_as_slot_zero(self, tmp_path):
+        from repro.obs import merge_events
+
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        self._write(a, [ArrivalEvent(t=1, edge=0, count=1)])
+        self._write(b, [SlotStartEvent(t=0, horizon=8)])
+        merged = list(merge_events([a, b]))
+        assert type(merged[0]).__name__ == "SlotStartEvent"
+
+    def test_summarize_traces_single_path_matches_summarize_trace(
+        self, tmp_path
+    ):
+        from repro.obs import summarize_trace, summarize_traces
+
+        path = tmp_path / "run.jsonl"
+        self._write(path, ALL_EVENTS)
+        assert summarize_traces([path]) == summarize_trace(path)
+
+    def test_split_trace_summarizes_like_the_whole(self, tmp_path):
+        from repro.obs import summarize_trace, summarize_traces
+
+        whole = tmp_path / "whole.jsonl"
+        self._write(whole, sorted(ALL_EVENTS, key=lambda e: e.t))
+        parts = [tmp_path / "p0.jsonl", tmp_path / "p1.jsonl", tmp_path / "p2.jsonl"]
+        ordered = sorted(ALL_EVENTS, key=lambda e: e.t)
+        for i, part in enumerate(parts):
+            self._write(part, ordered[i::3])
+        assert summarize_traces(parts) == summarize_trace(whole)

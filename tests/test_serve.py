@@ -25,12 +25,14 @@ from repro.serve import (
     BoundedWorkQueue,
     ServeConfig,
     ServeRuntime,
+    ShardRuntime,
     StatusServer,
     VirtualClock,
     WallClock,
     WorkItem,
     arrival_counts_from_trace,
     load_snapshot,
+    make_runtime,
     save_snapshot,
     serve_run,
 )
@@ -219,6 +221,48 @@ class TestVirtualClockParity:
         assert result_digest(served) == result_digest(sim)
         # and delayed feedback genuinely changes the trajectory
         assert result_digest(served) != GOLDEN_DIGESTS[("A", 0)]
+
+
+class TestShardedParity:
+    """Cross-process parity: N worker processes, same bits as the simulator.
+
+    Workers rebuild bit-identical kernels from the shared config (name-keyed
+    RNG streams), step only their own edges, and the parent folds outcomes
+    in global edge order — so the worker count must never show up in the
+    digest.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("scenario_name,seed", sorted(GOLDEN_DIGESTS))
+    def test_sharded_serve_matches_golden_digests(
+        self, scenario_name, seed, workers
+    ):
+        config = serve_config(scenario_name, seed, num_workers=workers)
+        result = ShardRuntime(config, heartbeat_interval=0.05).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[(scenario_name, seed)]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_dataset_adapter_preserves_sharded_parity(self, workers):
+        config = serve_config("A", 0, adapter="dataset", num_workers=workers)
+        result = ShardRuntime(config, heartbeat_interval=0.05).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_replay_adapter_preserves_sharded_parity(self, tmp_path):
+        log = tmp_path / "serve.jsonl"
+        tracer = Tracer([JsonlSink(log)])
+        serve_run(serve_config("A", 0), tracer=tracer)
+        tracer.close()
+        config = serve_config(
+            "A", 0, adapter="replay", replay_log=str(log), num_workers=2
+        )
+        result = ShardRuntime(config, heartbeat_interval=0.05).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_make_runtime_dispatches_on_worker_count(self):
+        assert isinstance(make_runtime(serve_config("A", 0)), ServeRuntime)
+        assert isinstance(
+            make_runtime(serve_config("A", 0, num_workers=2)), ShardRuntime
+        )
 
 
 class TestSnapshotRestore:
@@ -461,11 +505,10 @@ class TestStatusEndpoint:
             )
             runtime = ServeRuntime(config, tracer=Tracer())
             task = asyncio.create_task(runtime.run_async())
-            while (
-                runtime.status_server is None
-                or runtime.status_server.port is None
-            ):
-                await asyncio.sleep(0.005)
+            # Event-driven wait: run_async sets server_ready once the
+            # status server is bound, so no timing-sensitive poll loop.
+            await asyncio.wait_for(runtime.server_ready.wait(), timeout=30)
+            assert runtime.status_server is not None
             health = await self._get(runtime.status_server.port, "/healthz")
             metrics = await self._get(runtime.status_server.port, "/metrics")
             result = await task

@@ -1,0 +1,394 @@
+"""Tests for repro.serve.shard: the multi-process sharded edge tier.
+
+Parity across worker counts lives in ``tests/test_serve.py`` next to the
+other golden-digest locks (``TestShardedParity``); this file covers the
+shard machinery itself:
+
+* the edge partition and the wire protocol;
+* resilience — a worker killed mid-horizon under both death policies,
+  with the survivors' trajectories bit-identical and the accounting
+  equation intact;
+* sharded snapshot/resume (and cross-resume against the in-process
+  runtime — snapshots are runtime-agnostic);
+* the deterministic per-shard trace merge;
+* a 64-edge x 4-worker fleet smoke and the ``repro soak`` CLI.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs import JsonlSink, Tracer, summarize_trace, summarize_traces
+from repro.serve import (
+    ServeConfig,
+    ServeRuntime,
+    ShardRuntime,
+    release_target,
+    runtime_from_snapshot,
+    serve_run,
+    shard_edges,
+)
+from repro.serve.frames import (
+    FRAME_TYPES,
+    drain_frames,
+    recv_frame,
+    send_frame,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.io import result_digest
+from tests.test_golden_digests import GOLDEN_DIGESTS, SCENARIO_CONFIGS
+
+#: Fast heartbeat so liveness machinery is exercised within test runtimes.
+FAST = dict(heartbeat_interval=0.05)
+
+
+def shard_config(scenario_name="A", seed=0, **overrides):
+    return ServeConfig(
+        scenario=SCENARIO_CONFIGS[scenario_name],
+        seed=seed,
+        label="Ours-Ours",
+        **overrides,
+    )
+
+
+class TestShardEdges:
+    @pytest.mark.parametrize(
+        "num_edges,num_workers", [(1, 1), (3, 2), (7, 3), (8, 8), (64, 4)]
+    )
+    def test_partition_covers_disjointly_in_order(self, num_edges, num_workers):
+        shards = shard_edges(num_edges, num_workers)
+        flat = [e for shard in shards for e in shard]
+        assert flat == list(range(num_edges))  # cover, disjoint, contiguous
+        assert all(shard for shard in shards)  # never an empty shard
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1  # near-even
+
+    def test_more_workers_than_edges_caps_at_edges(self):
+        assert shard_edges(3, 8) == [(0,), (1,), (2,)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_edges"):
+            shard_edges(0, 2)
+        with pytest.raises(ValueError, match="num_workers"):
+            shard_edges(2, 0)
+
+
+class TestFrames:
+    def test_round_trip_over_a_pipe(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        try:
+            frame = {"type": "slot", "worker": 1, "t": 3, "outcomes": [1, 2]}
+            send_frame(parent, frame)
+            assert recv_frame(child) == frame
+        finally:
+            parent.close()
+            child.close()
+
+    def test_unknown_frame_type_rejected_at_send(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        try:
+            with pytest.raises(ValueError, match="frame type"):
+                send_frame(parent, {"type": "gossip"})
+        finally:
+            parent.close()
+            child.close()
+
+    def test_malformed_wire_bytes_rejected_at_recv(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        try:
+            parent.send_bytes(pickle.dumps(["not", "a", "frame"]))
+            with pytest.raises(ValueError, match="malformed"):
+                recv_frame(child)
+        finally:
+            parent.close()
+            child.close()
+
+    def test_dead_peer_is_eof_and_drain_yields_the_backlog(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        send_frame(parent, {"type": "heartbeat", "worker": 0})
+        send_frame(parent, {"type": "bye", "worker": 0})
+        parent.close()
+        backlog = list(drain_frames(child))
+        assert [f["type"] for f in backlog] == ["heartbeat", "bye"]
+        with pytest.raises(EOFError):
+            recv_frame(child)
+        child.close()
+
+    def test_every_frame_type_is_wire_legal(self):
+        parent, child = multiprocessing.Pipe(duplex=True)
+        try:
+            for kind in FRAME_TYPES:
+                send_frame(parent, {"type": kind})
+                assert recv_frame(child)["type"] == kind
+        finally:
+            parent.close()
+            child.close()
+
+
+class TestReleaseTarget:
+    def test_lockstep_releases_one_slot(self):
+        assert release_target(4, horizon=40, lockstep=True, pipeline_depth=8) == 5
+
+    def test_pipelined_releases_depth_slots(self):
+        assert release_target(4, horizon=40, lockstep=False, pipeline_depth=8) == 12
+
+    def test_never_crosses_a_snapshot_boundary(self):
+        # completed slot 4, boundary at 8: the furthest safe slot is 7.
+        assert (
+            release_target(
+                4, horizon=40, lockstep=False, pipeline_depth=8, snapshot_every=8
+            )
+            == 7
+        )
+
+    def test_clamped_to_the_horizon(self):
+        assert release_target(38, horizon=40, lockstep=False, pipeline_depth=8) == 39
+
+
+class TestWorkerDeath:
+    def test_degrade_completes_with_survivors_bit_identical(self):
+        config = shard_config("A", 0, num_workers=3, on_worker_death="degrade")
+        tracer = Tracer()
+        runtime = ShardRuntime(
+            config, tracer=tracer, _worker_chaos={1: 10}, **FAST
+        )
+        degraded = runtime.run()
+        clean = ShardRuntime(shard_config("A", 0, num_workers=3), **FAST).run()
+
+        # Edges couple only through trading (no feedback into selection), so
+        # the survivors' whole trajectories are bit-equal to a clean run.
+        survivors = [0, 2]
+        assert np.array_equal(
+            degraded.selections[:, survivors], clean.selections[:, survivors]
+        )
+        # The dead shard's edge is pinned offline at its last model.
+        assert (degraded.selections[10:, 1] == degraded.selections[9, 1]).all()
+        # Its offline slots contribute nothing to system cost or emissions.
+        assert not np.array_equal(degraded.emissions, clean.emissions)
+
+        health = runtime.health()
+        assert health["status"] == "done"
+        shard_status = {s["worker"]: s["failed"] for s in health["shards"]}
+        assert shard_status == {0: False, 1: True, 2: False}
+
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/shard_deaths"] == 1
+        accounted = (
+            counters["serve/events_served"]
+            + counters.get("serve/events_shed", 0)
+            + counters.get("serve/events_dropped_offline", 0)
+        )
+        assert counters["serve/events_in"] == accounted
+
+    def test_degrade_from_slot_zero_marks_whole_shard_offline(self):
+        config = shard_config("B", 0, num_workers=2, on_worker_death="degrade")
+        runtime = ShardRuntime(config, _worker_chaos={0: 0}, **FAST)
+        result = runtime.run()
+        # Worker 0 owns edge 0 and never reported a slot: no model was ever
+        # seen for it, and every one of its slots is synthesized offline.
+        assert (result.selections[:, 0] == -1).all()
+        assert runtime.health()["shards"][0]["failed"]
+
+    def test_fail_policy_raises_and_names_the_shard(self):
+        config = shard_config("A", 0, num_workers=3, on_worker_death="fail")
+        runtime = ShardRuntime(config, _worker_chaos={2: 5}, **FAST)
+        with pytest.raises(RuntimeError, match="shard worker 2"):
+            runtime.run()
+
+    def test_degraded_partial_run_refuses_results(self):
+        config = shard_config("A", 0, num_workers=3, on_worker_death="degrade")
+        runtime = ShardRuntime(config, _worker_chaos={1: 10}, **FAST)
+        runtime.run(max_slots=20)
+        with pytest.raises(RuntimeError, match="resume"):
+            runtime.result()
+
+
+class TestShardedSnapshots:
+    def test_sharded_kill_resume_to_identical_digest(self, tmp_path):
+        snap = tmp_path / "state.pkl"
+        config = shard_config(
+            "A", 0, num_workers=2, snapshot_every=8, snapshot_path=str(snap)
+        )
+        runtime = ShardRuntime(config, **FAST)
+        partial = runtime.run(max_slots=19)  # dies mid-horizon (slot 18)
+        assert partial is None and runtime.completed_slot == 18
+        assert snap.exists()
+
+        resumed = runtime_from_snapshot(snap, **FAST)
+        assert isinstance(resumed, ShardRuntime)
+        assert resumed.completed_slot + 1 == 16  # last boundary before kill
+        result = resumed.run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_sharded_snapshot_resumes_in_process(self, tmp_path):
+        # Snapshots are runtime-agnostic: a sharded run's file restores
+        # into the in-process runtime and still hits the golden digest.
+        snap = tmp_path / "state.pkl"
+        config = shard_config(
+            "A", 0, num_workers=2, snapshot_every=8, snapshot_path=str(snap)
+        )
+        ShardRuntime(config, **FAST).run(max_slots=10)
+        result = ServeRuntime.from_snapshot(snap).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_in_process_snapshot_resumes_sharded(self, tmp_path):
+        snap = tmp_path / "state.pkl"
+        config = shard_config(
+            "A", 0, num_workers=2, snapshot_every=8, snapshot_path=str(snap)
+        )
+        # ServeRuntime ignores num_workers, so the first leg is in-process;
+        # the snapshot's config then routes the resume to the shard tier.
+        ServeRuntime(config).run(max_slots=10)
+        resumed = runtime_from_snapshot(snap, **FAST)
+        assert isinstance(resumed, ShardRuntime)
+        result = resumed.run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_dataset_rng_identity_survives_sharded_snapshot(self, tmp_path):
+        snap = tmp_path / "state.pkl"
+        config = shard_config(
+            "A",
+            0,
+            adapter="dataset",
+            num_workers=2,
+            snapshot_every=8,
+            snapshot_path=str(snap),
+        )
+        ShardRuntime(config, **FAST).run(max_slots=8)
+        result = runtime_from_snapshot(snap, **FAST).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_partial_sharded_run_without_snapshot_cannot_continue(self):
+        runtime = ShardRuntime(shard_config("B", 0, num_workers=2), **FAST)
+        runtime.run(max_slots=5)
+        # The edge state exited with the workers; only a snapshot file can
+        # continue the run, and the runtime says so instead of corrupting it.
+        with pytest.raises(RuntimeError, match="snapshot"):
+            runtime.run()
+
+
+class TestShardTraceMerge:
+    def test_merged_shard_traces_match_the_single_process_summary(
+        self, tmp_path
+    ):
+        config = shard_config("B", 1, num_workers=2)
+        shard_logs = [tmp_path / "shard0.jsonl", tmp_path / "shard1.jsonl"]
+        parent_log = tmp_path / "parent.jsonl"
+        tracer = Tracer([JsonlSink(parent_log)])
+        ShardRuntime(
+            config, tracer=tracer, shard_trace_paths=shard_logs, **FAST
+        ).run()
+        tracer.close()
+
+        single_log = tmp_path / "single.jsonl"
+        single_tracer = Tracer([JsonlSink(single_log)])
+        serve_run(shard_config("B", 1), tracer=single_tracer)
+        single_tracer.close()
+
+        merged = summarize_traces([parent_log, *shard_logs])
+        single = summarize_trace(single_log)
+        assert merged == single
+
+    def test_shard_trace_path_count_must_match_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardRuntime(
+                shard_config("A", 0, num_workers=2),
+                shard_trace_paths=["only-one.jsonl"],
+            )
+
+
+class TestFleetSmoke:
+    def test_64_edges_4_workers_shape_load_all_accounted(self):
+        scenario = ScenarioConfig(
+            dataset="synthetic",
+            num_edges=64,
+            horizon=12,
+            num_models=4,
+            n_test=200,
+            seed=9,
+        )
+        config = ServeConfig(
+            scenario=scenario,
+            seed=9,
+            adapter="shape",
+            shape="sawtooth",
+            shape_total_events=6000,
+            shape_seed=9,
+            virtual_clock=False,
+            backpressure="shed",
+            num_workers=4,
+        )
+        tracer = Tracer()
+        runtime = ShardRuntime(config, tracer=tracer, **FAST)
+        result = runtime.run()
+        assert result is not None and result.num_edges == 64
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/events_in"] == 6000
+        accounted = (
+            counters["serve/events_served"]
+            + counters.get("serve/events_shed", 0)
+            + counters.get("serve/events_dropped_offline", 0)
+        )
+        assert counters["serve/events_in"] == accounted
+        assert counters["serve/slots_completed"] == 12
+        assert len(runtime.health()["shards"]) == 4
+
+    def test_heartbeats_flow_during_slow_slots(self):
+        scenario = ScenarioConfig(
+            dataset="synthetic", num_edges=2, horizon=6, seed=5
+        )
+        config = ServeConfig(
+            scenario=scenario,
+            seed=5,
+            virtual_clock=False,
+            slot_duration=0.1,
+            num_workers=2,
+        )
+        tracer = Tracer()
+        ShardRuntime(config, tracer=tracer, heartbeat_interval=0.02).run()
+        assert tracer.metrics_snapshot()["counters"]["serve/heartbeats"] > 0
+
+
+class TestSoakCli:
+    def test_soak_smoke_single_shape(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "soak.json"
+        code = main([
+            "soak", "--smoke", "--shape", "spike", "--output", str(out)
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["format_version"] == 1
+        (report,) = payload["reports"]
+        assert report["shape"] == "spike"
+        assert report["accounting_ok"] is True
+        assert report["events_in"] == 2000
+        for stage in ("queue", "serve", "trade", "slot"):
+            assert report["stages"][stage]["count"] > 0
+            assert report["stages"][stage]["p95_s"] >= 0.0
+
+    def test_soak_bench_projection_written(self, tmp_path):
+        from repro.bench.report import load_report
+        from repro.cli import main
+
+        code = main([
+            "soak",
+            "--shape", "constant",
+            "--edges", "2",
+            "--workers", "2",
+            "--horizon", "8",
+            "--events", "200",
+            "--output", str(tmp_path / "soak.json"),
+            "--bench-output", str(tmp_path),
+        ])
+        assert code == 0
+        bench = load_report(str(tmp_path / "BENCH_soak_constant.json"))
+        assert bench.suite == "soak_constant"
+        assert "served_fraction" in bench.ratios
