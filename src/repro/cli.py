@@ -205,11 +205,24 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="W",
                        help="shard the edge tier across W worker processes "
                             "(1 = in-process runtime; default: 1)")
-    serve.add_argument("--on-worker-death", choices=("fail", "degrade"),
+    serve.add_argument("--on-worker-death",
+                       choices=("fail", "degrade", "restart"),
                        default=None,
                        help="sharded runs: raise on a dead worker (fail, "
-                            "default) or mark its edges offline and finish "
-                            "the horizon (degrade)")
+                            "default), mark its edges offline and finish "
+                            "the horizon (degrade), or respawn it from its "
+                            "last checkpoint with backoff (restart)")
+    serve.add_argument("--max-restarts", type=int, default=None, metavar="N",
+                       help="restart budget per worker before it degrades "
+                            "(default: 3)")
+    serve.add_argument("--reconfig", metavar="PLAN.json", default=None,
+                       help="apply a live reconfiguration plan "
+                            "(add_edge/remove_edge/rebalance ops at slot "
+                            "barriers; forces the sharded runtime)")
+    serve.add_argument("--chaos", metavar="PLAN.json", default=None,
+                       help="inject a deterministic chaos plan (worker "
+                            "kills, stalls, transport drops; forces the "
+                            "sharded runtime)")
 
     soak = sub.add_parser(
         "soak",
@@ -477,6 +490,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ("shape_seed", args.shape_seed),
                 ("num_workers", args.serve_workers),
                 ("on_worker_death", args.on_worker_death),
+                ("max_restarts", args.max_restarts),
             )
             if value is not None
         }
@@ -485,6 +499,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if overrides:
             config = config.with_overrides(**overrides)
         shard_kwargs = {}
+        if args.chaos is not None:
+            from repro.serve import load_chaos_plan
+
+            shard_kwargs["chaos"] = load_chaos_plan(args.chaos)
+        if args.reconfig is not None:
+            from repro.serve import load_reconfig_plan
+
+            shard_kwargs["reconfig"] = load_reconfig_plan(args.reconfig)
         if config.num_workers > 1 and args.trace_output is not None:
             # One log per worker shard beside the parent's; merge them back
             # with ``repro trace --replay out.jsonl out.jsonl.shard*``.

@@ -118,6 +118,20 @@ class OnlineCarbonTrading(TradingPolicy):
                 DualUpdateEvent(t=context.t, dual=self._lambda, constraint=float(g))
             )
 
+    def rescale_fleet(self, factor: float) -> None:
+        """Scale the dual state for a fleet-size change at a reconfig barrier.
+
+        The dual variable prices the per-slot constraint ``g^t``, whose
+        emissions and cap terms both scale with the active fleet, as do
+        the rectified trade anchors — so multiplying all three by the
+        active-count ratio keeps the controller at the same *per-edge*
+        operating point.  ``factor == 1.0`` never reaches here (the kernel
+        short-circuits), so no-op plans stay bit-exact.
+        """
+        self._lambda *= factor
+        self._prev_buy *= factor
+        self._prev_sell *= factor
+
     @staticmethod
     def step_sizes_for_horizon(
         horizon: int, scale: float = 1.0

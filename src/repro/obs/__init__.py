@@ -31,11 +31,15 @@ from repro.obs.events import (
     FeedbackLostEvent,
     ModelSwitchEvent,
     QueueShedEvent,
+    ReconfigAppliedEvent,
     RetryEvent,
     SlotStartEvent,
     SnapshotEvent,
     TradeEvent,
     TradeRejectedEvent,
+    WorkerDeathEvent,
+    WorkerRestartEvent,
+    WorkerSpawnEvent,
     event_from_dict,
     register_event,
 )
@@ -80,6 +84,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "QueueShedEvent",
+    "ReconfigAppliedEvent",
     "RetryEvent",
     "SlotStartEvent",
     "SnapshotEvent",
@@ -88,6 +93,9 @@ __all__ = [
     "TradeEvent",
     "TradeRejectedEvent",
     "Tracer",
+    "WorkerDeathEvent",
+    "WorkerRestartEvent",
+    "WorkerSpawnEvent",
     "event_from_dict",
     "iter_events",
     "merge_events",

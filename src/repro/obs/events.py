@@ -27,11 +27,15 @@ __all__ = [
     "FeedbackLostEvent",
     "ModelSwitchEvent",
     "QueueShedEvent",
+    "ReconfigAppliedEvent",
     "RetryEvent",
     "SlotStartEvent",
     "SnapshotEvent",
     "TradeEvent",
     "TradeRejectedEvent",
+    "WorkerDeathEvent",
+    "WorkerRestartEvent",
+    "WorkerSpawnEvent",
     "event_from_dict",
     "register_event",
 ]
@@ -268,6 +272,76 @@ class SnapshotEvent(Event):
     path: str = ""
 
     type: ClassVar[str] = "snapshot"
+
+
+@register_event
+@dataclass(frozen=True)
+class WorkerSpawnEvent(Event):
+    """The shard parent spawned worker ``worker`` to serve from slot ``t``.
+
+    ``num_edges`` is the size of the shard it owns; ``generation`` counts
+    incarnations of this worker index (0 = the original spawn).
+    """
+
+    worker: int = 0
+    num_edges: int = 0
+    generation: int = 0
+
+    type: ClassVar[str] = "worker_spawn"
+
+
+@register_event
+@dataclass(frozen=True)
+class WorkerDeathEvent(Event):
+    """Worker ``worker`` died with slot ``t`` as the next slot to fold.
+
+    ``policy`` is the death policy in force (``fail``/``degrade``/
+    ``restart``); ``message`` carries the worker-side error when one was
+    reported before the pipe closed.
+    """
+
+    worker: int = 0
+    policy: str = ""
+    message: str = ""
+
+    type: ClassVar[str] = "worker_death"
+
+
+@register_event
+@dataclass(frozen=True)
+class WorkerRestartEvent(Event):
+    """The supervisor respawned worker ``worker`` after a death.
+
+    ``t`` is the first live slot of the new incarnation; ``replay_from``
+    is where its offline replay of missed slots began; ``attempt`` counts
+    restarts of this worker index (1 = first restart); ``backoff_s`` is
+    the pre-spawn backoff that was applied.
+    """
+
+    worker: int = 0
+    replay_from: int = 0
+    attempt: int = 1
+    backoff_s: float = 0.0
+
+    type: ClassVar[str] = "worker_restart"
+
+
+@register_event
+@dataclass(frozen=True)
+class ReconfigAppliedEvent(Event):
+    """A reconfiguration op was applied at the slot-``t`` barrier.
+
+    ``op`` is the op's kind tag (``add_edge``/``remove_edge``/
+    ``rebalance``); ``edge`` the affected edge (-1 for rebalance);
+    ``active_edges``/``num_workers`` describe the fleet *after* the op.
+    """
+
+    op: str = ""
+    edge: int = -1
+    active_edges: int = 0
+    num_workers: int = 0
+
+    type: ClassVar[str] = "reconfig_applied"
 
 
 def event_from_dict(payload: dict[str, object]) -> Event:

@@ -102,6 +102,15 @@ class TradingPolicy:
         Default: no state to update.
         """
 
+    def rescale_fleet(self, factor: float) -> None:
+        """A live reconfiguration changed the active fleet by ``factor``.
+
+        Called by :class:`~repro.sim.kernel.TradingSlotKernel` at a
+        reconfiguration barrier so policies holding volume-denominated
+        state (dual variables, trade anchors) can rescale it
+        deterministically.  Default: no state to rescale.
+        """
+
     @staticmethod
     def _clip(value: float, bound: float) -> float:
         """Clamp a trade quantity into the feasible interval [0, bound]."""

@@ -22,11 +22,28 @@ from repro.serve.adapters import (
     arrival_counts_from_trace,
     make_adapters,
 )
+from repro.serve.chaos import (
+    ChaosPlan,
+    RandomKills,
+    TransportDrop,
+    WorkerChaos,
+    WorkerKill,
+    WorkerStall,
+    load_chaos_plan,
+)
+from repro.serve.chaos import realize as realize_chaos
 from repro.serve.clock import SlotClock, VirtualClock, WallClock, release_target
 from repro.serve.config import ServeConfig
 from repro.serve.http import StatusServer
 from repro.serve.load import SHAPE_NAMES, make_load_grid, shape_profile
 from repro.serve.queues import BoundedWorkQueue, QueueStats, WorkItem
+from repro.serve.reconfig import (
+    AddEdge,
+    Rebalance,
+    ReconfigPlan,
+    RemoveEdge,
+    load_reconfig_plan,
+)
 from repro.serve.runtime import (
     ServeRuntime,
     SlotAggregator,
@@ -45,10 +62,16 @@ from repro.serve.soak import SoakReport, run_soak, run_soak_suite
 __all__ = [
     "SHAPE_NAMES",
     "SNAPSHOT_VERSION",
+    "AddEdge",
     "BoundedWorkQueue",
+    "ChaosPlan",
     "DatasetAdapter",
     "PoissonAdapter",
     "QueueStats",
+    "RandomKills",
+    "Rebalance",
+    "ReconfigPlan",
+    "RemoveEdge",
     "ServeConfig",
     "ServeRuntime",
     "ShapeAdapter",
@@ -59,15 +82,22 @@ __all__ = [
     "StatusServer",
     "StreamAdapter",
     "TraceReplayAdapter",
+    "TransportDrop",
     "VirtualClock",
     "WallClock",
     "WorkItem",
+    "WorkerChaos",
+    "WorkerKill",
+    "WorkerStall",
     "arrival_counts_from_trace",
     "build_serve_kernels",
+    "load_chaos_plan",
+    "load_reconfig_plan",
     "load_snapshot",
     "make_adapters",
     "make_load_grid",
     "make_runtime",
+    "realize_chaos",
     "release_target",
     "run_soak",
     "run_soak_suite",

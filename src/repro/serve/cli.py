@@ -11,6 +11,7 @@ import argparse
 import json
 import sys
 
+from repro.serve.config import WORKER_DEATH_POLICIES
 from repro.serve.load import SHAPE_NAMES
 from repro.serve.soak import SOAK_FORMAT_VERSION, run_soak
 
@@ -53,6 +54,40 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="CI preset: 4 edges x 2 workers x 48 slots x 2000 events",
     )
     parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN.json",
+        help=(
+            "inject a deterministic chaos plan (worker kills, stalls, "
+            "transport drops); flips the death policy to 'restart'"
+        ),
+    )
+    parser.add_argument(
+        "--reconfig",
+        default=None,
+        metavar="PLAN.json",
+        help="apply a live reconfiguration plan at its slot barriers",
+    )
+    parser.add_argument(
+        "--on-worker-death",
+        choices=WORKER_DEATH_POLICIES,
+        default=None,
+        help=(
+            "override the worker-death policy (default: 'restart' under "
+            "--chaos, else 'fail')"
+        ),
+    )
+    parser.add_argument(
+        "--recovery-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "gate: fail the soak when the p99 death-to-serving recovery "
+            "latency exceeds this bound"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=None,
         metavar="PATH",
@@ -67,11 +102,16 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run(args: argparse.Namespace) -> int:
-    """Execute the soak; returns a process exit code (1 = accounting broke)."""
+    """Execute the soak; returns a process exit code (1 = a gate failed)."""
+    from repro.serve.chaos import load_chaos_plan
+    from repro.serve.reconfig import load_reconfig_plan
+
     edges, workers = args.edges, args.workers
     horizon, events = args.horizon, args.events
     if args.smoke:
         edges, workers, horizon, events = 4, 2, 48, 2000
+    chaos = load_chaos_plan(args.chaos) if args.chaos else None
+    reconfig = load_reconfig_plan(args.reconfig) if args.reconfig else None
     shapes = SHAPE_NAMES if args.shape == "all" else (args.shape,)
     reports = []
     for shape in shapes:
@@ -83,6 +123,9 @@ def run(args: argparse.Namespace) -> int:
             total_events=events,
             seed=args.seed,
             slot_duration=args.slot_duration,
+            chaos=chaos,
+            reconfig=reconfig,
+            on_worker_death=args.on_worker_death,
         )
         reports.append(report)
         slot = report.stages["slot"]
@@ -96,6 +139,21 @@ def run(args: argparse.Namespace) -> int:
             f"{slot['p95_s'] * 1e3:.1f}/{slot['p99_s'] * 1e3:.1f} ms",
             file=sys.stderr,
         )
+        if report.worker_deaths or report.restarts or report.reconfigs:
+            recovery = report.stages.get("recovery")
+            healed = (
+                f"recovery p99 = {recovery['p99_s'] * 1e3:.1f} ms"
+                if recovery and recovery["count"]
+                else "no recovery samples"
+            )
+            print(
+                f"soak {shape:>9}: {report.worker_deaths} deaths, "
+                f"{report.restarts} restarts, {report.reconfigs} reconfigs, "
+                f"{report.degraded_workers} degraded "
+                f"[{'HEALED' if report.recovery_ok else 'DEGRADED'}] "
+                f"{healed}",
+                file=sys.stderr,
+            )
     payload = {
         "format_version": SOAK_FORMAT_VERSION,
         "reports": [report.to_dict() for report in reports],
@@ -116,6 +174,25 @@ def run(args: argparse.Namespace) -> int:
     if not all(report.accounting_ok for report in reports):
         print("soak FAILED: accounting equation violated", file=sys.stderr)
         return 1
+    if args.chaos and not all(report.recovery_ok for report in reports):
+        print(
+            "soak FAILED: a chaos-killed worker was not healed",
+            file=sys.stderr,
+        )
+        return 1
+    if args.recovery_p99 is not None:
+        for report in reports:
+            recovery = report.stages.get("recovery")
+            if not recovery or not recovery["count"]:
+                continue
+            if recovery["p99_s"] > args.recovery_p99:
+                print(
+                    f"soak FAILED: {report.shape} recovery p99 "
+                    f"{recovery['p99_s']:.3f}s exceeds the "
+                    f"{args.recovery_p99:.3f}s bound",
+                    file=sys.stderr,
+                )
+                return 1
     return 0
 
 

@@ -24,23 +24,30 @@ def release_target(
     lockstep: bool,
     pipeline_depth: int,
     snapshot_every: int = 0,
+    restart_state_every: int = 0,
+    barrier: int | None = None,
 ) -> int:
     """Furthest slot safe to release after completing ``completed``.
 
     Lockstep mode (virtual clocks) releases one slot at a time — the
     schedule that is bit-identical to ``Simulator.run``; otherwise up to
     ``pipeline_depth`` slots may be in flight.  Releases never cross the
-    next snapshot boundary, so when the coordinator reaches one, every
-    worker is provably quiescent.  Shared by the in-process coordinator
+    next snapshot boundary — nor, when given, the next restart-checkpoint
+    boundary (``restart_state_every``) or reconfiguration ``barrier`` —
+    so when the coordinator reaches one, every worker is provably
+    quiescent.  Shared by the in-process coordinator
     (:class:`~repro.serve.runtime.ServeRuntime`) and the sharded parent
     (:class:`~repro.serve.shard.ShardRuntime`) so the two runtimes release
     identical schedules.
     """
     depth = 1 if lockstep else pipeline_depth
     target = completed + depth
-    if snapshot_every:
-        boundary = ((completed + 1) // snapshot_every + 1) * snapshot_every
-        target = min(target, boundary - 1)
+    for every in (snapshot_every, restart_state_every):
+        if every:
+            boundary = ((completed + 1) // every + 1) * every
+            target = min(target, boundary - 1)
+    if barrier is not None:
+        target = min(target, barrier - 1)
     return min(target, horizon - 1)
 
 

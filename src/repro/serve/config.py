@@ -39,8 +39,11 @@ BACKPRESSURE_MODES = ("block", "shed")
 #: What the sharded parent does when a worker process dies mid-horizon:
 #: ``"fail"`` raises immediately; ``"degrade"`` marks the dead shard's
 #: edges offline for the remaining slots and completes the run with the
-#: accounting equation (and the ledger) intact.
-WORKER_DEATH_POLICIES = ("fail", "degrade")
+#: accounting equation (and the ledger) intact; ``"restart"`` respawns the
+#: worker from its last restart checkpoint with capped exponential backoff,
+#: replaying the missed slots as offline outcomes, and falls back to
+#: ``"degrade"`` once the ``max_restarts`` budget is spent.
+WORKER_DEATH_POLICIES = ("fail", "degrade", "restart")
 
 
 def _scenario_from_dict(payload: dict) -> ScenarioConfig:
@@ -82,6 +85,10 @@ class ServeConfig:
     health_port: int | None = None
     num_workers: int = 1
     on_worker_death: str = "fail"
+    max_restarts: int = 3
+    restart_backoff_s: float = 0.05
+    restart_backoff_max_s: float = 2.0
+    restart_state_every: int = 8
 
     def __post_init__(self) -> None:
         if self.adapter not in ADAPTER_NAMES:
@@ -156,6 +163,25 @@ class ServeConfig:
         if self.label_delay < 0:
             raise ValueError(
                 f"label_delay must be non-negative, got {self.label_delay}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be non-negative, got {self.max_restarts}"
+            )
+        if self.restart_backoff_s < 0:
+            raise ValueError(
+                f"restart_backoff_s must be non-negative, "
+                f"got {self.restart_backoff_s}"
+            )
+        if self.restart_backoff_max_s < self.restart_backoff_s:
+            raise ValueError(
+                f"restart_backoff_max_s ({self.restart_backoff_max_s}) must "
+                f"be >= restart_backoff_s ({self.restart_backoff_s})"
+            )
+        if self.restart_state_every < 1:
+            raise ValueError(
+                f"restart_state_every must be >= 1, "
+                f"got {self.restart_state_every}"
             )
 
     @property

@@ -21,6 +21,12 @@ type                   dir     payload
 ``snapshot_request``   p -> w  capture kernel/adapter state at the (quiescent)
                                boundary
 ``state``              w -> p  ``edges``/``adapters``: per-edge state dicts
+``restart_state``      w -> p  ``next_slot``, ``edges``/``adapters``: a
+                               restart checkpoint captured at a quiescent
+                               restart boundary (``restart_state_every``)
+``reconfig``           p -> w  ``barrier``: capture state, answer with
+                               ``state`` then ``bye``, and exit — the fleet
+                               is being repartitioned at this slot
 ``drain``              p -> w  finish sending, then exit cleanly
 ``bye``                w -> p  clean exit imminent; EOF after this is not a death
 ``error``              w -> p  ``message``/``traceback``: a task crashed
@@ -31,11 +37,20 @@ dicts) rather than JSON projections: the parent folds the *same*
 :class:`~repro.sim.kernel.EdgeSlotOutcome` values an in-process run would,
 which is what keeps sharded virtual-clock runs bit-identical to
 ``Simulator.run``.
+
+Transient transport errors (``EINTR``-style interrupted syscalls,
+momentary ``EAGAIN``) are retried in place with capped exponential
+backoff rather than surfacing as a worker death — only a genuine
+``EOFError``/``BrokenPipeError`` (the peer is gone) propagates.  The
+chaos harness injects exactly these transient errors through
+:func:`arm_transport_faults` to exercise the retry path end to end.
 """
 
 from __future__ import annotations
 
+import errno
 import pickle
+import time
 from multiprocessing.connection import Connection
 from typing import Iterator
 
@@ -46,10 +61,14 @@ __all__ = [
     "FRAME_TYPES",
     "HEARTBEAT",
     "READY",
+    "RECONFIG",
     "RELEASE",
+    "RESTART_STATE",
     "SLOT",
     "SNAPSHOT_REQUEST",
     "STATE",
+    "TRANSPORT_RETRIES",
+    "arm_transport_faults",
     "drain_frames",
     "recv_frame",
     "send_frame",
@@ -61,6 +80,8 @@ SLOT = "slot"
 HEARTBEAT = "heartbeat"
 SNAPSHOT_REQUEST = "snapshot_request"
 STATE = "state"
+RESTART_STATE = "restart_state"
+RECONFIG = "reconfig"
 DRAIN = "drain"
 BYE = "bye"
 ERROR = "error"
@@ -73,24 +94,94 @@ FRAME_TYPES = (
     HEARTBEAT,
     SNAPSHOT_REQUEST,
     STATE,
+    RESTART_STATE,
+    RECONFIG,
     DRAIN,
     BYE,
     ERROR,
 )
 
+#: Retries for a transient transport error before it propagates.
+TRANSPORT_RETRIES = 5
+
+#: First retry pause in seconds; doubles per attempt (2ms, 4ms, 8ms, ...).
+TRANSPORT_BACKOFF_S = 0.002
+
+#: Errnos that mean "interrupted / try again", not "peer is gone".
+_TRANSIENT_ERRNOS = frozenset({errno.EINTR, errno.EAGAIN, errno.EWOULDBLOCK})
+
+#: Remaining injected transient faults (chaos harness); module-local to the
+#: process that armed it, so a worker's injection never leaks to the parent.
+_fault_budget = 0
+
+
+def arm_transport_faults(count: int) -> None:
+    """Make the next ``count`` frame sends/receives in this process fail
+    once each with ``InterruptedError`` before succeeding on retry."""
+    global _fault_budget
+    _fault_budget = int(count)
+
+
+def _maybe_inject_fault() -> None:
+    global _fault_budget
+    if _fault_budget > 0:
+        _fault_budget -= 1
+        raise InterruptedError(errno.EINTR, "injected transient transport fault")
+
+
+def _transient(exc: OSError) -> bool:
+    if isinstance(exc, (InterruptedError, BlockingIOError)):
+        return True
+    return exc.errno in _TRANSIENT_ERRNOS
+
+
+def _retry_pause(attempt: int) -> None:
+    time.sleep(TRANSPORT_BACKOFF_S * (2**attempt))
+
 
 def send_frame(conn: Connection, frame: dict) -> None:
-    """Pickle ``frame`` and write it as one length-prefixed message."""
+    """Pickle ``frame`` and write it as one length-prefixed message.
+
+    Transient transport errors are retried ``TRANSPORT_RETRIES`` times
+    with exponential backoff; a dead peer (``BrokenPipeError``) is not
+    transient and propagates immediately.
+    """
     if frame.get("type") not in FRAME_TYPES:
         raise ValueError(
             f"frame type {frame.get('type')!r} is not one of {FRAME_TYPES}"
         )
-    conn.send_bytes(pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL))
+    payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    for attempt in range(TRANSPORT_RETRIES + 1):
+        try:
+            _maybe_inject_fault()
+            conn.send_bytes(payload)
+            return
+        except BrokenPipeError:
+            raise
+        except OSError as exc:
+            if not _transient(exc) or attempt == TRANSPORT_RETRIES:
+                raise
+            _retry_pause(attempt)
 
 
 def recv_frame(conn: Connection) -> dict:
-    """Read one frame; raises ``EOFError`` when the peer is gone."""
-    frame = pickle.loads(conn.recv_bytes())
+    """Read one frame; raises ``EOFError`` when the peer is gone.
+
+    Transient read errors (interrupted syscalls) are retried like sends;
+    ``EOFError`` means the peer closed and is never retried.
+    """
+    for attempt in range(TRANSPORT_RETRIES + 1):
+        try:
+            _maybe_inject_fault()
+            payload = conn.recv_bytes()
+            break
+        except EOFError:
+            raise
+        except OSError as exc:
+            if not _transient(exc) or attempt == TRANSPORT_RETRIES:
+                raise
+            _retry_pause(attempt)
+    frame = pickle.loads(payload)
     if not isinstance(frame, dict) or frame.get("type") not in FRAME_TYPES:
         raise ValueError(f"malformed frame on the wire: {frame!r}")
     return frame

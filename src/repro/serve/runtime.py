@@ -44,7 +44,46 @@ from repro.sim.scenario import Scenario, build_scenario
 from repro.sim.simulator import Simulator
 from repro.spec import RunSpec
 
-__all__ = ["ServeRuntime", "SlotAggregator", "build_serve_kernels", "serve_run"]
+__all__ = [
+    "ServeRuntime",
+    "SlotAggregator",
+    "build_serve_kernels",
+    "offline_outcome",
+    "serve_run",
+]
+
+#: Zero-cost field values for synthesized offline outcomes.
+_OFFLINE_COSTS = dict(
+    expected_loss=0.0,
+    slot_loss=0.0,
+    latency=0.0,
+    switch_cost=0.0,
+    emissions_kg=0.0,
+    correct=0.0,
+)
+
+
+def offline_outcome(
+    t: int, edge: int, model: int, *, arrivals: int = 0
+) -> EdgeSlotOutcome:
+    """A zero-cost offline outcome for an edge that served nothing at ``t``.
+
+    The shared synthesis used for dead shards, inactive (reconfigured-out)
+    edges, and worker-side offline replay after a restart: ``arrivals`` are
+    counted as dropped-offline so the accounting equation
+    ``in == served + shed + offline`` stays exact.
+    """
+    return EdgeSlotOutcome(
+        t=t,
+        edge=edge,
+        model=int(model),
+        switched=False,
+        offline=True,
+        shed=False,
+        arrivals=int(arrivals),
+        served=0,
+        **_OFFLINE_COSTS,
+    )
 
 
 class _WorkerFailure:

@@ -22,12 +22,38 @@ and is locked against the same golden digests.
 
 Worker death: the parent multiplexes pipe reads and process sentinels in
 one ``multiprocessing.connection.wait`` call, so a crashed worker surfaces
-immediately.  Policy ``"fail"`` raises; ``"degrade"`` marks the dead
-shard's edges offline for every remaining slot (synthesized zero-cost
-outcomes, so ``in == served + shed + offline`` still holds exactly), keeps
-trading every slot on the surviving emissions, and completes the horizon —
-surviving edges' trajectories are untouched because edges only couple
-through the trading loop, which does not feed back into selection.
+immediately.  Policy ``"fail"`` raises (attaching the worker-side traceback
+when one made it over the wire); ``"degrade"`` marks the dead shard's edges
+offline for every remaining slot (synthesized zero-cost outcomes, so
+``in == served + shed + offline`` still holds exactly), keeps trading every
+slot on the surviving emissions, and completes the horizon — surviving
+edges' trajectories are untouched because edges only couple through the
+trading loop, which does not feed back into selection.
+
+Supervised restart (``on_worker_death="restart"``): workers checkpoint
+their shard state every ``restart_state_every`` slots at quiescent
+boundaries (release capping makes the boundary a barrier).  When a worker
+dies, the parent schedules a respawn after a capped exponential backoff;
+the new incarnation restores the last checkpoint, silently re-steps the
+already-folded slots to recover the exact kernel state, reports the
+*missed* slots as offline outcomes with their real arrival counts (so the
+accounting equation — and ``events_in == total_events`` — survive a full
+recovery), and goes live at the release frontier.  Surviving shards are
+bit-identical to an unfaulted run.  ``max_restarts`` exhaustion falls back
+to ``degrade`` for that worker.
+
+Live reconfiguration: a :class:`~repro.serve.reconfig.ReconfigPlan` applies
+``add_edge``/``remove_edge``/``rebalance`` ops at slot barriers — the
+parent caps releases at the barrier, drains the fleet (every worker
+checkpoints and exits), applies the ops, rescales the trading kernel by
+the active-count ratio, repartitions, and respawns.  Inactive edges are
+folded as parent-synthesized offline outcomes; a no-op plan is
+bit-identical to an unreconfigured run.
+
+Deterministic chaos: a :class:`~repro.serve.chaos.ChaosPlan` realizes —
+as a pure function of ``(plan, fleet, horizon, seed)`` — into per-worker
+kill/stall/transport-drop schedules that fire inside the workers at exact
+slot boundaries, which is what the soak harness gates recovery on.
 """
 
 from __future__ import annotations
@@ -43,9 +69,17 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.faults.plan import FaultPlan
-from repro.obs.events import SlotStartEvent, SnapshotEvent
+from repro.obs.events import (
+    ReconfigAppliedEvent,
+    SlotStartEvent,
+    SnapshotEvent,
+    WorkerDeathEvent,
+    WorkerRestartEvent,
+    WorkerSpawnEvent,
+)
 from repro.obs.sinks import JsonlSink
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.chaos import ChaosPlan, WorkerChaos, realize
 from repro.serve.clock import VirtualClock, WallClock, release_target
 from repro.serve.config import ServeConfig
 from repro.serve.frames import (
@@ -54,17 +88,26 @@ from repro.serve.frames import (
     ERROR,
     HEARTBEAT,
     READY,
+    RECONFIG,
     RELEASE,
+    RESTART_STATE,
     SLOT,
     SNAPSHOT_REQUEST,
     STATE,
+    arm_transport_faults,
     drain_frames,
     recv_frame,
     send_frame,
 )
 from repro.serve.http import StatusServer
 from repro.serve.queues import BoundedWorkQueue, WorkItem
-from repro.serve.runtime import ServeRuntime, SlotAggregator, build_serve_kernels
+from repro.serve.reconfig import ReconfigPlan, apply_op
+from repro.serve.runtime import (
+    ServeRuntime,
+    SlotAggregator,
+    build_serve_kernels,
+    offline_outcome,
+)
 from repro.serve.snapshot import load_snapshot, save_snapshot
 from repro.sim.kernel import EdgeSlotOutcome
 from repro.sim.results import SimulationResult
@@ -75,16 +118,6 @@ __all__ = [
     "runtime_from_snapshot",
     "shard_edges",
 ]
-
-#: Zero-cost field values for synthesized offline outcomes of a dead shard.
-_OFFLINE_COSTS = dict(
-    expected_loss=0.0,
-    slot_loss=0.0,
-    latency=0.0,
-    switch_cost=0.0,
-    emissions_kg=0.0,
-    correct=0.0,
-)
 
 
 def shard_edges(num_edges: int, num_workers: int) -> list[tuple[int, ...]]:
@@ -130,7 +163,8 @@ def _worker_main(
     trace_path: str | None,
     resume: dict | None,
     heartbeat_interval: float,
-    die_at_slot: int | None,
+    chaos: WorkerChaos | None,
+    replay_from: int,
 ) -> None:
     """Worker process entry point: run the shard, report, exit cleanly."""
     tracer: Tracer | None = None
@@ -149,7 +183,8 @@ def _worker_main(
                 tracer,
                 resume,
                 heartbeat_interval,
-                die_at_slot,
+                chaos,
+                replay_from,
             )
         )
         try:
@@ -189,7 +224,8 @@ async def _worker_async(
     tracer: Tracer | None,
     resume: dict | None,
     heartbeat_interval: float,
-    die_at_slot: int | None,
+    chaos: WorkerChaos | None,
+    replay_from: int,
 ) -> None:
     """One shard's event loop: feeders + actors + the pipe-facing tasks.
 
@@ -198,6 +234,14 @@ async def _worker_async(
     reads enter through one ``add_reader`` callback feeding ``control``;
     per-slot outcomes funnel through one **reporter** task that batches a
     slot's shard outcomes into a single frame.
+
+    A respawned incarnation runs three phases before going live at
+    ``start``: a silent *catch-up* re-steps each edge from its restored
+    checkpoint up to ``replay_from`` (outcomes discarded — the parent
+    already folded them, and the deterministic kernels reproduce the exact
+    same state); an *offline replay* reports ``[replay_from, start)`` as
+    offline outcomes with the real arrival counts; then the normal live
+    loops take over.
     """
     scenario, adapters, edge_kernels, _ = build_serve_kernels(
         config, tracer=tracer, faults=faults
@@ -205,13 +249,36 @@ async def _worker_async(
     horizon = scenario.horizon
     kernels = {e: edge_kernels[e] for e in edges}
     my_adapters = {e: adapters[e] for e in edges}
+    delay = config.label_delay
+    catchup: dict[int, tuple[int, str]] = {}
     if resume is not None:
-        for e in edges:
-            kernels[e].load_state(resume["edges"][e])
+        for e, state in resume["edges"].items():
+            kernels[e].load_state(state)
             my_adapters[e].load_state(resume["adapters"][e])
+        catchup = dict(resume.get("catchup", {}))
         if tracer is not None:
             for e in edges:
                 kernels[e].policy.bind_tracer(tracer, edge=e)
+
+    # Phase A — silent catch-up: advance each edge from its checkpoint to
+    # the replay point.  ``live`` re-steps already-folded real slots (the
+    # deterministic kernels reproduce the folded outcomes bit-exactly);
+    # ``offline`` covers stretches the parent folded as inactive.
+    for e in edges:
+        as_of, mode = catchup.get(e, (replay_from, "live"))
+        kernel = kernels[e]
+        adapter = my_adapters[e]
+        for t in range(as_of, replay_from):
+            item = adapter.next_item(t)
+            if mode == "live":
+                kernel.step(
+                    item.t, item.count, indices=item.indices, shed=item.shed
+                )
+            else:
+                kernel.step_offline(t, item.count)
+            if delay:
+                kernel.deliver_due(t - delay)
+
     clock = (
         VirtualClock() if config.virtual_clock else WallClock(config.slot_duration)
     )
@@ -235,6 +302,36 @@ async def _worker_async(
 
     loop.add_reader(conn.fileno(), _on_readable)
 
+    # Phase B — offline replay of the slots this worker's predecessor
+    # missed: reported with the real arrival counts (the restored adapters
+    # are deterministic), queued ahead of READY so the parent folds them
+    # in order.
+    for t in range(replay_from, start):
+        outcomes = []
+        for e in edges:
+            item = my_adapters[e].next_item(t)
+            outcomes.append(kernels[e].step_offline(t, item.count))
+            if delay:
+                kernels[e].deliver_due(t - delay)
+        await outbox.put(
+            {
+                "type": SLOT,
+                "worker": index,
+                "t": t,
+                "outcomes": outcomes,
+                "queue_s": [],
+                "serve_s": [],
+            }
+        )
+
+    def _state_frame() -> dict:
+        return {
+            "type": STATE,
+            "worker": index,
+            "edges": {e: kernels[e].state_dict() for e in edges},
+            "adapters": {e: my_adapters[e].state_dict() for e in edges},
+        }
+
     async def _fail(exc: Exception) -> None:
         await outbox.put(
             {
@@ -255,16 +352,13 @@ async def _worker_async(
             elif kind == SNAPSHOT_REQUEST:
                 # Only requested at quiescent boundaries (release capping),
                 # so kernel/adapter state is settled for every shard edge.
-                await outbox.put(
-                    {
-                        "type": STATE,
-                        "worker": index,
-                        "edges": {e: kernels[e].state_dict() for e in edges},
-                        "adapters": {
-                            e: my_adapters[e].state_dict() for e in edges
-                        },
-                    }
-                )
+                await outbox.put(_state_frame())
+            elif kind == RECONFIG:
+                # Reconfig barrier: checkpoint at the (quiescent) barrier
+                # and exit; the parent respawns the reshaped fleet.
+                await outbox.put(_state_frame())
+                shutdown.set()
+                return
             elif kind == DRAIN:
                 shutdown.set()
                 return
@@ -272,7 +366,7 @@ async def _worker_async(
     async def _sender() -> None:
         while True:
             frame = await outbox.get()
-            send_frame(conn, frame)
+            send_frame(conn, frame)  # noqa: RPL012 - bounded retry backoff
             outbox.task_done()
 
     async def _heartbeat() -> None:
@@ -317,7 +411,6 @@ async def _worker_async(
     async def _actor(edge: int) -> None:
         kernel = kernels[edge]
         queue = queues[edge]
-        delay = config.label_delay
         stamps = enqueue_ts[edge]
         try:
             for t in range(start, stop):
@@ -341,28 +434,61 @@ async def _worker_async(
     async def _reporter() -> None:
         remaining = (stop - start) * len(edges)
         pending: dict[int, list[tuple[EdgeSlotOutcome, float, float]]] = {}
+        restart_every = (
+            config.restart_state_every
+            if config.on_worker_death == "restart"
+            else 0
+        )
+        kill_slots = frozenset(chaos.kills) if chaos is not None else frozenset()
+        stall_slots = dict(chaos.stalls) if chaos is not None else {}
+        drop_slots = dict(chaos.drops) if chaos is not None else {}
         while remaining:
             outcome, queue_s, serve_s = await reports.get()
             remaining -= 1
             bucket = pending.setdefault(outcome.t, [])
             bucket.append((outcome, queue_s, serve_s))
-            if len(bucket) == len(edges):
-                del pending[outcome.t]
-                bucket.sort(key=lambda row: row[0].edge)
-                if die_at_slot is not None and outcome.t >= die_at_slot:
-                    # Test-only chaos hook: abrupt, SIGKILL-like death with
-                    # this slot unreported — the parent sees a raw EOF.
-                    os._exit(1)
-                await outbox.put(
-                    {
-                        "type": SLOT,
-                        "worker": index,
-                        "t": outcome.t,
-                        "outcomes": [row[0] for row in bucket],
-                        "queue_s": [row[1] for row in bucket],
-                        "serve_s": [row[2] for row in bucket],
-                    }
-                )
+            if len(bucket) != len(edges):
+                continue
+            t = outcome.t
+            del pending[t]
+            bucket.sort(key=lambda row: row[0].edge)
+            # Captured before anything hits the wire: releases are capped
+            # at the checkpoint boundary, so every shard kernel is
+            # quiescent at state t+1, and a chaos kill below can never
+            # orphan a checkpoint whose slot was not reported.
+            state_frame = None
+            if restart_every and (t + 1) % restart_every == 0 and t + 1 < stop:
+                state_frame = {
+                    "type": RESTART_STATE,
+                    "worker": index,
+                    "next_slot": t + 1,
+                    "edges": {e: kernels[e].state_dict() for e in edges},
+                    "adapters": {e: my_adapters[e].state_dict() for e in edges},
+                }
+            drop = drop_slots.get(t)
+            if drop:
+                arm_transport_faults(drop)
+            stall = stall_slots.get(t)
+            if stall:
+                # Chaos: a deliberately hung worker — heartbeats stop too,
+                # which is the point.
+                time.sleep(stall)  # noqa: RPL012 - chaos stall by design
+            if t in kill_slots:
+                # Abrupt, SIGKILL-like death with this slot unreported —
+                # the parent sees a raw EOF and the process sentinel.
+                os._exit(1)
+            await outbox.put(
+                {
+                    "type": SLOT,
+                    "worker": index,
+                    "t": t,
+                    "outcomes": [row[0] for row in bucket],
+                    "queue_s": [row[1] for row in bucket],
+                    "serve_s": [row[2] for row in bucket],
+                }
+            )
+            if state_frame is not None:
+                await outbox.put(state_frame)
 
     tasks = [
         asyncio.create_task(_control(), name=f"shard{index}-control"),
@@ -416,17 +542,24 @@ async def _worker_async(
 
 @dataclass
 class _Shard:
-    """The parent's book-keeping for one worker process."""
+    """The parent's book-keeping for one worker process incarnation."""
 
     index: int
     edges: tuple[int, ...]
     process: object
     conn: object
+    generation: int = 0
+    live_from: int = 0
     ready: bool = False
     running: bool = True
     eof: bool = False
     byed: bool = False
     failed: bool = False
+    errored: bool = False
+    error: str = ""
+    restarting: bool = False
+    restarted: bool = False
+    recovered: bool = False
     last_slot: int = -1
     last_frame: float = field(default_factory=time.monotonic)
 
@@ -479,9 +612,16 @@ class ShardRuntime:
     ``on_stage_sample(stage, seconds)``, when given, receives every
     per-stage latency sample — ``queue`` (enqueue to dequeue, measured in
     the worker), ``serve`` (kernel step, worker), ``trade`` (parent fold +
-    trading step), and ``slot`` (release to fold, end-to-end) — which is
-    how the soak harness feeds its quantile sketches without this module
-    depending on it.
+    trading step), ``slot`` (release to fold, end-to-end), and
+    ``recovery`` (worker death to its first live outcome after a
+    supervised restart) — which is how the soak harness feeds its quantile
+    sketches without this module depending on it.
+
+    ``chaos`` takes a :class:`~repro.serve.chaos.ChaosPlan` realized
+    deterministically against the fleet at construction; ``reconfig``
+    takes a :class:`~repro.serve.reconfig.ReconfigPlan` applied at slot
+    barriers (incompatible with periodic snapshots — a barrier changes the
+    fleet shape mid-file).
     """
 
     def __init__(
@@ -495,7 +635,8 @@ class ShardRuntime:
         stall_timeout: float = 120.0,
         start_timeout: float = 120.0,
         on_stage_sample: Callable[[str, float], None] | None = None,
-        _worker_chaos: dict[int, int] | None = None,
+        chaos: ChaosPlan | None = None,
+        reconfig: ReconfigPlan | None = None,
     ) -> None:
         self.config = config
         self.label = config.effective_label
@@ -510,7 +651,30 @@ class ShardRuntime:
         )
         self.horizon = self.scenario.horizon
         self.num_edges = self.scenario.num_edges
-        self.shards = shard_edges(self.num_edges, config.num_workers)
+        self._reconfig = (
+            reconfig if reconfig is not None and not reconfig.is_empty else None
+        )
+        self._active: tuple[int, ...] = tuple(range(self.num_edges))
+        self._num_workers = config.num_workers
+        if self._reconfig is not None:
+            if config.snapshot_every:
+                raise ValueError(
+                    "reconfiguration and periodic snapshots cannot be "
+                    "combined: a reconfig barrier changes the fleet shape "
+                    "mid-file"
+                )
+            for op in self._reconfig.ops:
+                if op.at >= self.horizon:
+                    raise ValueError(
+                        f"reconfig op at slot {op.at} is outside the "
+                        f"horizon of {self.horizon}"
+                    )
+            self._active, self._num_workers = self._reconfig.fleet_at(
+                capacity=self.num_edges,
+                num_workers=config.num_workers,
+                upto_slot=0,
+            )
+        self.shards = self._partition(self._active, self._num_workers)
         if shard_trace_paths is not None and len(shard_trace_paths) != len(
             self.shards
         ):
@@ -525,11 +689,15 @@ class ShardRuntime:
         self._stall_timeout = stall_timeout
         self._start_timeout = start_timeout
         self._on_stage_sample = on_stage_sample
-        self._chaos = dict(_worker_chaos) if _worker_chaos else {}
+        self._chaos = realize(
+            chaos,
+            num_workers=len(self.shards),
+            horizon=self.horizon,
+            seed=config.seed,
+        )
         self.aggregator = SlotAggregator(self.scenario, self.trading_kernel)
         self.completed_slot = -1
         self._edge_state_slot = 0  # slot the (fresh/restored) edge state is at
-        self._resume: dict[str, list] | None = None
         self._handles: list[_Shard] = []
         self._owner: dict[int, _Shard] = {}
         self._pending: dict[int, dict[int, EdgeSlotOutcome]] = {}
@@ -538,6 +706,18 @@ class ShardRuntime:
         self._released = -1
         self._stop_slot = self.horizon
         self._state_frames: dict[int, dict] = {}
+        self._barriers: list[int] = []
+        # Last-good per-edge state: edge -> (kernel, adapter, as_of, mode).
+        # ``mode`` records how the stretch since ``as_of`` was folded
+        # ("live" = real outcomes, "offline" = parent-synthesized), which
+        # tells a respawned worker how to catch its kernels up.
+        self._edge_payloads: dict[int, tuple] = {}
+        self._restart_due: dict[int, float] = {}
+        self._restart_backoff: dict[int, float] = {}
+        self._restarts_used: dict[int, int] = {}
+        self._death_ts: dict[int, float] = {}
+        self._spawn_counts: dict[int, int] = {}
+        self._reconfiguring = False
         self.status_thread: _StatusThread | None = None
         tracer_obj = self.tracer
         self._events_in = tracer_obj.counter("serve/events_in")
@@ -550,6 +730,16 @@ class ShardRuntime:
         self._snapshots_taken = tracer_obj.counter("serve/snapshots")
         self._heartbeats = tracer_obj.counter("serve/heartbeats")
         self._shard_deaths = tracer_obj.counter("serve/shard_deaths")
+        self._restarts = tracer_obj.counter("serve/restarts")
+        self._reconfigs = tracer_obj.counter("serve/reconfigs")
+
+    @staticmethod
+    def _partition(active: Sequence[int], num_workers: int) -> list[tuple[int, ...]]:
+        """Contiguous near-even shards over the *active* edge ids."""
+        return [
+            tuple(active[i] for i in part)
+            for part in shard_edges(len(active), num_workers)
+        ]
 
     # -- construction / restore -------------------------------------------
 
@@ -597,10 +787,13 @@ class ShardRuntime:
         # Per-edge kernel/adapter states are handed to the workers, which
         # rebuild and then restore their own shard (one pickle payload per
         # worker keeps kernel/adapter shared-object identity intact).
-        self._resume = {
-            "edges": list(state["edges"]),
-            "adapters": list(state["adapters"]),
-        }
+        for e in range(self.num_edges):
+            self._edge_payloads[e] = (
+                state["edges"][e],
+                state["adapters"][e],
+                next_slot,
+                "live",
+            )
         if next_slot > 0:
             selections = state["arrays"]["selections"]
             for e in range(self.num_edges):
@@ -612,7 +805,12 @@ class ShardRuntime:
         """Liveness payload for ``GET /healthz`` (adds shard status)."""
         done = self.completed_slot >= self.horizon - 1
         degraded = any(h.failed for h in self._handles)
-        status = "done" if done else ("degraded" if degraded else "serving")
+        healing = bool(self._restart_due) or any(
+            h.restarting for h in self._handles
+        )
+        status = "done" if done else (
+            "degraded" if degraded else ("healing" if healing else "serving")
+        )
         return {
             "status": status,
             "label": self.label,
@@ -620,6 +818,7 @@ class ShardRuntime:
             "released_slot": self._released,
             "horizon": self.horizon,
             "num_edges": self.num_edges,
+            "active_edges": len(self._active),
             "num_workers": len(self.shards),
             "shards": [
                 {
@@ -627,6 +826,8 @@ class ShardRuntime:
                     "edges": list(h.edges),
                     "alive": h.running,
                     "failed": h.failed,
+                    "restarting": h.restarting,
+                    "generation": h.generation,
                     "last_slot": h.last_slot,
                 }
                 for h in self._handles
@@ -671,9 +872,36 @@ class ShardRuntime:
                 f"would start at {start}; sharded runs continue from their "
                 "snapshot file (ShardRuntime.from_snapshot)"
             )
+        if self._reconfig is not None:
+            self._active, self._num_workers = self._reconfig.fleet_at(
+                capacity=self.num_edges,
+                num_workers=self.config.num_workers,
+                upto_slot=start,
+            )
+            self.shards = self._partition(self._active, self._num_workers)
+            self._barriers = [
+                b for b in self._reconfig.barriers() if start < b < stop
+            ]
+            for e in range(self.num_edges):
+                if e in self._active:
+                    continue
+                payload = self._edge_payloads.get(e)
+                if payload is None:
+                    self._edge_payloads[e] = (None, None, start, "offline")
+                else:
+                    self._edge_payloads[e] = (*payload[:3], "offline")
+            if len(self._active) != self.num_edges:
+                self.trading_kernel.rescale_fleet(
+                    len(self._active) / self.num_edges
+                )
         self._stop_slot = stop
         self._released = start - 1
-        handles = self._spawn(start, stop)
+        handles = [
+            self._spawn_worker(
+                w, edges, start=start, stop=stop, replay_from=start, generation=0
+            )
+            for w, edges in enumerate(self.shards)
+        ]
         self._handles = handles
         self._owner = {e: h for h in handles for e in h.edges}
         if self.config.health_port is not None:
@@ -685,19 +913,14 @@ class ShardRuntime:
             self.status_thread.wait_started()
         try:
             self._await_ready(handles)
-            self._release_through(release_target(
-                start - 1,
-                horizon=self.horizon,
-                lockstep=self.config.virtual_clock,
-                pipeline_depth=self.config.pipeline_depth,
-                snapshot_every=self.config.snapshot_every,
-            ))
+            self._release_through(self._release_target_for(start - 1))
             while self.completed_slot < stop - 1:
-                self._poll(handles, timeout=0.2)
+                self._poll(self._handles, timeout=0.2)
+                self._service_restarts()
                 self._fold_ready()
-                self._check_stalls(handles)
+                self._check_stalls(self._handles)
         finally:
-            self._shutdown(handles)
+            self._shutdown(self._handles)
             if self.status_thread is not None:
                 self.status_thread.stop()
         # A partial run's edge state exited with the workers; only a
@@ -707,46 +930,91 @@ class ShardRuntime:
 
     # -- process management ------------------------------------------------
 
-    def _spawn(self, start: int, stop: int) -> list[_Shard]:
+    def _spawn_worker(
+        self,
+        w: int,
+        edges: Sequence[int],
+        *,
+        start: int,
+        stop: int,
+        replay_from: int,
+        generation: int,
+    ) -> _Shard:
+        """Start one worker process and return its bookkeeping handle."""
         ctx = _mp_context()
-        handles: list[_Shard] = []
-        for w, edges in enumerate(self.shards):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            resume = None
-            if self._resume is not None:
-                resume = {
-                    "edges": {e: self._resume["edges"][e] for e in edges},
-                    "adapters": {e: self._resume["adapters"][e] for e in edges},
-                }
-            trace_path = (
-                self._shard_trace_paths[w] if self._shard_trace_paths else None
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        resume = self._resume_payload(edges, replay_from)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                w,
+                child_conn,
+                self.config,
+                list(edges),
+                start,
+                stop,
+                self._faults,
+                self._trace_path_for(w),
+                resume,
+                self._heartbeat_interval,
+                self._chaos.get(w),
+                replay_from,
+            ),
+            daemon=True,
+            name=f"repro-shard-{w}",
+        )
+        process.start()
+        # Close the child's end in the parent so a dead worker turns
+        # into EOF here instead of a silent hang.
+        child_conn.close()
+        handle = _Shard(
+            index=w,
+            edges=tuple(edges),
+            process=process,
+            conn=parent_conn,
+            generation=generation,
+            live_from=start,
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                WorkerSpawnEvent(
+                    t=start, worker=w, num_edges=len(edges), generation=generation
+                )
             )
-            process = ctx.Process(
-                target=_worker_main,
-                args=(
-                    w,
-                    child_conn,
-                    self.config,
-                    list(edges),
-                    start,
-                    stop,
-                    self._faults,
-                    trace_path,
-                    resume,
-                    self._heartbeat_interval,
-                    self._chaos.get(w),
-                ),
-                daemon=True,
-                name=f"repro-shard-{w}",
-            )
-            process.start()
-            # Close the child's end in the parent so a dead worker turns
-            # into EOF here instead of a silent hang.
-            child_conn.close()
-            handles.append(
-                _Shard(index=w, edges=edges, process=process, conn=parent_conn)
-            )
-        return handles
+        return handle
+
+    def _trace_path_for(self, w: int) -> str | None:
+        """The worker's JSONL trace target; respawns get a fresh suffix.
+
+        :class:`~repro.obs.sinks.JsonlSink` truncates on open, so a
+        respawned incarnation must not reuse its predecessor's file.
+        """
+        if self._shard_trace_paths is None or w >= len(self._shard_trace_paths):
+            return None
+        count = self._spawn_counts.get(w, 0)
+        self._spawn_counts[w] = count + 1
+        base = self._shard_trace_paths[w]
+        return base if count == 0 else f"{base}.respawn{count}"
+
+    def _resume_payload(
+        self, edges: Sequence[int], replay_from: int
+    ) -> dict | None:
+        """The pickled state a (re)spawned worker restores and catches up from."""
+        entries = {e: self._edge_payloads.get(e) for e in edges}
+        if all(p is None for p in entries.values()) and replay_from == 0:
+            return None
+        resume: dict = {"edges": {}, "adapters": {}, "catchup": {}}
+        for e, payload in entries.items():
+            if payload is None:
+                # Never checkpointed: fresh kernels, re-step from slot 0.
+                resume["catchup"][e] = (0, "live")
+                continue
+            kernel_state, adapter_state, as_of, mode = payload
+            if kernel_state is not None:
+                resume["edges"][e] = kernel_state
+                resume["adapters"][e] = adapter_state
+            resume["catchup"][e] = (as_of, mode)
+        return resume
 
     def _await_ready(self, handles: list[_Shard]) -> None:
         deadline = time.monotonic() + self._start_timeout
@@ -790,6 +1058,16 @@ class ShardRuntime:
                 bucket[outcome.edge] = outcome
                 self._last_models[outcome.edge] = outcome.model
             handle.last_slot = max(handle.last_slot, t)
+            if (
+                handle.restarted
+                and not handle.recovered
+                and t >= handle.live_from
+            ):
+                handle.recovered = True
+                died = self._death_ts.pop(handle.index, None)
+                observe = self._on_stage_sample
+                if died is not None and observe is not None:
+                    observe("recovery", time.monotonic() - died)
             observe = self._on_stage_sample
             if observe is not None:
                 for value in frame["queue_s"]:
@@ -802,35 +1080,147 @@ class ShardRuntime:
             self._heartbeats.increment()
         elif kind == STATE:
             self._state_frames[handle.index] = frame
+        elif kind == RESTART_STATE:
+            as_of = int(frame["next_slot"])
+            for e, kernel_state in frame["edges"].items():
+                self._edge_payloads[e] = (
+                    kernel_state,
+                    frame["adapters"][e],
+                    as_of,
+                    "live",
+                )
         elif kind == BYE:
             handle.byed = True
         elif kind == ERROR:
-            trail = frame.get("traceback", "")
-            raise RuntimeError(
-                f"shard worker {handle.index} failed: {frame['message']}\n{trail}"
-            )
+            handle.error = str(frame["message"])
+            handle.errored = True
+            if self.config.on_worker_death == "fail":
+                trail = frame.get("traceback", "")
+                raise RuntimeError(
+                    f"shard worker {handle.index} failed: "
+                    f"{frame['message']}\n{trail}"
+                )
 
     def _handle_exit(self, handle: _Shard) -> None:
         if not handle.running:
             return
         handle.running = False
         handle.eof = True
-        clean = handle.byed or handle.last_slot >= self._stop_slot - 1
+        finished = handle.last_slot >= self._stop_slot - 1
+        clean = finished or (handle.byed and not handle.errored)
         if clean:
             return
-        self._mark_failed(handle)
+        self._on_death(handle)
 
-    def _mark_failed(self, handle: _Shard) -> None:
-        if handle.failed:
-            return
-        handle.failed = True
+    def _on_death(self, handle: _Shard) -> None:
+        """Route a worker death through the configured policy."""
         self._shard_deaths.increment()
-        if self.config.on_worker_death == "fail":
+        policy = self.config.on_worker_death
+        if self.tracer.enabled:
+            self.tracer.emit(
+                WorkerDeathEvent(
+                    t=self.completed_slot + 1,
+                    worker=handle.index,
+                    policy=policy,
+                    message=handle.error,
+                )
+            )
+        if policy == "fail":
+            detail = f": {handle.error}" if handle.error else ""
             raise RuntimeError(
                 f"shard worker {handle.index} (edges {list(handle.edges)}) "
-                f"died at slot {self.completed_slot + 1}; set "
-                "on_worker_death='degrade' to complete without it"
+                f"died at slot {self.completed_slot + 1}{detail}; set "
+                "on_worker_death='degrade' or 'restart' to complete without it"
             )
+        if self._reconfiguring:
+            # The barrier respawn below supersedes any healing: the dead
+            # worker's edges fall back to their last checkpoint and catch
+            # up over the already-folded slots.
+            return
+        if policy == "restart":
+            used = self._restarts_used.get(handle.index, 0)
+            if used < self.config.max_restarts:
+                backoff = min(
+                    self.config.restart_backoff_s * (2.0**used),
+                    self.config.restart_backoff_max_s,
+                )
+                handle.restarting = True
+                now = time.monotonic()
+                self._death_ts[handle.index] = now
+                self._restart_due[handle.index] = now + backoff
+                self._restart_backoff[handle.index] = backoff
+                return
+        # Degrade (or a restart budget exhausted): synthesized offline
+        # outcomes stand in for this shard for every remaining slot.
+        handle.failed = True
+
+    def _service_restarts(self) -> None:
+        """Respawn every worker whose backoff ticket has come due."""
+        if not self._restart_due:
+            return
+        now = time.monotonic()
+        for w in [w for w, due in self._restart_due.items() if due <= now]:
+            del self._restart_due[w]
+            self._respawn(w)
+
+    def _respawn(self, w: int) -> None:
+        """Respawn worker ``w`` from its last-good state at the frontier.
+
+        The new incarnation replays ``[replay_from, released + 1)`` as
+        offline outcomes — every earlier slot of this shard either was
+        already folded or sits in ``_pending`` from the dead incarnation's
+        reported frames (pipe FIFO guarantees anything before the last
+        checkpoint made it over) — and goes live right after the current
+        release frontier, so the fold never double-counts a slot.
+        """
+        old = self._handles[w]
+        used = self._restarts_used.get(w, 0) + 1
+        self._restarts_used[w] = used
+        backoff = self._restart_backoff.pop(w, 0.0)
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        as_of = [
+            payload[2]
+            for payload in (self._edge_payloads.get(e) for e in old.edges)
+            if payload is not None
+        ]
+        replay_from = max([self.completed_slot + 1, *as_of])
+        start = self._released + 1
+        handle = self._spawn_worker(
+            w,
+            old.edges,
+            start=start,
+            stop=self._stop_slot,
+            replay_from=replay_from,
+            generation=old.generation + 1,
+        )
+        handle.restarted = True
+        self._handles[w] = handle
+        for e in old.edges:
+            self._owner[e] = handle
+        self._restarts.increment()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                WorkerRestartEvent(
+                    t=start,
+                    worker=w,
+                    replay_from=replay_from,
+                    attempt=used,
+                    backoff_s=backoff,
+                )
+            )
+        # Hand the new incarnation the current release frontier: the
+        # parent only broadcasts releases when the target advances, which
+        # it might never do again near the end of the horizon.
+        if self._released >= 0:
+            try:
+                send_frame(
+                    handle.conn, {"type": RELEASE, "upto": self._released}
+                )
+            except (BrokenPipeError, OSError):
+                pass  # an immediate death will surface via the sentinel
 
     def _check_stalls(self, handles: list[_Shard]) -> None:
         now = time.monotonic()
@@ -839,8 +1229,9 @@ class ShardRuntime:
                 continue
             if now - handle.last_frame > self._stall_timeout:
                 handle.running = False
+                handle.eof = True
                 handle.process.terminate()
-                self._mark_failed(handle)
+                self._on_death(handle)
 
     def _shutdown(self, handles: list[_Shard]) -> None:
         for handle in handles:
@@ -849,6 +1240,9 @@ class ShardRuntime:
                     send_frame(handle.conn, {"type": DRAIN})
                 except (BrokenPipeError, OSError):
                     pass
+        self._join_all(handles)
+
+    def _join_all(self, handles: list[_Shard]) -> None:
         deadline = time.monotonic() + 10.0
         for handle in handles:
             handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
@@ -861,7 +1255,130 @@ class ShardRuntime:
             except OSError:
                 pass
 
+    # -- live reconfiguration ----------------------------------------------
+
+    def _apply_reconfig(self, barrier: int) -> None:
+        """Drain, reshape, and respawn the fleet at a quiescent barrier.
+
+        Every slot below ``barrier`` is folded and releases were capped at
+        ``barrier - 1``, so each worker's kernels are settled at state
+        ``barrier``: the drain checkpoint is exact, and a worker that dies
+        mid-drain falls back to its last restart checkpoint (the slots in
+        between were folded from real outcomes, which the deterministic
+        catch-up re-steps bit-exactly).
+        """
+        assert self._reconfig is not None
+        handles = self._handles
+        # The full respawn below supersedes any pending restart tickets.
+        self._restart_due.clear()
+        self._restart_backoff.clear()
+        self._death_ts.clear()
+        self._state_frames = {}
+        self._reconfiguring = True
+        try:
+            for handle in handles:
+                if handle.running:
+                    try:
+                        send_frame(
+                            handle.conn, {"type": RECONFIG, "barrier": barrier}
+                        )
+                    except (BrokenPipeError, OSError):
+                        pass
+            deadline = time.monotonic() + self._stall_timeout
+            while any(
+                h.running and h.index not in self._state_frames for h in handles
+            ):
+                if time.monotonic() > deadline:
+                    missing = [
+                        h.index
+                        for h in handles
+                        if h.running and h.index not in self._state_frames
+                    ]
+                    raise RuntimeError(
+                        f"timed out draining shard workers {missing} at "
+                        f"reconfig barrier {barrier}"
+                    )
+                self._poll(handles, timeout=0.1)
+            self._join_all(handles)
+        finally:
+            self._reconfiguring = False
+        for frame in self._state_frames.values():
+            for e, kernel_state in frame["edges"].items():
+                self._edge_payloads[e] = (
+                    kernel_state,
+                    frame["adapters"][e],
+                    barrier,
+                    "live",
+                )
+        self._state_frames = {}
+        active = set(self._active)
+        workers = self._num_workers
+        old_count = len(active)
+        for op in self._reconfig.ops_at(barrier):
+            active, workers = apply_op(op, active, workers, self.num_edges)
+            self._reconfigs.increment()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ReconfigAppliedEvent(
+                        t=barrier,
+                        op=op.kind,
+                        edge=getattr(op, "edge", -1),
+                        active_edges=len(active),
+                        num_workers=workers,
+                    )
+                )
+        self._active = tuple(sorted(active))
+        self._num_workers = workers
+        for e in range(self.num_edges):
+            if e in active:
+                continue
+            payload = self._edge_payloads.get(e)
+            if payload is None:
+                self._edge_payloads[e] = (None, None, barrier, "offline")
+            else:
+                self._edge_payloads[e] = (*payload[:3], "offline")
+        if len(active) != old_count:
+            # Deterministic dual-state and trade-bound rescale; a factor
+            # of 1.0 short-circuits, keeping no-op plans bit-exact.
+            self.trading_kernel.rescale_fleet(len(active) / old_count)
+        self.shards = self._partition(self._active, workers)
+        new_handles = [
+            self._spawn_worker(
+                w,
+                edges,
+                start=barrier,
+                stop=self._stop_slot,
+                replay_from=barrier,
+                generation=0,
+            )
+            for w, edges in enumerate(self.shards)
+        ]
+        self._handles[:] = new_handles
+        self._owner = {e: h for h in new_handles for e in h.edges}
+        self._await_ready(new_handles)
+
     # -- the slot fold -----------------------------------------------------
+
+    def _next_barrier(self, completed: int) -> int | None:
+        for b in self._barriers:
+            if b > completed:
+                return b
+        return None
+
+    def _release_target_for(self, completed: int) -> int:
+        return release_target(
+            completed,
+            horizon=self.horizon,
+            lockstep=self.config.virtual_clock,
+            pipeline_depth=self.config.pipeline_depth,
+            snapshot_every=self.config.snapshot_every,
+            restart_state_every=(
+                self.config.restart_state_every
+                if self.config.on_worker_death == "restart"
+                else 0
+            ),
+            barrier=self._next_barrier(completed),
+        )
 
     def _release_through(self, target: int) -> None:
         if target <= self._released:
@@ -882,17 +1399,7 @@ class ShardRuntime:
         self._released = target
 
     def _synthesize_offline(self, t: int, edge: int) -> EdgeSlotOutcome:
-        return EdgeSlotOutcome(
-            t=t,
-            edge=edge,
-            model=self._last_models.get(edge, -1),
-            switched=False,
-            offline=True,
-            shed=False,
-            arrivals=0,
-            served=0,
-            **_OFFLINE_COSTS,
-        )
+        return offline_outcome(t, edge, self._last_models.get(edge, -1))
 
     def _count(self, outcome: EdgeSlotOutcome) -> None:
         self._events_in.increment(outcome.arrivals)
@@ -905,9 +1412,16 @@ class ShardRuntime:
 
     def _slot_complete(self, t: int) -> bool:
         bucket = self._pending.get(t, {})
-        return all(
-            e in bucket or self._owner[e].failed for e in range(self.num_edges)
-        )
+        for e in range(self.num_edges):
+            if e in bucket:
+                continue
+            owner = self._owner.get(e)
+            if owner is None or owner.failed:
+                continue  # inactive or degraded edge: the parent synthesizes
+            # A live (or restarting — its replacement will replay) owner
+            # still owes this slot.
+            return False
+        return True
 
     def _fold_ready(self) -> None:
         """Fold every slot whose outcomes (or death synthesis) are complete."""
@@ -939,22 +1453,24 @@ class ShardRuntime:
             every = self.config.snapshot_every
             if every and (t + 1) % every == 0 and t + 1 < self.horizon:
                 self._take_snapshot(t)
-            self._release_through(release_target(
-                t,
-                horizon=self.horizon,
-                lockstep=self.config.virtual_clock,
-                pipeline_depth=self.config.pipeline_depth,
-                snapshot_every=every,
-            ))
+            if self._barriers and self._barriers[0] == t + 1:
+                self._apply_reconfig(self._barriers.pop(0))
+            self._release_through(self._release_target_for(t))
 
     def _take_snapshot(self, t: int) -> None:
         """Gather worker states at the quiescent boundary, persist one file.
 
         Degraded runs are not resumable — once any shard is dead, snapshots
-        are skipped (the run still completes under ``degrade``).
+        are skipped (the run still completes under ``degrade``).  Boundaries
+        that race a pending or in-flight restart are skipped too: a
+        replaying incarnation's kernels are not at the boundary state.
         """
-        if any(h.failed for h in self._handles):
+        if self._restart_due or any(
+            h.failed or h.restarting for h in self._handles
+        ):
             return
+        if any(h.live_from > t + 1 for h in self._handles):
+            return  # a respawned worker is still past-due; skip this boundary
         self._state_frames = {}
         live = [h for h in self._handles if h.running]
         for handle in live:
@@ -969,7 +1485,7 @@ class ShardRuntime:
             ]
             if not waiting:
                 break
-            if any(h.failed for h in self._handles):
+            if any(h.failed or h.restarting for h in self._handles):
                 return  # a death raced the snapshot; skip persisting
             if time.monotonic() > deadline:
                 raise RuntimeError(
@@ -1021,8 +1537,15 @@ def make_runtime(
     faults: FaultPlan | None = None,
     **shard_kwargs,
 ) -> ServeRuntime | ShardRuntime:
-    """The runtime matching ``config.num_workers`` (1 = in-process)."""
-    if config.num_workers > 1:
+    """The runtime matching ``config.num_workers`` (1 = in-process).
+
+    Chaos and reconfig plans are shard-runtime features: passing either
+    forces the sharded supervisor even for a single worker.
+    """
+    sharded = config.num_workers > 1 or any(
+        shard_kwargs.get(key) is not None for key in ("chaos", "reconfig")
+    )
+    if sharded:
         return ShardRuntime(config, tracer=tracer, faults=faults, **shard_kwargs)
     return ServeRuntime(config, tracer=tracer, faults=faults)
 
@@ -1037,7 +1560,10 @@ def runtime_from_snapshot(
     """Resume whichever runtime class the snapshot's config asks for."""
     state = load_snapshot(path)
     config = ServeConfig.from_dict(state["config"])
-    if config.num_workers > 1:
+    sharded = config.num_workers > 1 or any(
+        shard_kwargs.get(key) is not None for key in ("chaos", "reconfig")
+    )
+    if sharded:
         return ShardRuntime.from_snapshot(
             path, tracer=tracer, faults=faults, **shard_kwargs
         )

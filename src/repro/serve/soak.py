@@ -10,7 +10,13 @@ shape:
   (release to fold, end-to-end);
 * throughput (served events per wall second);
 * the accounting equation ``in == served + shed + offline``, checked
-  *exactly* — a soak that leaks or double-counts events fails its run.
+  *exactly* — a soak that leaks or double-counts events fails its run;
+* under ``--chaos`` (a :class:`~repro.serve.chaos.ChaosPlan`), the
+  self-healing gate: injected worker kills must be healed by supervised
+  restarts (``on_worker_death`` defaults to ``"restart"`` when chaos is
+  given), every arrival must still be accounted for, and the
+  death-to-serving recovery latency is tracked as its own ``recovery``
+  stage (p50/p95/p99 in the report).
 
 Reports are schema-versioned JSON (``SOAK_FORMAT_VERSION``) and project
 onto :class:`~repro.bench.report.BenchReport` via
@@ -29,8 +35,10 @@ from dataclasses import dataclass, field
 
 from repro.bench.report import BenchReport, BenchResult, machine_fingerprint
 from repro.obs.tracer import Tracer
+from repro.serve.chaos import ChaosPlan
 from repro.serve.config import ServeConfig
 from repro.serve.load import SHAPE_NAMES
+from repro.serve.reconfig import ReconfigPlan
 from repro.serve.shard import ShardRuntime
 from repro.sim.config import ScenarioConfig
 
@@ -44,10 +52,16 @@ __all__ = [
 ]
 
 #: Format tag written into serialized soak reports; bump on breaking changes.
-SOAK_FORMAT_VERSION = 1
+#: v2 added the self-healing fields (worker_deaths/restarts/reconfigs/
+#: degraded_workers/recovery_ok) and the ``recovery`` latency stage.
+SOAK_FORMAT_VERSION = 2
 
-#: Latency stages a soak run tracks, in pipeline order.
+#: Latency stages a soak run always tracks, in pipeline order.
 STAGES = ("queue", "serve", "trade", "slot")
+
+#: Extra stage tracked under a restart policy: worker death to its first
+#: live outcome after a supervised respawn.
+RECOVERY_STAGE = "recovery"
 
 #: Quantiles every stage sketch tracks.
 QUANTILES = (0.5, 0.95, 0.99)
@@ -191,6 +205,11 @@ class SoakReport:
     accounting_ok: bool
     throughput_eps: float
     stages: dict[str, dict[str, float]] = field(default_factory=dict)
+    worker_deaths: int = 0
+    restarts: int = 0
+    reconfigs: int = 0
+    degraded_workers: int = 0
+    recovery_ok: bool = True
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -209,6 +228,11 @@ class SoakReport:
             "accounting_ok": self.accounting_ok,
             "throughput_eps": self.throughput_eps,
             "stages": {name: dict(stats) for name, stats in self.stages.items()},
+            "worker_deaths": self.worker_deaths,
+            "restarts": self.restarts,
+            "reconfigs": self.reconfigs,
+            "degraded_workers": self.degraded_workers,
+            "recovery_ok": self.recovery_ok,
         }
 
     @classmethod
@@ -287,13 +311,25 @@ def run_soak(
     num_models: int = 4,
     n_test: int = 200,
     queue_capacity: int = 4096,
+    chaos: ChaosPlan | None = None,
+    reconfig: ReconfigPlan | None = None,
+    on_worker_death: str | None = None,
 ) -> SoakReport:
     """Soak one load shape through a sharded wall-clock run.
 
     Wall clock with shedding backpressure — the production-shaped
     configuration — and ``slot_duration=0`` free-running by default so CI
     smokes are bounded by compute, not by sleeping.
+
+    A ``chaos`` plan flips the death policy to ``"restart"`` (unless
+    ``on_worker_death`` overrides it) so the soak exercises the
+    self-healing path, and the report gains recovery-latency quantiles
+    plus the healing tallies.  ``accounting_ok`` stays the exact equation;
+    the ``events_in == total_events`` leg is only waived when a shard
+    genuinely degraded (its unserved slots legitimately never arrived).
     """
+    injecting = chaos is not None and not chaos.is_empty
+    policy = on_worker_death or ("restart" if injecting else "fail")
     scenario = ScenarioConfig(
         dataset="synthetic",
         num_edges=num_edges,
@@ -315,15 +351,22 @@ def run_soak(
         slot_duration=slot_duration,
         queue_capacity=queue_capacity,
         num_workers=num_workers,
-        on_worker_death="fail",
+        on_worker_death=policy,
     )
-    stats = {stage: StageStats() for stage in STAGES}
+    tracked = STAGES + ((RECOVERY_STAGE,) if policy == "restart" else ())
+    stats = {stage: StageStats() for stage in tracked}
 
     def observe(stage: str, seconds: float) -> None:
-        stats[stage].observe(seconds)
+        stats.setdefault(stage, StageStats()).observe(seconds)
 
     tracer = Tracer()  # fresh counters per run; no event sinks
-    runtime = ShardRuntime(config, tracer=tracer, on_stage_sample=observe)
+    runtime = ShardRuntime(
+        config,
+        tracer=tracer,
+        on_stage_sample=observe,
+        chaos=chaos,
+        reconfig=reconfig,
+    )
     started = time.monotonic()
     runtime.run()
     wall_seconds = time.monotonic() - started
@@ -331,6 +374,10 @@ def run_soak(
     events_served = tracer.counter("serve/events_served").value
     events_shed = tracer.counter("serve/events_shed").value
     events_dropped = tracer.counter("serve/events_dropped_offline").value
+    worker_deaths = tracer.counter("serve/shard_deaths").value
+    restarts = tracer.counter("serve/restarts").value
+    reconfigs = tracer.counter("serve/reconfigs").value
+    degraded = sum(1 for s in runtime.health()["shards"] if s["failed"])
     return SoakReport(
         shape=shape,
         seed=seed,
@@ -345,12 +392,17 @@ def run_soak(
         events_dropped_offline=events_dropped,
         accounting_ok=(
             events_in == events_served + events_shed + events_dropped
-            and events_in == total_events
+            and (events_in == total_events or degraded > 0)
         ),
         throughput_eps=(
             events_served / wall_seconds if wall_seconds > 0 else 0.0
         ),
-        stages={stage: stats[stage].summary() for stage in STAGES},
+        stages={stage: stat.summary() for stage, stat in stats.items()},
+        worker_deaths=worker_deaths,
+        restarts=restarts,
+        reconfigs=reconfigs,
+        degraded_workers=degraded,
+        recovery_ok=(worker_deaths == 0 or degraded == 0),
     )
 
 

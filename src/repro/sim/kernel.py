@@ -309,6 +309,25 @@ class EdgeSlotKernel:
             served=int(count),
         )
 
+    def step_offline(self, t: int, count: int) -> EdgeSlotOutcome:
+        """Execute slot ``t`` as a missed (offline) slot with real arrivals.
+
+        The restart path of the sharded tier replays a dead worker's
+        missed slots through this: the selection policy advances exactly
+        as it would through an :class:`~repro.faults.plan.EdgeOutage`
+        (``select`` then ``observe_lost``, keeping Algorithm 1's block
+        schedule closing on time), the ``count`` arrivals are recorded as
+        dropped-offline so ``in == served + shed + offline`` stays exact,
+        and nothing runs — no draws, no emissions, no feedback.
+        """
+        model = self.policy.select(t)
+        self.policy.observe_lost(t, model)
+        return EdgeSlotOutcome(
+            t=t, edge=self.edge, model=int(model), switched=False,
+            offline=True, shed=False, arrivals=int(count), served=0,
+            **_ZERO_COSTS,
+        )
+
     def deliver_due(self, due_slot: int) -> None:
         """Deliver all queued slot losses whose slot is <= ``due_slot``."""
         pending = self.pending_feedback
@@ -389,6 +408,38 @@ class TradingSlotKernel:
         self.pending_sell = 0.0
         self.prev_emissions = 0.0
         self.emissions_sum = 0.0
+        # Live-reconfiguration multiplier on the per-slot trade bound: the
+        # bound scales with the active-fleet fraction so a half-size fleet
+        # trades at half the volume cap.  Exactly 1.0 for unreconfigured
+        # runs, so the fast path below keeps bit parity with the simulator.
+        self.fleet_scale = 1.0
+
+    @property
+    def trade_bound(self) -> float:
+        """The per-slot trade bound under the current fleet scale."""
+        bound = self.scenario.trade_bound
+        if self.fleet_scale == 1.0:  # noqa: RPL003 -- exact sentinel, set by assignment
+            return bound
+        return bound * self.fleet_scale
+
+    def rescale_fleet(self, factor: float) -> None:
+        """Apply a fleet-size change event: active count scaled by ``factor``.
+
+        Rescales the trade bound, clips deferred intent to the new bound,
+        and forwards the event to the trading policy so dual state scales
+        deterministically.  ``factor == 1.0`` is an exact no-op — the
+        contract behind no-op reconfiguration plans staying bit-identical
+        to unreconfigured runs.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"fleet factor must be positive, got {factor}")
+        if factor == 1.0:  # noqa: RPL003 -- exact sentinel no-op contract
+            return
+        self.fleet_scale *= factor
+        bound = self.trade_bound
+        self.pending_buy = min(self.pending_buy, bound)
+        self.pending_sell = min(self.pending_sell, bound)
+        self.policy.rescale_fleet(factor)
 
     def context(self, t: int) -> TradingContext:
         """The information set available to the policy at slot ``t``."""
@@ -413,7 +464,7 @@ class TradingSlotKernel:
             cumulative_emissions=snapshot.cumulative_emissions,
             holdings=snapshot.holdings,
             mean_slot_emissions=mean_emissions,
-            trade_bound=scenario.trade_bound,
+            trade_bound=self.trade_bound,
         )
 
     def step(self, t: int, slot_emissions: float) -> tuple[float, float, float]:
@@ -422,13 +473,13 @@ class TradingSlotKernel:
         Returns ``(bought, sold, cost)`` as realized at the market —
         all zero when a fault blocked execution.
         """
-        scenario = self.scenario
         tracer = self.tracer
+        bound = self.trade_bound
         context = self.context(t)
         decision = self.policy.decide(context)
         decision = TradeDecision(
-            buy=min(max(decision.buy, 0.0), scenario.trade_bound),
-            sell=min(max(decision.sell, 0.0), scenario.trade_bound),
+            buy=min(max(decision.buy, 0.0), bound),
+            sell=min(max(decision.sell, 0.0), bound),
         )
         injector = self.injector
         if injector is not None and injector.trade_blocked(t):
@@ -437,12 +488,8 @@ class TradingSlotKernel:
             # over — bounded by the per-slot trade bound, so long outages
             # shed excess rather than accumulate it.  The dual update sees
             # only the realized trade.
-            self.pending_buy = min(
-                self.pending_buy + decision.buy, scenario.trade_bound
-            )
-            self.pending_sell = min(
-                self.pending_sell + decision.sell, scenario.trade_bound
-            )
+            self.pending_buy = min(self.pending_buy + decision.buy, bound)
+            self.pending_sell = min(self.pending_sell + decision.sell, bound)
             self.ledger.record_rejection(decision.buy, decision.sell)
             self.ledger.record(slot_emissions, 0.0, 0.0)
             self.policy.observe(
@@ -462,12 +509,8 @@ class TradingSlotKernel:
         else:
             if self.pending_buy > 0.0 or self.pending_sell > 0.0:
                 executed = TradeDecision(
-                    buy=min(
-                        decision.buy + self.pending_buy, scenario.trade_bound
-                    ),
-                    sell=min(
-                        decision.sell + self.pending_sell, scenario.trade_bound
-                    ),
+                    buy=min(decision.buy + self.pending_buy, bound),
+                    sell=min(decision.sell + self.pending_sell, bound),
                 )
                 self.pending_buy = 0.0
                 self.pending_sell = 0.0
@@ -491,6 +534,7 @@ class TradingSlotKernel:
             "pending_sell": self.pending_sell,
             "prev_emissions": self.prev_emissions,
             "emissions_sum": self.emissions_sum,
+            "fleet_scale": self.fleet_scale,
         }
 
     def load_state(self, state: dict[str, object]) -> None:
@@ -502,3 +546,5 @@ class TradingSlotKernel:
         self.pending_sell = float(state["pending_sell"])
         self.prev_emissions = float(state["prev_emissions"])
         self.emissions_sum = float(state["emissions_sum"])
+        # Absent in snapshots written before live reconfiguration existed.
+        self.fleet_scale = float(state.get("fleet_scale", 1.0))

@@ -29,6 +29,7 @@ from repro.obs import (
     ModelSwitchEvent,
     NullTracer,
     QueueShedEvent,
+    ReconfigAppliedEvent,
     RetryEvent,
     SlotStartEvent,
     SnapshotEvent,
@@ -36,6 +37,9 @@ from repro.obs import (
     TradeEvent,
     TradeRejectedEvent,
     Tracer,
+    WorkerDeathEvent,
+    WorkerRestartEvent,
+    WorkerSpawnEvent,
     event_from_dict,
     read_events,
 )
@@ -55,6 +59,10 @@ ALL_EVENTS = [
     ArrivalEvent(t=2, edge=1, count=64),
     QueueShedEvent(t=4, edge=0, count=57),
     SnapshotEvent(t=15, path="snap.pkl"),
+    WorkerSpawnEvent(t=0, worker=1, num_edges=3, generation=0),
+    WorkerDeathEvent(t=12, worker=1, policy="restart", message="boom"),
+    WorkerRestartEvent(t=13, worker=1, replay_from=12, attempt=1, backoff_s=0.05),
+    ReconfigAppliedEvent(t=24, op="remove_edge", edge=2, active_edges=3, num_workers=2),
 ]
 
 
@@ -74,6 +82,10 @@ class TestEvents:
             "arrival",
             "queue_shed",
             "snapshot",
+            "worker_spawn",
+            "worker_death",
+            "worker_restart",
+            "reconfig_applied",
         }
 
     @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.type)
@@ -241,7 +253,15 @@ class TestInstrumentedSimulation:
         # fault events, which only fire under a non-empty FaultPlan.
         _, sink, _ = traced_run
         fault_types = {"fault_injected", "feedback_lost", "trade_rejected", "retry"}
-        serve_types = {"arrival", "queue_shed", "snapshot"}
+        serve_types = {
+            "arrival",
+            "queue_shed",
+            "snapshot",
+            "worker_spawn",
+            "worker_death",
+            "worker_restart",
+            "reconfig_applied",
+        }
         assert set(sink.counts_by_type()) == set(EVENT_TYPES) - fault_types - serve_types
 
     def test_slot_start_per_slot(self, traced_run):
@@ -480,7 +500,7 @@ class TestStreamingIterEvents:
         path.write_text(full.rstrip("\n")[: len(full) - 20], encoding="utf-8")
         summary = summarize_trace(path)
         assert summary.events_total == len(ALL_EVENTS) - 1
-        assert "snapshot" not in summary.event_counts
+        assert "reconfig_applied" not in summary.event_counts
 
 
 class TestMergeEvents:

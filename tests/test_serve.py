@@ -264,6 +264,20 @@ class TestShardedParity:
             make_runtime(serve_config("A", 0, num_workers=2)), ShardRuntime
         )
 
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_noop_reconfig_plan_matches_golden_digests(self, workers):
+        # A plan whose only op re-asserts the current worker count moves no
+        # edges and rescales nothing: the reconfigured run must stay
+        # bit-identical to the pinned goldens at every worker count.
+        from repro.serve import Rebalance, ReconfigPlan
+
+        config = serve_config("A", 0, num_workers=workers)
+        plan = ReconfigPlan((Rebalance(at=8, num_workers=workers),))
+        result = ShardRuntime(
+            config, reconfig=plan, heartbeat_interval=0.05
+        ).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
 
 class TestSnapshotRestore:
     def test_killed_run_resumes_to_identical_digest(self, tmp_path):

@@ -16,6 +16,7 @@ shard machinery itself:
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import pickle
 
@@ -24,9 +25,15 @@ import pytest
 
 from repro.obs import JsonlSink, Tracer, summarize_trace, summarize_traces
 from repro.serve import (
+    ChaosPlan,
+    RandomKills,
     ServeConfig,
     ServeRuntime,
     ShardRuntime,
+    TransportDrop,
+    WorkerKill,
+    WorkerStall,
+    realize_chaos,
     release_target,
     runtime_from_snapshot,
     serve_run,
@@ -53,6 +60,10 @@ def shard_config(scenario_name="A", seed=0, **overrides):
         label="Ours-Ours",
         **overrides,
     )
+
+
+def kill_plan(worker: int, at: int) -> ChaosPlan:
+    return ChaosPlan((WorkerKill(worker=worker, at=at),))
 
 
 class TestShardEdges:
@@ -154,7 +165,7 @@ class TestWorkerDeath:
         config = shard_config("A", 0, num_workers=3, on_worker_death="degrade")
         tracer = Tracer()
         runtime = ShardRuntime(
-            config, tracer=tracer, _worker_chaos={1: 10}, **FAST
+            config, tracer=tracer, chaos=kill_plan(1, 10), **FAST
         )
         degraded = runtime.run()
         clean = ShardRuntime(shard_config("A", 0, num_workers=3), **FAST).run()
@@ -186,7 +197,7 @@ class TestWorkerDeath:
 
     def test_degrade_from_slot_zero_marks_whole_shard_offline(self):
         config = shard_config("B", 0, num_workers=2, on_worker_death="degrade")
-        runtime = ShardRuntime(config, _worker_chaos={0: 0}, **FAST)
+        runtime = ShardRuntime(config, chaos=kill_plan(0, 0), **FAST)
         result = runtime.run()
         # Worker 0 owns edge 0 and never reported a slot: no model was ever
         # seen for it, and every one of its slots is synthesized offline.
@@ -195,13 +206,13 @@ class TestWorkerDeath:
 
     def test_fail_policy_raises_and_names_the_shard(self):
         config = shard_config("A", 0, num_workers=3, on_worker_death="fail")
-        runtime = ShardRuntime(config, _worker_chaos={2: 5}, **FAST)
+        runtime = ShardRuntime(config, chaos=kill_plan(2, 5), **FAST)
         with pytest.raises(RuntimeError, match="shard worker 2"):
             runtime.run()
 
     def test_degraded_partial_run_refuses_results(self):
         config = shard_config("A", 0, num_workers=3, on_worker_death="degrade")
-        runtime = ShardRuntime(config, _worker_chaos={1: 10}, **FAST)
+        runtime = ShardRuntime(config, chaos=kill_plan(1, 10), **FAST)
         runtime.run(max_slots=20)
         with pytest.raises(RuntimeError, match="resume"):
             runtime.result()
@@ -291,6 +302,13 @@ class TestShardTraceMerge:
 
         merged = summarize_traces([parent_log, *shard_logs])
         single = summarize_trace(single_log)
+        # The sharded parent additionally records worker lifecycle events
+        # (one spawn per shard here); everything else must match exactly.
+        spawns = merged.event_counts.pop("worker_spawn")
+        assert spawns == 2
+        merged = dataclasses.replace(
+            merged, events_total=merged.events_total - spawns
+        )
         assert merged == single
 
     def test_shard_trace_path_count_must_match_shards(self):
@@ -353,6 +371,332 @@ class TestFleetSmoke:
         assert tracer.metrics_snapshot()["counters"]["serve/heartbeats"] > 0
 
 
+class TestChaosPlans:
+    def plan(self) -> ChaosPlan:
+        return ChaosPlan((
+            WorkerKill(worker=1, at=10),
+            WorkerStall(worker=0, at=5, seconds=0.1),
+            TransportDrop(worker=0, at=3, count=2),
+            RandomKills(probability=0.2, start=4, end=20, max_per_worker=1),
+        ))
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        assert ChaosPlan.from_json(plan.to_json()) == plan
+
+    def test_load_from_file(self, tmp_path):
+        from repro.serve import load_chaos_plan
+
+        path = tmp_path / "chaos.json"
+        path.write_text(self.plan().to_json())
+        assert load_chaos_plan(path) == self.plan()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="gremlin"):
+            ChaosPlan.from_dict({"chaos": [{"kind": "gremlin", "at": 1}]})
+
+    def test_realize_is_deterministic_and_bounded(self):
+        plan = self.plan()
+        kwargs = dict(num_workers=3, horizon=40, seed=0)
+        first = realize_chaos(plan, **kwargs)
+        assert first == realize_chaos(plan, **kwargs)
+        for schedule in first.values():
+            for at in schedule.kills:
+                assert 0 <= at < 40
+        # RandomKills honors max_per_worker on top of the named kill.
+        assert all(len(s.kills) <= 2 for s in first.values())
+
+    def test_realize_ignores_out_of_range_workers(self):
+        plan = ChaosPlan((WorkerKill(worker=7, at=1),))
+        assert realize_chaos(plan, num_workers=2, horizon=40, seed=0) == {}
+
+
+class TestTransportFaults:
+    def test_injected_transient_errors_are_retried(self):
+        from repro.serve.frames import arm_transport_faults
+
+        parent, child = multiprocessing.Pipe(duplex=True)
+        try:
+            arm_transport_faults(3)
+            send_frame(parent, {"type": "heartbeat", "worker": 0})
+            assert recv_frame(child)["type"] == "heartbeat"
+        finally:
+            arm_transport_faults(0)
+            parent.close()
+            child.close()
+
+    def test_transport_drop_chaos_is_invisible_in_the_results(self):
+        # The bounded retry masks the drops entirely: the run still hits
+        # the golden digest.
+        config = shard_config("A", 0, num_workers=2)
+        chaos = ChaosPlan((TransportDrop(worker=0, at=3, count=2),))
+        result = ShardRuntime(config, chaos=chaos, **FAST).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+    def test_worker_stall_only_delays_the_run(self):
+        config = shard_config("A", 0, num_workers=2)
+        chaos = ChaosPlan((WorkerStall(worker=1, at=5, seconds=0.2),))
+        result = ShardRuntime(config, chaos=chaos, **FAST).run()
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+
+
+#: Tight restart knobs so supervised-restart tests finish quickly.
+RESTART = dict(
+    on_worker_death="restart", restart_backoff_s=0.01, restart_backoff_max_s=0.1
+)
+
+
+class TestWorkerRestart:
+    def test_restart_recovers_with_exact_accounting(self):
+        config = shard_config("A", 0, num_workers=3, **RESTART)
+        tracer = Tracer()
+        samples = []
+        runtime = ShardRuntime(
+            config,
+            tracer=tracer,
+            chaos=kill_plan(1, 10),
+            on_stage_sample=lambda stage, s: samples.append(stage),
+            **FAST,
+        )
+        healed = runtime.run()
+        clean_tracer = Tracer()
+        clean = ShardRuntime(
+            shard_config("A", 0, num_workers=3), tracer=clean_tracer, **FAST
+        ).run()
+
+        # Survivors are bit-identical to an unfaulted run; the killed
+        # shard's edge went offline only for the replayed gap.
+        survivors = [0, 2]
+        assert np.array_equal(
+            healed.selections[:, survivors], clean.selections[:, survivors]
+        )
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/shard_deaths"] == 1
+        assert counters["serve/restarts"] == 1
+        # Full recovery: every arrival is still accounted for — the
+        # replayed offline slots carry their real arrival counts, so even
+        # events_in matches the clean run exactly.
+        accounted = (
+            counters["serve/events_served"]
+            + counters.get("serve/events_shed", 0)
+            + counters.get("serve/events_dropped_offline", 0)
+        )
+        assert counters["serve/events_in"] == accounted
+        clean_counters = clean_tracer.metrics_snapshot()["counters"]
+        assert counters["serve/events_in"] == clean_counters["serve/events_in"]
+        assert "recovery" in samples
+
+        health = runtime.health()
+        assert health["status"] == "done"
+        by_worker = {s["worker"]: s for s in health["shards"]}
+        assert not any(s["failed"] for s in by_worker.values())
+        assert by_worker[1]["generation"] == 1
+
+    def test_restart_run_is_reproducible_against_itself(self):
+        def digest():
+            config = shard_config("A", 0, num_workers=3, **RESTART)
+            return result_digest(
+                ShardRuntime(config, chaos=kill_plan(1, 10), **FAST).run()
+            )
+
+        assert digest() == digest()
+
+    def test_simultaneous_deaths_restart_all_workers(self):
+        config = shard_config("A", 0, num_workers=3, **RESTART)
+        chaos = ChaosPlan((
+            WorkerKill(worker=0, at=6),
+            WorkerKill(worker=2, at=6),
+        ))
+        tracer = Tracer()
+        runtime = ShardRuntime(config, tracer=tracer, chaos=chaos, **FAST)
+        healed = runtime.run()
+        clean = ShardRuntime(shard_config("A", 0, num_workers=3), **FAST).run()
+
+        assert np.array_equal(healed.selections[:, 1], clean.selections[:, 1])
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/shard_deaths"] == 2
+        assert counters["serve/restarts"] == 2
+        accounted = (
+            counters["serve/events_served"]
+            + counters.get("serve/events_shed", 0)
+            + counters.get("serve/events_dropped_offline", 0)
+        )
+        assert counters["serve/events_in"] == accounted
+        assert not any(s["failed"] for s in runtime.health()["shards"])
+
+    def test_simultaneous_deaths_degrade_keeps_accounting(self):
+        config = shard_config("A", 0, num_workers=3, on_worker_death="degrade")
+        chaos = ChaosPlan((
+            WorkerKill(worker=0, at=6),
+            WorkerKill(worker=2, at=6),
+        ))
+        tracer = Tracer()
+        runtime = ShardRuntime(config, tracer=tracer, chaos=chaos, **FAST)
+        degraded = runtime.run()
+        clean = ShardRuntime(shard_config("A", 0, num_workers=3), **FAST).run()
+
+        assert np.array_equal(
+            degraded.selections[:, 1], clean.selections[:, 1]
+        )
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/shard_deaths"] == 2
+        accounted = (
+            counters["serve/events_served"]
+            + counters.get("serve/events_shed", 0)
+            + counters.get("serve/events_dropped_offline", 0)
+        )
+        assert counters["serve/events_in"] == accounted
+        failed = {s["worker"] for s in runtime.health()["shards"] if s["failed"]}
+        assert failed == {0, 2}
+
+    def test_restart_budget_exhaustion_falls_back_to_degrade(self):
+        config = shard_config(
+            "A", 0, num_workers=3, max_restarts=1, **RESTART
+        )
+        chaos = ChaosPlan((
+            WorkerKill(worker=1, at=4),
+            WorkerKill(worker=1, at=12),
+        ))
+        tracer = Tracer()
+        runtime = ShardRuntime(config, tracer=tracer, chaos=chaos, **FAST)
+        result = runtime.run()
+        assert result is not None
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/shard_deaths"] == 2
+        assert counters["serve/restarts"] == 1
+        assert runtime.health()["shards"][1]["failed"]
+        # From the second death on, the shard's edge is pinned offline.
+        assert (result.selections[13:, 1] == result.selections[12, 1]).all()
+
+    def test_lifecycle_events_emitted(self):
+        from repro.obs import InMemorySink
+
+        sink = InMemorySink()
+        config = shard_config("A", 0, num_workers=3, **RESTART)
+        ShardRuntime(
+            config, tracer=Tracer([sink]), chaos=kill_plan(1, 10), **FAST
+        ).run()
+        spawns = sink.of_type("worker_spawn")
+        deaths = sink.of_type("worker_death")
+        restarts = sink.of_type("worker_restart")
+        assert len(spawns) == 4  # 3 initial + 1 respawn
+        assert [e.generation for e in spawns].count(1) == 1
+        assert len(deaths) == 1 and deaths[0].worker == 1
+        assert deaths[0].policy == "restart"
+        assert len(restarts) == 1 and restarts[0].attempt == 1
+        assert restarts[0].replay_from <= restarts[0].t
+
+    def test_worker_traceback_travels_to_the_fail_exception(self):
+        # A worker-side crash (a real exception, not a kill) surfaces with
+        # the worker's traceback attached under on_worker_death='fail' —
+        # here, worker 1's trace sink points into a nonexistent directory.
+        runtime = ShardRuntime(
+            shard_config("A", 0, num_workers=3, on_worker_death="fail"),
+            shard_trace_paths=[
+                "/dev/null", "/nonexistent-dir/shard1.jsonl", "/dev/null"
+            ],
+            **FAST,
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            runtime.run()
+        message = str(excinfo.value)
+        assert "shard worker 1" in message
+        assert "Traceback" in message  # the worker-side traceback rode along
+
+
+class TestReconfig:
+    def test_plan_round_trip_and_loading(self, tmp_path):
+        from repro.serve import AddEdge, Rebalance, ReconfigPlan, RemoveEdge
+        from repro.serve import load_reconfig_plan
+
+        plan = ReconfigPlan((
+            RemoveEdge(at=4, edge=0),
+            AddEdge(at=12, edge=0),
+            Rebalance(at=20, num_workers=3),
+        ))
+        assert ReconfigPlan.from_json(plan.to_json()) == plan
+        path = tmp_path / "reconfig.json"
+        path.write_text(plan.to_json())
+        assert load_reconfig_plan(path) == plan
+        assert plan.barriers() == (4, 12, 20)
+
+    def test_pure_rebalance_is_bit_identical_to_golden(self):
+        from repro.serve import Rebalance, ReconfigPlan
+
+        config = shard_config("A", 0, num_workers=2)
+        plan = ReconfigPlan((Rebalance(at=8, num_workers=3),))
+        tracer = Tracer()
+        runtime = ShardRuntime(config, tracer=tracer, reconfig=plan, **FAST)
+        result = runtime.run()
+        # Repartitioning moves no state and rescales nothing: the digest
+        # still matches the unreconfigured golden bit for bit.
+        assert result_digest(result) == GOLDEN_DIGESTS[("A", 0)]
+        assert runtime.health()["num_workers"] == 3
+        counters = tracer.metrics_snapshot()["counters"]
+        assert counters["serve/reconfigs"] == 1
+
+    def test_remove_edge_pins_it_offline_and_is_reproducible(self):
+        from repro.serve import ReconfigPlan, RemoveEdge
+
+        def run_once():
+            config = shard_config("A", 0, num_workers=2)
+            plan = ReconfigPlan((RemoveEdge(at=10, edge=2),))
+            runtime = ShardRuntime(config, reconfig=plan, **FAST)
+            return runtime, runtime.run()
+
+        runtime, result = run_once()
+        assert (result.selections[10:, 2] == result.selections[9, 2]).all()
+        assert runtime.health()["active_edges"] == 2
+        _, again = run_once()
+        assert result_digest(result) == result_digest(again)
+
+    def test_remove_then_readd_catches_the_edge_back_up(self):
+        from repro.serve import AddEdge, ReconfigPlan, RemoveEdge
+
+        def run_once():
+            config = shard_config("A", 0, num_workers=2)
+            plan = ReconfigPlan((
+                RemoveEdge(at=4, edge=0),
+                AddEdge(at=12, edge=0),
+            ))
+            return ShardRuntime(config, reconfig=plan, **FAST).run()
+
+        result = run_once()
+        # Offline while inactive, live again after readmission.
+        assert (result.selections[4:12, 0] == result.selections[3, 0]).all()
+        assert result_digest(result) == result_digest(run_once())
+
+    def test_reconfig_rejects_snapshots_and_out_of_horizon_ops(self, tmp_path):
+        from repro.serve import Rebalance, ReconfigPlan
+
+        plan = ReconfigPlan((Rebalance(at=8, num_workers=1),))
+        with pytest.raises(ValueError, match="snapshot"):
+            ShardRuntime(
+                shard_config(
+                    "A",
+                    0,
+                    num_workers=2,
+                    snapshot_every=8,
+                    snapshot_path=str(tmp_path / "s.pkl"),
+                ),
+                reconfig=plan,
+            )
+        late = ReconfigPlan((Rebalance(at=400, num_workers=1),))
+        with pytest.raises(ValueError, match="horizon"):
+            ShardRuntime(shard_config("A", 0, num_workers=2), reconfig=late)
+
+    def test_plans_force_the_shard_runtime(self):
+        from repro.serve import Rebalance, ReconfigPlan, make_runtime
+
+        config = shard_config("A", 0, num_workers=1)
+        plan = ReconfigPlan((Rebalance(at=8, num_workers=1),))
+        assert isinstance(make_runtime(config, reconfig=plan), ShardRuntime)
+        assert isinstance(
+            make_runtime(config, chaos=kill_plan(0, 35)), ShardRuntime
+        )
+        assert isinstance(make_runtime(config), ServeRuntime)
+
+
 class TestSoakCli:
     def test_soak_smoke_single_shape(self, tmp_path, capsys):
         import json
@@ -365,14 +709,47 @@ class TestSoakCli:
         ])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["format_version"] == 1
+        assert payload["format_version"] == 2
         (report,) = payload["reports"]
         assert report["shape"] == "spike"
         assert report["accounting_ok"] is True
         assert report["events_in"] == 2000
+        assert report["worker_deaths"] == 0
+        assert report["recovery_ok"] is True
         for stage in ("queue", "serve", "trade", "slot"):
             assert report["stages"][stage]["count"] > 0
             assert report["stages"][stage]["p95_s"] >= 0.0
+
+    def test_soak_chaos_smoke_heals_and_accounts(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.serve import ChaosPlan, WorkerKill
+
+        plan_path = tmp_path / "chaos.json"
+        plan_path.write_text(
+            ChaosPlan((WorkerKill(worker=1, at=10),)).to_json()
+        )
+        out = tmp_path / "soak.json"
+        code = main([
+            "soak",
+            "--smoke",
+            "--shape", "sawtooth",
+            "--chaos", str(plan_path),
+            "--recovery-p99", "30.0",
+            "--output", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        (report,) = payload["reports"]
+        assert report["worker_deaths"] == 1
+        assert report["restarts"] == 1
+        assert report["degraded_workers"] == 0
+        assert report["recovery_ok"] is True
+        assert report["accounting_ok"] is True
+        # Full recovery: the replayed slots carried their real arrivals.
+        assert report["events_in"] == 2000
+        assert report["stages"]["recovery"]["count"] == 1
 
     def test_soak_bench_projection_written(self, tmp_path):
         from repro.bench.report import load_report
