@@ -223,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject a deterministic chaos plan (worker "
                             "kills, stalls, transport drops; forces the "
                             "sharded runtime)")
+    serve.add_argument("--ingress", nargs="?", const="default", default=None,
+                       metavar="CONFIG.json",
+                       help="mount the request-level ingress tier (SLA "
+                            "classes, admission, deadline deferral); with "
+                            "no argument uses the default config, else "
+                            "loads an IngressConfig JSON file")
 
     soak = sub.add_parser(
         "soak",
@@ -496,6 +502,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         }
         if args.clock is not None:
             overrides["virtual_clock"] = args.clock
+        if args.ingress is not None:
+            from repro.ingress.config import IngressConfig
+
+            ingress_config = (
+                IngressConfig()
+                if args.ingress == "default"
+                else IngressConfig.from_file(args.ingress)
+            )
+            overrides["ingress"] = ingress_config.to_dict()
         if overrides:
             config = config.with_overrides(**overrides)
         shard_kwargs = {}
@@ -536,6 +551,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ]
     print(format_table(["serve counter", "value"], counter_rows,
                        title="Serve counters"))
+    ingress_rows = [
+        [name.removeprefix("ingress/"), int(value)]
+        for name, value in sorted(counters.items())
+        if name.startswith("ingress/")
+    ]
+    if ingress_rows:
+        print(format_table(["ingress counter", "value"], ingress_rows,
+                           title="Ingress counters"))
     if sink is not None:
         print(f"traced {sink.events_written} events -> {args.trace_output}"
               + (f" ({sink.dropped} dropped)" if sink.dropped else ""))

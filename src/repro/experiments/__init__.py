@@ -22,6 +22,11 @@ from repro.experiments.engine import (
     set_default_engine,
     use_engine,
 )
+from repro.experiments.scenario_pool import (
+    ScenarioPool,
+    ScenarioRef,
+    scenario_digest,
+)
 from repro.experiments.settings import (
     PAPER_COMBOS,
     PLOT_COMBOS,
@@ -40,6 +45,8 @@ __all__ = [
     "PAPER_COMBOS",
     "PLOT_COMBOS",
     "ResultCache",
+    "ScenarioPool",
+    "ScenarioRef",
     "SweepCell",
     "SweepEngine",
     "SweepStats",
@@ -52,6 +59,7 @@ __all__ = [
     "run_combo",
     "run_many",
     "run_offline",
+    "scenario_digest",
     "scenario_fingerprint",
     "set_default_engine",
     "use_engine",

@@ -53,6 +53,7 @@ from repro.sim.scenario import Scenario
 from repro.spec import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.scenario_pool import ScenarioPool
     from repro.faults.plan import FaultPlan
 
 __all__ = [
@@ -203,6 +204,20 @@ def _execute_cell(
     return Simulator.from_spec(scenario, cell.to_spec(faults)).run()
 
 
+def _execute_cell_ref(
+    ref, cell: SweepCell, faults: "FaultPlan | None" = None
+) -> SimulationResult:
+    """Ref-based variant for pooled scenarios: resolve, then execute.
+
+    The worker receives a :class:`~repro.experiments.scenario_pool.
+    ScenarioRef` (a digest and a path — bytes, not megabytes) and loads
+    the scenario at most once per process via the pool's resolve memo.
+    """
+    from repro.experiments.scenario_pool import resolve
+
+    return _execute_cell(resolve(ref), cell, faults)
+
+
 class _PoolRoundFailed(Exception):
     """Internal: the current pool broke or stalled; survivors retry."""
 
@@ -236,6 +251,15 @@ class SweepEngine:
     pool_failure_limit:
         Broken/hung pools tolerated before the whole remainder of the
         sweep falls back to in-process execution.
+    scenario_pool:
+        Optional :class:`~repro.experiments.scenario_pool.ScenarioPool`.
+        When set, pool submissions ship a content-addressed
+        :class:`~repro.experiments.scenario_pool.ScenarioRef` instead of
+        pickling the materialized scenario into every task, and workers
+        resolve (and memoize) each distinct scenario once per process —
+        the cross-figure sharing seam ``run_all`` mounts for the whole
+        invocation.  Serial and fallback cells use the live scenario
+        object directly; results are bit-identical either way.
     """
 
     def __init__(
@@ -248,6 +272,7 @@ class SweepEngine:
         cell_timeout: float | None = None,
         max_retries: int = 2,
         pool_failure_limit: int = 3,
+        scenario_pool: "ScenarioPool | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -266,6 +291,7 @@ class SweepEngine:
         self.cell_timeout = cell_timeout
         self.max_retries = int(max_retries)
         self.pool_failure_limit = int(pool_failure_limit)
+        self.scenario_pool = scenario_pool
         self.stats = SweepStats()
 
     def run_cells(
@@ -470,10 +496,14 @@ class SweepEngine:
         retry.
         """
         max_workers = min(self.workers, len(pending))
+        if self.scenario_pool is not None:
+            execute, payload = _execute_cell_ref, self.scenario_pool.share(scenario)
+        else:
+            execute, payload = _execute_cell, scenario
         pool = ProcessPoolExecutor(max_workers=max_workers)
         try:
             futures = {
-                pool.submit(_execute_cell, scenario, cells[index], self.faults): index
+                pool.submit(execute, payload, cells[index], self.faults): index
                 for index in pending
             }
             remaining = set(futures)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
 
 from repro.experiments import (
@@ -42,6 +43,7 @@ from repro.experiments import (
 from repro.experiments.cache import ResultCache
 from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.engine import SweepEngine, use_engine
+from repro.experiments.scenario_pool import ScenarioPool
 from repro.faults import load_plan
 
 __all__ = [
@@ -141,12 +143,19 @@ def main(argv: list[str] | None = None) -> None:
     print(f"Running {len(selected)} experiments ({mode} mode, "
           f"workers={engine.workers}, "
           f"cache={'off' if engine.cache is None else engine.cache.directory})\n")
-    with use_engine(engine):
-        for name in selected:
-            module = registry[name]
-            start = time.perf_counter()
-            module.main(fast=fast)
-            print(f"[{name} finished in {time.perf_counter() - start:.1f}s]\n")
+    with tempfile.TemporaryDirectory(prefix="repro-scenarios-") as pool_dir:
+        if engine.workers > 1 and engine.scenario_pool is None:
+            # One content-addressed pool for the whole invocation: figures
+            # that build equal scenarios share a single materialization,
+            # and pool workers resolve each one once per process.
+            engine.scenario_pool = ScenarioPool(pool_dir)
+        with use_engine(engine):
+            for name in selected:
+                module = registry[name]
+                start = time.perf_counter()
+                module.main(fast=fast)
+                print(f"[{name} finished in "
+                      f"{time.perf_counter() - start:.1f}s]\n")
     stats = engine.stats
     if stats.cells:
         print(f"sweep cells: {stats.cells} total, {stats.executed} executed, "

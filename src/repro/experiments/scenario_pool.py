@@ -1,0 +1,105 @@
+"""Cross-figure shared scenario pool for parallel sweeps.
+
+Every figure experiment materializes a :class:`~repro.sim.scenario.Scenario`
+(loss tables, price traces, energy model — megabytes of arrays) and the
+sweep engine ships it to pool workers *per submitted cell*: the scenario is
+pickled into every task's argument tuple, so a 30-cell sweep serializes the
+same bytes 30 times, and a ``run_all`` invocation re-ships them again for
+every figure that shares the scenario.
+
+The pool breaks that multiplication with content addressing:
+
+* :meth:`ScenarioPool.share` writes the scenario to the pool directory
+  **once**, keyed by the SHA-256 of its canonical-JSON
+  :func:`~repro.experiments.cache.scenario_fingerprint` — the same
+  content address the result cache already uses, so two figures that
+  build equal scenarios share one file automatically;
+* workers receive a tiny :class:`ScenarioRef` (digest + path) instead of
+  the scenario, and :func:`resolve` unpickles it **once per process**,
+  memoized by digest — pool workers persist across cells and figures, so
+  each worker pays the load cost once per distinct scenario per
+  ``run_all`` invocation.
+
+Determinism is untouched: the resolved scenario is byte-identical to the
+one the parent shared (pickle round-trip), and cells still derive all
+randomness from their own seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.cache import scenario_fingerprint
+from repro.sim.scenario import Scenario
+
+__all__ = ["ScenarioPool", "ScenarioRef", "resolve", "scenario_digest"]
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    """Content address of a scenario: SHA-256 of its canonical fingerprint."""
+    canonical = json.dumps(
+        scenario_fingerprint(scenario), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioRef:
+    """A pickle-cheap handle to a pooled scenario (what crosses the fork)."""
+
+    digest: str
+    path: str
+
+
+#: Per-process resolve memo: each worker unpickles a given scenario once.
+_RESOLVE_MEMO: dict[str, Scenario] = {}
+
+
+def resolve(ref: ScenarioRef) -> Scenario:
+    """The scenario behind ``ref``, loaded at most once per process."""
+    cached = _RESOLVE_MEMO.get(ref.digest)
+    if cached is not None:
+        return cached
+    with open(ref.path, "rb") as handle:
+        scenario = pickle.load(handle)
+    _RESOLVE_MEMO[ref.digest] = scenario
+    return scenario
+
+
+class ScenarioPool:
+    """A directory of content-addressed materialized scenarios."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def share(self, scenario: Scenario) -> ScenarioRef:
+        """Persist ``scenario`` (idempotently) and return its ref.
+
+        The write is atomic (temp file + rename) so concurrent sweeps
+        sharing one pool directory never observe a torn scenario; a
+        pre-existing file under the digest is trusted and left alone.
+        The sharing process's memo is seeded with the live object, so
+        in-process fallback cells resolve without touching disk.
+        """
+        digest = scenario_digest(scenario)
+        path = self.directory / f"{digest}.pkl"
+        if not path.exists():
+            handle = tempfile.NamedTemporaryFile(
+                dir=self.directory, suffix=".tmp", delete=False
+            )
+            try:
+                with handle:
+                    pickle.dump(scenario, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(handle.name, path)
+            except BaseException:
+                os.unlink(handle.name)
+                raise
+        _RESOLVE_MEMO.setdefault(digest, scenario)
+        return ScenarioRef(digest=digest, path=str(path))

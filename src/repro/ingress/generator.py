@@ -1,0 +1,55 @@
+"""Request generation by thinning the slot-granular arrival counts.
+
+The ingress tier does not invent a new arrival process: it *thins* the
+count the base stream adapter produced for the slot into per-SLA-class
+request counts with one multinomial draw.  Because a multinomial
+partitions its total exactly, the thinned class counts sum to the base
+count for every slot, every seed, every shape — conservation is exact by
+construction, not by test.  The draw comes from the dedicated
+``ingress-thin-<edge>`` stream (:func:`repro.utils.rng.thinning_stream`),
+so the base arrival/data streams are never perturbed and a
+deferral-disabled ingress run feeds the kernels bit-identical inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ingress.request import SlaClass
+from repro.utils.rng import thinning_stream
+
+__all__ = ["RequestThinner"]
+
+
+class RequestThinner:
+    """Splits one edge's per-slot counts across the SLA mix."""
+
+    def __init__(self, seed: int, edge: int, classes: tuple[SlaClass, ...]) -> None:
+        self.seed = int(seed)
+        self.edge = int(edge)
+        self.classes = classes
+        shares = np.asarray([cls.share for cls in classes], dtype=float)
+        # Guard against float drift so numpy's multinomial never rejects.
+        self._shares = shares / shares.sum()
+        self._rng = thinning_stream(self.seed, self.edge)
+
+    def split(self, count: int) -> np.ndarray:
+        """Class counts for one slot; always sums to ``count`` exactly."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            # Draw anyway so every slot consumes the stream exactly once;
+            # the position stays a pure function of the count sequence
+            # (which the base adapter makes deterministic), never of which
+            # code path a quiet slot took.
+            self._rng.multinomial(0, self._shares)
+            return np.zeros(len(self._shares), dtype=int)
+        return self._rng.multinomial(int(count), self._shares)
+
+    def state_dict(self) -> dict[str, object]:
+        """Picklable stream state (for quiescent snapshots)."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore the stream captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]

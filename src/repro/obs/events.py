@@ -19,6 +19,7 @@ from typing import ClassVar
 __all__ = [
     "ArrivalEvent",
     "BlockBoundaryEvent",
+    "DeadlineMissEvent",
     "DualUpdateEvent",
     "EVENT_TYPES",
     "EmissionEvent",
@@ -28,6 +29,9 @@ __all__ = [
     "ModelSwitchEvent",
     "QueueShedEvent",
     "ReconfigAppliedEvent",
+    "RequestAdmitEvent",
+    "RequestDeferEvent",
+    "RequestDropEvent",
     "RetryEvent",
     "SlotStartEvent",
     "SnapshotEvent",
@@ -342,6 +346,68 @@ class ReconfigAppliedEvent(Event):
     num_workers: int = 0
 
     type: ClassVar[str] = "reconfig_applied"
+
+
+@register_event
+@dataclass(frozen=True)
+class RequestAdmitEvent(Event):
+    """Ingress admitted ``count`` requests on edge ``edge`` at slot ``t``.
+
+    The four request-level events are *sampled*: the ingress adapter
+    emits them only on slots where ``t % sample_every == 0`` and the
+    count is nonzero, so trace volume stays bounded at request scale.
+    """
+
+    edge: int = 0
+    count: int = 0
+
+    type: ClassVar[str] = "request_admit"
+
+
+@register_event
+@dataclass(frozen=True)
+class RequestDeferEvent(Event):
+    """``count`` of slot ``t``'s arrivals were held past their slot.
+
+    Covers both voluntary carbon-aware deferrals (a cheaper forecast slot
+    exists within deadline) and capacity spill.  Sampled (see
+    :class:`RequestAdmitEvent`).
+    """
+
+    edge: int = 0
+    count: int = 0
+
+    type: ClassVar[str] = "request_defer"
+
+
+@register_event
+@dataclass(frozen=True)
+class RequestDropEvent(Event):
+    """Admission policy dropped ``count`` requests at slot ``t``.
+
+    Sampled (see :class:`RequestAdmitEvent`).
+    """
+
+    edge: int = 0
+    count: int = 0
+
+    type: ClassVar[str] = "request_drop"
+
+
+@register_event
+@dataclass(frozen=True)
+class DeadlineMissEvent(Event):
+    """``count`` requests released at slot ``t`` missed their deadline.
+
+    Includes releases into shed or offline slots (nothing was served, so
+    every release that slot is a miss).  Sampled (see
+    :class:`RequestAdmitEvent`).
+    """
+
+    edge: int = 0
+    count: int = 0
+
+    type: ClassVar[str] = "deadline_miss"
 
 
 def event_from_dict(payload: dict[str, object]) -> Event:

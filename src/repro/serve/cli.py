@@ -88,6 +88,18 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--ingress",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="CONFIG.json",
+        help=(
+            "mount the request-level ingress tier; with no argument uses "
+            "the default SLA classes and deferral policy, else loads an "
+            "IngressConfig JSON file"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=None,
         metavar="PATH",
@@ -112,6 +124,15 @@ def run(args: argparse.Namespace) -> int:
         edges, workers, horizon, events = 4, 2, 48, 2000
     chaos = load_chaos_plan(args.chaos) if args.chaos else None
     reconfig = load_reconfig_plan(args.reconfig) if args.reconfig else None
+    ingress = None
+    if args.ingress is not None:
+        from repro.ingress.config import IngressConfig
+
+        ingress = (
+            IngressConfig()
+            if args.ingress == "default"
+            else IngressConfig.from_file(args.ingress)
+        )
     shapes = SHAPE_NAMES if args.shape == "all" else (args.shape,)
     reports = []
     for shape in shapes:
@@ -126,6 +147,7 @@ def run(args: argparse.Namespace) -> int:
             chaos=chaos,
             reconfig=reconfig,
             on_worker_death=args.on_worker_death,
+            ingress=ingress,
         )
         reports.append(report)
         slot = report.stages["slot"]
@@ -139,6 +161,27 @@ def run(args: argparse.Namespace) -> int:
             f"{slot['p95_s'] * 1e3:.1f}/{slot['p99_s'] * 1e3:.1f} ms",
             file=sys.stderr,
         )
+        if report.ingress is not None:
+            ing = report.ingress
+            classes = " ".join(
+                f"{name}={row['hit_rate']:.3f}"
+                if row["hit_rate"] is not None
+                else f"{name}=n/a"
+                for name, row in ing["per_class"].items()
+            )
+            deferral = report.stages.get("deferral")
+            wait = (
+                f"defer p99 = {deferral['p99_s']:.1f} slots"
+                if deferral and deferral["count"]
+                else "no deferrals"
+            )
+            print(
+                f"soak {shape:>9}: {ing['requests_in']} requests, "
+                f"{ing['requests_dropped']} dropped, "
+                f"{ing['requests_deferred']} deferred; "
+                f"deadline hit {classes} {wait}",
+                file=sys.stderr,
+            )
         if report.worker_deaths or report.restarts or report.reconfigs:
             recovery = report.stages.get("recovery")
             healed = (

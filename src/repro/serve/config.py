@@ -89,6 +89,11 @@ class ServeConfig:
     restart_backoff_s: float = 0.05
     restart_backoff_max_s: float = 2.0
     restart_state_every: int = 8
+    #: Request-level ingress tier config as its JSON dict form
+    #: (:meth:`repro.ingress.IngressConfig.to_dict`); ``None`` disables
+    #: ingress.  Stored as a dict so the serve config stays a plain
+    #: JSON round-tripper and snapshots carry the full ingress contract.
+    ingress: dict | None = None
 
     def __post_init__(self) -> None:
         if self.adapter not in ADAPTER_NAMES:
@@ -183,6 +188,29 @@ class ServeConfig:
                 f"restart_state_every must be >= 1, "
                 f"got {self.restart_state_every}"
             )
+        if self.ingress is not None:
+            if not isinstance(self.ingress, dict):
+                raise ValueError(
+                    f"ingress must be an IngressConfig dict or None, "
+                    f"got {type(self.ingress).__name__}"
+                )
+            if self.adapter == "dataset":
+                raise ValueError(
+                    'adapter "dataset" cannot run under ingress: its '
+                    "pre-drawn indices are coupled to its counts"
+                )
+            # Parse eagerly so a bad embedded config fails at construction,
+            # not mid-run.  Lazy import: repro.serve.__init__ imports this
+            # module, and repro.ingress imports repro.serve submodules.
+            self.ingress_config()
+
+    def ingress_config(self) -> "object | None":
+        """The parsed :class:`~repro.ingress.IngressConfig`, or ``None``."""
+        if self.ingress is None:
+            return None
+        from repro.ingress.config import IngressConfig
+
+        return IngressConfig.from_dict(self.ingress)
 
     @property
     def effective_label(self) -> str:

@@ -136,6 +136,19 @@ def build_serve_kernels(
         replay_log=config.replay_log,
         load_counts=load_counts,
     )
+    ingress = config.ingress_config()
+    if ingress is not None:
+        # Lazy import: repro.ingress eagerly imports repro.serve
+        # submodules, and repro.serve.__init__ imports this module.
+        from repro.ingress.adapter import wrap_with_ingress
+
+        adapters = wrap_with_ingress(
+            adapters,
+            config=ingress,
+            scenario=scenario,
+            seed=config.seed,
+            tracer=tracer,
+        )
     return scenario, adapters, edge_kernels, trading_kernel
 
 
@@ -291,6 +304,19 @@ class ServeRuntime:
         )
         self._slots_completed = tracer_obj.counter("serve/slots_completed")
         self._snapshots_taken = tracer_obj.counter("serve/snapshots")
+        ingress_config = config.ingress_config()
+        self.ingress = None
+        if ingress_config is not None:
+            from repro.ingress.stats import IngressStats
+
+            self.ingress = IngressStats(ingress_config.class_names)
+            self._requests_in = tracer_obj.counter("ingress/requests_in")
+            self._requests_dropped = tracer_obj.counter("ingress/requests_dropped")
+            self._requests_deferred = tracer_obj.counter(
+                "ingress/requests_deferred"
+            )
+            self._deadline_hits = tracer_obj.counter("ingress/deadline_hits")
+            self._deadline_misses = tracer_obj.counter("ingress/deadline_misses")
         self._reports: asyncio.Queue[EdgeSlotOutcome | _WorkerFailure] | None = None
 
     @classmethod
@@ -526,9 +552,13 @@ class ServeRuntime:
                     raise report.exc
                 buffered[(report.t, report.edge)] = report
 
-            self.aggregator.fold(
-                t, [buffered.pop((t, i)) for i in range(num_edges)]
-            )
+            outcomes = [buffered.pop((t, i)) for i in range(num_edges)]
+            if self.ingress is not None:
+                for outcome in outcomes:
+                    self._absorb_ingress(
+                        self.adapters[outcome.edge].resolve_slot(outcome)
+                    )
+            self.aggregator.fold(t, outcomes)
             self.completed_slot = t
             self._slots_completed.increment()
 
@@ -536,6 +566,16 @@ class ServeRuntime:
             if every and (t + 1) % every == 0 and t + 1 < self.horizon:
                 await self._take_snapshot(t)
             await self._release_through(self._release_target(t))
+
+    def _absorb_ingress(self, payload: dict[str, object]) -> None:
+        """Fold one edge's resolved slot stats into the run accounting."""
+        assert self.ingress is not None
+        self.ingress.absorb(payload)
+        self._requests_in.increment(payload["in"])
+        self._requests_dropped.increment(payload["dropped"])
+        self._requests_deferred.increment(payload["deferred"])
+        self._deadline_hits.increment(payload["hits"])
+        self._deadline_misses.increment(payload["misses"])
 
     async def _take_snapshot(self, t: int) -> None:
         busy = [i for i, queue in enumerate(self.queues) if queue.depth_items]

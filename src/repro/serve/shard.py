@@ -249,6 +249,7 @@ async def _worker_async(
     horizon = scenario.horizon
     kernels = {e: edge_kernels[e] for e in edges}
     my_adapters = {e: adapters[e] for e in edges}
+    has_ingress = config.ingress is not None
     delay = config.label_delay
     catchup: dict[int, tuple[int, str]] = {}
     if resume is not None:
@@ -276,6 +277,11 @@ async def _worker_async(
                 )
             else:
                 kernel.step_offline(t, item.count)
+            if has_ingress:
+                # The parent already merged these slots' request stats from
+                # the dead incarnation's frames; the catch-up only has to
+                # reproduce queue/stream state, never re-report.
+                adapter.discard_slot(t)
             if delay:
                 kernel.deliver_due(t - delay)
 
@@ -313,16 +319,22 @@ async def _worker_async(
             outcomes.append(kernels[e].step_offline(t, item.count))
             if delay:
                 kernels[e].deliver_due(t - delay)
-        await outbox.put(
-            {
-                "type": SLOT,
-                "worker": index,
-                "t": t,
-                "outcomes": outcomes,
-                "queue_s": [],
-                "serve_s": [],
+        frame = {
+            "type": SLOT,
+            "worker": index,
+            "t": t,
+            "outcomes": outcomes,
+            "queue_s": [],
+            "serve_s": [],
+        }
+        if has_ingress:
+            # Resolved against the offline outcomes: every release in a
+            # replayed slot is dropped-offline, so it counts as a miss.
+            frame["ingress"] = {
+                outcome.edge: my_adapters[outcome.edge].resolve_slot(outcome)
+                for outcome in outcomes
             }
-        )
+        await outbox.put(frame)
 
     def _state_frame() -> dict:
         return {
@@ -452,6 +464,14 @@ async def _worker_async(
             t = outcome.t
             del pending[t]
             bucket.sort(key=lambda row: row[0].edge)
+            # Resolved before the checkpoint capture below so restart
+            # checkpoints never carry provisional slot stats.
+            ingress_payloads = None
+            if has_ingress:
+                ingress_payloads = {
+                    row[0].edge: my_adapters[row[0].edge].resolve_slot(row[0])
+                    for row in bucket
+                }
             # Captured before anything hits the wire: releases are capped
             # at the checkpoint boundary, so every shard kernel is
             # quiescent at state t+1, and a chaos kill below can never
@@ -477,16 +497,17 @@ async def _worker_async(
                 # Abrupt, SIGKILL-like death with this slot unreported —
                 # the parent sees a raw EOF and the process sentinel.
                 os._exit(1)
-            await outbox.put(
-                {
-                    "type": SLOT,
-                    "worker": index,
-                    "t": t,
-                    "outcomes": [row[0] for row in bucket],
-                    "queue_s": [row[1] for row in bucket],
-                    "serve_s": [row[2] for row in bucket],
-                }
-            )
+            slot_frame = {
+                "type": SLOT,
+                "worker": index,
+                "t": t,
+                "outcomes": [row[0] for row in bucket],
+                "queue_s": [row[1] for row in bucket],
+                "serve_s": [row[2] for row in bucket],
+            }
+            if ingress_payloads is not None:
+                slot_frame["ingress"] = ingress_payloads
+            await outbox.put(slot_frame)
             if state_frame is not None:
                 await outbox.put(state_frame)
 
@@ -732,6 +753,26 @@ class ShardRuntime:
         self._shard_deaths = tracer_obj.counter("serve/shard_deaths")
         self._restarts = tracer_obj.counter("serve/restarts")
         self._reconfigs = tracer_obj.counter("serve/reconfigs")
+        ingress_config = config.ingress_config()
+        self.ingress = None
+        #: Resolved per-slot ingress payloads awaiting their slot's fold:
+        #: ``t -> {edge -> payload}``.  Overwrite semantics mirror the
+        #: outcome buffer — a restarted worker's replay frames replace the
+        #: dead incarnation's unfolded payloads, never double-count.
+        self._pending_ingress: dict[int, dict[int, dict]] = {}
+        if ingress_config is not None:
+            from repro.ingress.stats import IngressStats
+
+            self.ingress = IngressStats(ingress_config.class_names)
+            self._requests_in = tracer_obj.counter("ingress/requests_in")
+            self._requests_dropped = tracer_obj.counter(
+                "ingress/requests_dropped"
+            )
+            self._requests_deferred = tracer_obj.counter(
+                "ingress/requests_deferred"
+            )
+            self._deadline_hits = tracer_obj.counter("ingress/deadline_hits")
+            self._deadline_misses = tracer_obj.counter("ingress/deadline_misses")
 
     @staticmethod
     def _partition(active: Sequence[int], num_workers: int) -> list[tuple[int, ...]]:
@@ -1057,6 +1098,11 @@ class ShardRuntime:
             for outcome in frame["outcomes"]:
                 bucket[outcome.edge] = outcome
                 self._last_models[outcome.edge] = outcome.model
+            ingress_payloads = frame.get("ingress")
+            if ingress_payloads:
+                # Stored, not merged: merging happens once at fold time so
+                # a restart replay overwriting this slot cannot double-count.
+                self._pending_ingress.setdefault(t, {}).update(ingress_payloads)
             handle.last_slot = max(handle.last_slot, t)
             if (
                 handle.restarted
@@ -1438,6 +1484,8 @@ class ShardRuntime:
                     outcome = self._synthesize_offline(t, e)
                 self._count(outcome)
                 outcomes.append(outcome)
+            if self.ingress is not None:
+                self._merge_ingress(t, observe)
             fold_start = time.monotonic()
             self.aggregator.fold(t, outcomes)
             folded = time.monotonic()
@@ -1456,6 +1504,29 @@ class ShardRuntime:
             if self._barriers and self._barriers[0] == t + 1:
                 self._apply_reconfig(self._barriers.pop(0))
             self._release_through(self._release_target_for(t))
+
+    def _merge_ingress(self, t: int, observe) -> None:
+        """Fold slot ``t``'s resolved request stats into the run accounting.
+
+        Runs exactly once per folded slot.  Parent-synthesized offline
+        outcomes (degraded shards) carry no payload and need none: their
+        requests were never generated, so ``requests_in`` never saw them
+        and the accounting identity is waived while any worker is degraded
+        (mirrors the ``total_events`` leg of the soak gate).  Deferral wait
+        samples feed the ``on_stage_sample`` seam in units of *slots*.
+        """
+        assert self.ingress is not None
+        for _, payload in sorted(self._pending_ingress.pop(t, {}).items()):
+            self.ingress.absorb(payload)
+            self._requests_in.increment(payload["in"])
+            self._requests_dropped.increment(payload["dropped"])
+            self._requests_deferred.increment(payload["deferred"])
+            self._deadline_hits.increment(payload["hits"])
+            self._deadline_misses.increment(payload["misses"])
+            if observe is not None:
+                for wait, count in sorted(payload["waits"].items()):
+                    for _ in range(count):
+                        observe("deferral", float(wait))
 
     def _take_snapshot(self, t: int) -> None:
         """Gather worker states at the quiescent boundary, persist one file.

@@ -16,7 +16,14 @@ shape:
   restarts (``on_worker_death`` defaults to ``"restart"`` when chaos is
   given), every arrival must still be accounted for, and the
   death-to-serving recovery latency is tracked as its own ``recovery``
-  stage (p50/p95/p99 in the report).
+  stage (p50/p95/p99 in the report);
+* under ``--ingress`` (an :class:`~repro.ingress.IngressConfig`), the
+  request-level accounting gate ``requests_in == served + shed + offline
+  + dropped``, per-class deadline-hit rates, and deferral-latency
+  quantiles as the ``deferral`` stage.  Unlike every other stage, the
+  ``deferral`` sketch observes waits in units of *slots* (its ``_s`` keys
+  read as slots): deferral is a scheduling decision on the slot grid, not
+  a wall-clock measurement.
 
 Reports are schema-versioned JSON (``SOAK_FORMAT_VERSION``) and project
 onto :class:`~repro.bench.report.BenchReport` via
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.bench.report import BenchReport, BenchResult, machine_fingerprint
 from repro.obs.tracer import Tracer
@@ -42,7 +50,11 @@ from repro.serve.reconfig import ReconfigPlan
 from repro.serve.shard import ShardRuntime
 from repro.sim.config import ScenarioConfig
 
+if TYPE_CHECKING:  # import cycle: repro.ingress imports repro.serve
+    from repro.ingress.config import IngressConfig
+
 __all__ = [
+    "DEFERRAL_STAGE",
     "SOAK_FORMAT_VERSION",
     "P2Quantile",
     "SoakReport",
@@ -54,7 +66,9 @@ __all__ = [
 #: Format tag written into serialized soak reports; bump on breaking changes.
 #: v2 added the self-healing fields (worker_deaths/restarts/reconfigs/
 #: degraded_workers/recovery_ok) and the ``recovery`` latency stage.
-SOAK_FORMAT_VERSION = 2
+#: v3 added the ``ingress`` request-accounting summary and the ``deferral``
+#: wait stage (units: slots, not seconds).
+SOAK_FORMAT_VERSION = 3
 
 #: Latency stages a soak run always tracks, in pipeline order.
 STAGES = ("queue", "serve", "trade", "slot")
@@ -62,6 +76,10 @@ STAGES = ("queue", "serve", "trade", "slot")
 #: Extra stage tracked under a restart policy: worker death to its first
 #: live outcome after a supervised respawn.
 RECOVERY_STAGE = "recovery"
+
+#: Extra stage tracked under ingress: slots a released request waited past
+#: its arrival slot.  The only stage whose unit is slots, not seconds.
+DEFERRAL_STAGE = "deferral"
 
 #: Quantiles every stage sketch tracks.
 QUANTILES = (0.5, 0.95, 0.99)
@@ -210,6 +228,9 @@ class SoakReport:
     reconfigs: int = 0
     degraded_workers: int = 0
     recovery_ok: bool = True
+    #: Request-level accounting summary (:meth:`IngressStats.summary`)
+    #: when the soak ran with an ingress tier; ``None`` otherwise.
+    ingress: dict | None = None
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -233,6 +254,7 @@ class SoakReport:
             "reconfigs": self.reconfigs,
             "degraded_workers": self.degraded_workers,
             "recovery_ok": self.recovery_ok,
+            "ingress": dict(self.ingress) if self.ingress is not None else None,
         }
 
     @classmethod
@@ -258,6 +280,8 @@ class SoakReport:
         results = []
         meta = {"shape": self.shape, "seed": self.seed}
         for stage, stats in self.stages.items():
+            if stage == DEFERRAL_STAGE:
+                continue  # measured in slots, not seconds — wrong unit here
             for key in ("p50_s", "p95_s", "p99_s"):
                 value = stats.get(key)
                 if value is None or value != value:  # missing or NaN
@@ -314,6 +338,7 @@ def run_soak(
     chaos: ChaosPlan | None = None,
     reconfig: ReconfigPlan | None = None,
     on_worker_death: str | None = None,
+    ingress: "IngressConfig | None" = None,
 ) -> SoakReport:
     """Soak one load shape through a sharded wall-clock run.
 
@@ -327,6 +352,14 @@ def run_soak(
     plus the healing tallies.  ``accounting_ok`` stays the exact equation;
     the ``events_in == total_events`` leg is only waived when a shard
     genuinely degraded (its unserved slots legitimately never arrived).
+
+    An ``ingress`` config mounts the request-level tier above the shape
+    adapter: the report gains the ``ingress`` accounting summary, the
+    ``deferral`` wait stage (units: slots), and ``accounting_ok`` also
+    requires the request identity ``requests_in == served + shed +
+    offline + dropped`` (waived, like the volume leg, only when a shard
+    degraded — a dead worker's queued requests legitimately never
+    resolved).
     """
     injecting = chaos is not None and not chaos.is_empty
     policy = on_worker_death or ("restart" if injecting else "fail")
@@ -352,8 +385,11 @@ def run_soak(
         queue_capacity=queue_capacity,
         num_workers=num_workers,
         on_worker_death=policy,
+        ingress=ingress.to_dict() if ingress is not None else None,
     )
     tracked = STAGES + ((RECOVERY_STAGE,) if policy == "restart" else ())
+    if ingress is not None:
+        tracked = tracked + (DEFERRAL_STAGE,)
     stats = {stage: StageStats() for stage in tracked}
 
     def observe(stage: str, seconds: float) -> None:
@@ -378,6 +414,20 @@ def run_soak(
     restarts = tracer.counter("serve/restarts").value
     reconfigs = tracer.counter("serve/reconfigs").value
     degraded = sum(1 for s in runtime.health()["shards"] if s["failed"])
+    ingress_summary = None
+    ingress_ok = True
+    volume_in = events_in
+    if runtime.ingress is not None:
+        ingress_summary = runtime.ingress.summary()
+        ingress_ok = (
+            runtime.ingress.accounting_ok(
+                events_served, events_shed, events_dropped
+            )
+            or degraded > 0
+        )
+        # Thinning conserves counts, so the volume leg moves up one level:
+        # every shaped event must appear as a request.
+        volume_in = runtime.ingress.requests_in
     return SoakReport(
         shape=shape,
         seed=seed,
@@ -392,7 +442,8 @@ def run_soak(
         events_dropped_offline=events_dropped,
         accounting_ok=(
             events_in == events_served + events_shed + events_dropped
-            and (events_in == total_events or degraded > 0)
+            and (volume_in == total_events or degraded > 0)
+            and ingress_ok
         ),
         throughput_eps=(
             events_served / wall_seconds if wall_seconds > 0 else 0.0
@@ -403,6 +454,7 @@ def run_soak(
         reconfigs=reconfigs,
         degraded_workers=degraded,
         recovery_ok=(worker_deaths == 0 or degraded == 0),
+        ingress=ingress_summary,
     )
 
 

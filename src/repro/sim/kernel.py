@@ -270,11 +270,15 @@ class EdgeSlotKernel:
             idx = indices
         profile = self.scenario.profiles[serve]
         losses = self._sample_losses(profile, idx)
-        slot_loss = float(losses.mean())
+        slot_loss = float(losses.mean()) if idx.size else 0.0
         latency = float(self.scenario.latencies[self.edge, serve])
         if serve != model:
             # The chosen model never ran, so its loss is unobservable this
             # slot (bandit feedback).
+            policy.observe_lost(t, model)
+        elif idx.size == 0:
+            # An empty slot (e.g. ingress deferred every request) offers no
+            # loss sample either.
             policy.observe_lost(t, model)
         elif injector is not None and injector.feedback_lost(t, self.edge):
             policy.observe_lost(t, model)

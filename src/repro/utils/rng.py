@@ -14,7 +14,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RngFactory", "spawn_generator"]
+__all__ = ["RngFactory", "spawn_generator", "thinning_stream"]
 
 
 def _stable_hash(text: str) -> int:
@@ -29,6 +29,19 @@ def spawn_generator(seed: int, name: str) -> np.random.Generator:
     The same ``(seed, name)`` pair always yields an identical stream.
     """
     return np.random.default_rng(np.random.SeedSequence([seed, _stable_hash(name)]))
+
+
+def thinning_stream(seed: int, edge: int) -> np.random.Generator:
+    """The named stream that splits edge ``edge``'s slot counts into requests.
+
+    Request-level ingress (``repro.ingress``) *thins* the slot-granular
+    arrival counts into per-SLA-class requests.  The split draws from this
+    dedicated stream — keyed ``ingress-thin-<edge>`` — so enabling ingress
+    never perturbs the base arrival/data streams (``arrivals-<edge>``,
+    ``data-<edge>``): slot totals, and therefore every kernel input, stay
+    bit-identical with deferral disabled.
+    """
+    return spawn_generator(seed, f"ingress-thin-{edge}")
 
 
 class RngFactory:

@@ -92,6 +92,23 @@ def test_required_rule_codes_present():
     assert required <= set(registered_codes())
 
 
+def test_ingress_tier_is_gated_and_lints_clean():
+    # The request-level ingress tier is new library surface: pin it into the
+    # self-gate explicitly so a walker regression (or a future package move)
+    # cannot silently drop it from test_package_lints_clean's coverage.
+    from repro.lint import iter_python_files
+
+    ingress_dir = PACKAGE_DIR / "ingress"
+    files = list(iter_python_files([ingress_dir]))
+    assert {f.name for f in files} >= {
+        "adapter.py", "config.py", "generator.py", "request.py",
+        "router.py", "stats.py",
+    }
+    findings = lint_paths([ingress_dir], path_rules=DEFAULT_PATH_RULES)
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"reprolint findings in src/repro/ingress:\n{rendered}"
+
+
 def test_package_files_actually_scanned():
     # Guard against the walker silently scanning nothing (e.g. a path typo
     # would make test_package_lints_clean vacuously green).

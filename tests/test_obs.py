@@ -86,6 +86,10 @@ class TestEvents:
             "worker_death",
             "worker_restart",
             "reconfig_applied",
+            "request_admit",
+            "request_defer",
+            "request_drop",
+            "deadline_miss",
         }
 
     @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.type)
@@ -261,6 +265,10 @@ class TestInstrumentedSimulation:
             "worker_death",
             "worker_restart",
             "reconfig_applied",
+            "request_admit",
+            "request_defer",
+            "request_drop",
+            "deadline_miss",
         }
         assert set(sink.counts_by_type()) == set(EVENT_TYPES) - fault_types - serve_types
 

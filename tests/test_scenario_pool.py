@@ -1,0 +1,115 @@
+"""Shared scenario pool: content addressing, memoized resolve, parity."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.scenario_pool import (
+    _RESOLVE_MEMO,
+    ScenarioPool,
+    ScenarioRef,
+    resolve,
+    scenario_digest,
+)
+from repro.experiments.engine import SweepEngine, _execute_cell_ref
+from repro.sim import ScenarioConfig, build_scenario
+from repro.sim.io import result_digest
+from repro.spec import RunSpec
+
+
+@pytest.fixture
+def scenario():
+    return build_scenario(
+        ScenarioConfig(dataset="synthetic", num_edges=4, horizon=24)
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_memo():
+    _RESOLVE_MEMO.clear()
+    yield
+    _RESOLVE_MEMO.clear()
+
+
+class TestContentAddressing:
+    def test_equal_scenarios_share_one_file(self, tmp_path, scenario):
+        pool = ScenarioPool(tmp_path)
+        twin = build_scenario(
+            ScenarioConfig(dataset="synthetic", num_edges=4, horizon=24)
+        )
+        ref_a, ref_b = pool.share(scenario), pool.share(twin)
+        assert ref_a == ref_b
+        assert len(list(tmp_path.glob("*.pkl"))) == 1
+
+    def test_distinct_scenarios_get_distinct_digests(self, tmp_path, scenario):
+        pool = ScenarioPool(tmp_path)
+        other = build_scenario(
+            ScenarioConfig(dataset="synthetic", num_edges=5, horizon=24)
+        )
+        assert pool.share(scenario).digest != pool.share(other).digest
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+    def test_digest_is_stable_across_calls(self, scenario):
+        assert scenario_digest(scenario) == scenario_digest(scenario)
+
+    def test_share_is_idempotent_and_trusts_existing_files(
+        self, tmp_path, scenario
+    ):
+        pool = ScenarioPool(tmp_path)
+        ref = pool.share(scenario)
+        stamp = tuple(
+            (p.name, p.stat().st_mtime_ns) for p in tmp_path.glob("*.pkl")
+        )
+        assert pool.share(scenario) == ref
+        assert stamp == tuple(
+            (p.name, p.stat().st_mtime_ns) for p in tmp_path.glob("*.pkl")
+        )
+
+
+class TestResolve:
+    def test_resolve_loads_from_disk_and_memoizes(self, tmp_path, scenario):
+        pool = ScenarioPool(tmp_path)
+        ref = pool.share(scenario)
+        _RESOLVE_MEMO.clear()  # simulate a fresh worker process
+        loaded = resolve(ref)
+        assert loaded is not scenario  # came off disk
+        assert scenario_digest(loaded) == ref.digest
+        assert resolve(ref) is loaded  # second hit is the memo
+
+    def test_share_seeds_the_local_memo(self, tmp_path, scenario):
+        pool = ScenarioPool(tmp_path)
+        ref = pool.share(scenario)
+        assert resolve(ref) is scenario
+
+    def test_ref_pickles_small(self, tmp_path, scenario):
+        ref = ScenarioPool(tmp_path).share(scenario)
+        assert len(pickle.dumps(ref)) < 1024
+        assert len(pickle.dumps(ref)) < len(pickle.dumps(scenario))
+
+
+class TestEngineIntegration:
+    SPECS = [RunSpec(selection="Ours", trading="Ours", seed=s) for s in (0, 1)]
+
+    def test_execute_cell_ref_matches_direct_execution(
+        self, tmp_path, scenario
+    ):
+        from repro.experiments.engine import SweepCell, _execute_cell
+
+        ref = ScenarioPool(tmp_path).share(scenario)
+        _RESOLVE_MEMO.clear()
+        cell = SweepCell.from_spec(self.SPECS[0])
+        assert result_digest(_execute_cell_ref(ref, cell)) == result_digest(
+            _execute_cell(scenario, cell)
+        )
+
+    def test_pooled_parallel_sweep_is_bit_identical_to_serial(
+        self, tmp_path, scenario
+    ):
+        serial = SweepEngine(workers=1).run_specs(scenario, self.SPECS)
+        pooled = SweepEngine(
+            workers=2, scenario_pool=ScenarioPool(tmp_path)
+        ).run_specs(scenario, self.SPECS)
+        assert [result_digest(r) for r in pooled] == [
+            result_digest(r) for r in serial
+        ]
+        assert len(list(tmp_path.glob("*.pkl"))) == 1

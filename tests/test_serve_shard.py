@@ -709,7 +709,7 @@ class TestSoakCli:
         ])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["format_version"] == 2
+        assert payload["format_version"] == 3
         (report,) = payload["reports"]
         assert report["shape"] == "spike"
         assert report["accounting_ok"] is True
